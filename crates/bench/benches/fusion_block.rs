@@ -1,0 +1,47 @@
+//! Fusion-block microbenchmarks: WBF (the paper's §4.4 block) vs NMS.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecofusion_detect::{nms, soft_nms, weighted_boxes_fusion, BBox, Detection, WbfParams};
+use ecofusion_tensor::rng::Rng;
+
+fn random_detections(n: usize, rng: &mut Rng) -> Vec<Detection> {
+    (0..n)
+        .map(|_| {
+            let x = rng.uniform(0.0, 56.0) as f32;
+            let y = rng.uniform(0.0, 56.0) as f32;
+            let w = rng.uniform(4.0, 12.0) as f32;
+            let h = rng.uniform(4.0, 12.0) as f32;
+            Detection::new(
+                BBox::new(x, y, x + w, y + h),
+                rng.uniform_usize(0, 8),
+                rng.uniform(0.05, 1.0) as f32,
+            )
+        })
+        .collect()
+}
+
+fn bench_fusers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fusion_block");
+    for &n in &[8usize, 32, 128] {
+        let mut rng = Rng::new(n as u64);
+        // Four branches' worth of detections.
+        let branches: Vec<Vec<Detection>> =
+            (0..4).map(|_| random_detections(n / 4, &mut rng)).collect();
+        let flat: Vec<Detection> = branches.iter().flatten().copied().collect();
+        group.bench_with_input(BenchmarkId::new("wbf", n), &branches, |b, branches| {
+            b.iter(|| {
+                black_box(weighted_boxes_fusion(branches, &WbfParams::default(), 4))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("nms", n), &flat, |b, flat| {
+            b.iter(|| black_box(nms(flat.clone(), 0.5)));
+        });
+        group.bench_with_input(BenchmarkId::new("soft_nms", n), &flat, |b, flat| {
+            b.iter(|| black_box(soft_nms(flat.clone(), 0.5, 0.05)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fusers);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! One criterion group per paper artifact, measuring the compute behind
+//! each table/figure. The corresponding `[[bin]]` targets regenerate the
+//! full tables (training included); these benches time the steady-state
+//! per-frame work each artifact's rows are made of.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ecofusion_bench::bench_fixture;
+use ecofusion_core::InferenceOptions;
+use ecofusion_eval::experiments::table3;
+use ecofusion_eval::map_voc;
+use ecofusion_eval::GtFrame;
+use ecofusion_gating::GateKind;
+
+/// Fig. 1 / Fig. 5 rows: one frame under each static fusion method.
+fn artifact_fig1_fig5(c: &mut Criterion) {
+    let (mut model, data) = bench_fixture(11);
+    let frame = &data.test()[0];
+    let opts = InferenceOptions::new(0.0, 0.5);
+    let b = model.baseline_ids();
+    let mut group = c.benchmark_group("fig1_fig5_methods");
+    group.bench_function("none_radar", |bench| {
+        bench.iter(|| black_box(model.detect_static(frame, b.radar, &opts)))
+    });
+    group.bench_function("late_fusion", |bench| {
+        bench.iter(|| black_box(model.detect_static(frame, b.late, &opts)))
+    });
+    group.bench_function("ecofusion_attention", |bench| {
+        let opts = InferenceOptions::new(0.01, 0.5);
+        bench.iter(|| black_box(model.infer(frame, &opts).unwrap()))
+    });
+    group.finish();
+}
+
+/// Table 1 columns: mAP computation over a frame set.
+fn artifact_table1_map(c: &mut Criterion) {
+    let (mut model, data) = bench_fixture(12);
+    let opts = InferenceOptions::new(0.0, 0.5);
+    let late = model.baseline_ids().late;
+    let dets: Vec<Vec<ecofusion_detect::Detection>> = data
+        .test()
+        .iter()
+        .map(|f| model.detect_static(f, late, &opts).0)
+        .collect();
+    let gts: Vec<GtFrame> =
+        data.test().iter().map(|f| GtFrame { boxes: f.gt_boxes() }).collect();
+    c.bench_function("table1_map_voc", |bench| {
+        bench.iter(|| black_box(map_voc(&dets, &gts, 8, 0.5)))
+    });
+}
+
+/// Table 2 rows: gate prediction + joint optimization for each gate.
+fn artifact_table2_gates(c: &mut Criterion) {
+    let (mut model, data) = bench_fixture(13);
+    let frame = &data.test()[0];
+    let mut group = c.benchmark_group("table2_gate_inference");
+    for (name, gate) in [
+        ("knowledge", GateKind::Knowledge),
+        ("deep", GateKind::Deep),
+        ("attention", GateKind::Attention),
+        ("loss_based_oracle", GateKind::LossBased),
+    ] {
+        let opts = InferenceOptions::new(0.01, 0.5).with_gate(gate);
+        group.bench_function(name, |bench| {
+            bench.iter(|| black_box(model.infer(frame, &opts).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 4: the Eq. 7–9 joint optimization over all 127 configurations.
+fn artifact_fig4_optimizer(c: &mut Criterion) {
+    use ecofusion_core::{select_config, CandidateRule};
+    use ecofusion_energy::{Px2Model, StemPolicy};
+    let space = ecofusion_core::ConfigSpace::canonical();
+    let energies = space.energies(&Px2Model::default(), StemPolicy::Adaptive);
+    let mut rng = ecofusion_tensor::rng::Rng::new(14);
+    let losses: Vec<f32> = (0..space.num_configs())
+        .map(|_| rng.uniform(0.5, 6.0) as f32)
+        .collect();
+    c.bench_function("fig4_joint_optimization_127_configs", |bench| {
+        bench.iter(|| {
+            black_box(select_config(&losses, &energies, 0.05, 0.5, CandidateRule::Margin))
+        })
+    });
+}
+
+/// Table 3: the full clock-gating energy table (pure arithmetic).
+fn artifact_table3(c: &mut Criterion) {
+    c.bench_function("table3_energy_model", |bench| {
+        bench.iter(|| black_box(table3::run()))
+    });
+}
+
+criterion_group!(
+    benches,
+    artifact_fig1_fig5,
+    artifact_table1_map,
+    artifact_table2_gates,
+    artifact_fig4_optimizer,
+    artifact_table3
+);
+criterion_main!(benches);

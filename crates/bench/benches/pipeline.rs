@@ -1,0 +1,53 @@
+//! End-to-end pipeline wall-clock benchmarks (this machine's latency — a
+//! different quantity from the calibrated PX2 latencies the tables report).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ecofusion_bench::bench_fixture;
+use ecofusion_core::InferenceOptions;
+use ecofusion_gating::GateKind;
+
+fn bench_static_configs(c: &mut Criterion) {
+    let (mut model, data) = bench_fixture(7);
+    let frame = &data.test()[0];
+    let opts = InferenceOptions::new(0.0, 0.5);
+    let b = model.baseline_ids();
+    let mut group = c.benchmark_group("static_config");
+    for (name, id) in [
+        ("single_camera", b.camera_right),
+        ("early_fusion", b.early),
+        ("late_fusion", b.late),
+    ] {
+        group.bench_function(name, |bench| {
+            bench.iter(|| black_box(model.detect_static(frame, id, &opts)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_adaptive(c: &mut Criterion) {
+    let (mut model, data) = bench_fixture(8);
+    let frame = &data.test()[0];
+    let mut group = c.benchmark_group("adaptive_infer");
+    for (name, gate) in [
+        ("knowledge", GateKind::Knowledge),
+        ("deep", GateKind::Deep),
+        ("attention", GateKind::Attention),
+    ] {
+        let opts = InferenceOptions::new(0.01, 0.5).with_gate(gate);
+        group.bench_function(name, |bench| {
+            bench.iter(|| black_box(model.infer(frame, &opts).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_stems_and_gate_features(c: &mut Criterion) {
+    let (mut model, data) = bench_fixture(9);
+    let frame = &data.test()[0];
+    c.bench_function("stem_features_all_sensors", |bench| {
+        bench.iter(|| black_box(model.stem_features(&frame.obs, false)));
+    });
+}
+
+criterion_group!(benches, bench_static_configs, bench_adaptive, bench_stems_and_gate_features);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Microbenchmarks of the NN substrate kernels.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ecofusion_tensor::layer::{Conv2d, Layer, SelfAttention2d};
+use ecofusion_tensor::rng::Rng;
+use ecofusion_tensor::tensor::Tensor;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = Rng::new(1);
+    let a = Tensor::randn(&[64, 128], 1.0, &mut rng);
+    let b = Tensor::randn(&[128, 64], 1.0, &mut rng);
+    c.bench_function("matmul_64x128x64", |bench| {
+        bench.iter(|| black_box(a.matmul(&b)));
+    });
+    c.bench_function("matmul_tn_64x128x64", |bench| {
+        let at = a.transpose();
+        bench.iter(|| black_box(at.matmul_tn(&b)));
+    });
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = Rng::new(2);
+    let mut conv = Conv2d::new(8, 16, 3, 2, 1, &mut rng);
+    let x = Tensor::randn(&[1, 8, 32, 32], 1.0, &mut rng);
+    c.bench_function("conv2d_8to16_s2_32px_forward", |bench| {
+        bench.iter(|| black_box(conv.forward(&x, false)));
+    });
+    c.bench_function("conv2d_8to16_s2_32px_train_step", |bench| {
+        bench.iter(|| {
+            let y = conv.forward(&x, true);
+            conv.zero_grad();
+            black_box(conv.backward(&y));
+        });
+    });
+}
+
+fn bench_attention(c: &mut Criterion) {
+    let mut rng = Rng::new(3);
+    let mut attn = SelfAttention2d::new(16, &mut rng);
+    let x = Tensor::randn(&[1, 16, 16, 16], 1.0, &mut rng);
+    c.bench_function("self_attention_16ch_256tokens", |bench| {
+        bench.iter(|| black_box(attn.forward(&x, false)));
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_conv, bench_attention);
+criterion_main!(benches);

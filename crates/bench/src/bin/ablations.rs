@@ -1,0 +1,49 @@
+//! Runs the DESIGN.md ablation studies: `gamma`, `rule`, `fusion`, or
+//! `all` (default).
+
+use ecofusion_eval::experiments::{ablations, common::{Scale, Setup}};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args(&args);
+    let which = args
+        .iter()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+    eprintln!("preparing setup ({scale:?})...");
+    let mut setup = Setup::prepare(scale, 42);
+    let mut results = Vec::new();
+    if which == "gamma" || which == "all" {
+        results.push(ablations::gamma_sweep(&mut setup));
+    }
+    if which == "rule" || which == "all" {
+        results.push(ablations::candidate_rule(&mut setup));
+    }
+    if which == "fusion" || which == "all" {
+        results.push(ablations::fusion_block(&mut setup));
+    }
+    for r in &results {
+        r.print();
+    }
+    ecofusion_bench::maybe_write_json(&args, "ablations", &results);
+
+    if which == "gate" || which == "all" {
+        // Gate-quality analytics: how close the learned gates get to the
+        // oracle (paper §5.1 attributes the gap to modeling limitations).
+        use ecofusion_gating::GateKind;
+        let frames: Vec<&ecofusion_core::Frame> = setup.dataset.test().iter().collect();
+        println!("Gate quality vs oracle (lambda_E = 0.05, gamma = 0.5)");
+        for gate in [GateKind::Deep, GateKind::Attention] {
+            let q = ecofusion_eval::assess_gate(&mut setup.model, &frames, gate, 0.05, 0.5);
+            println!(
+                "  {:<10} spearman {:.3}, top-1 agreement {:.1}%, joint regret {:.4}",
+                q.gate,
+                q.mean_spearman,
+                q.top1_agreement * 100.0,
+                q.mean_regret
+            );
+        }
+    }
+}

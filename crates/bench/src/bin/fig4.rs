@@ -1,0 +1,13 @@
+//! Regenerates paper Figure 4 (energy–loss trade-off, λ_E sweep per gate).
+
+use ecofusion_eval::experiments::{common::{Scale, Setup}, fig4};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args(&args);
+    eprintln!("preparing setup ({scale:?})...");
+    let mut setup = Setup::prepare(scale, 42);
+    let result = fig4::run(&mut setup);
+    result.print();
+    ecofusion_bench::maybe_write_json(&args, "fig4", &result);
+}

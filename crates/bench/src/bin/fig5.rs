@@ -1,0 +1,13 @@
+//! Regenerates paper Figure 5 (per-scenario loss and energy).
+
+use ecofusion_eval::experiments::{common::{Scale, Setup}, fig5};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args(&args);
+    eprintln!("preparing setup ({scale:?})...");
+    let mut setup = Setup::prepare(scale, 42);
+    let result = fig5::run(&mut setup);
+    result.print();
+    ecofusion_bench::maybe_write_json(&args, "fig5", &result);
+}

@@ -1,0 +1,56 @@
+//! Regenerates *every* paper artifact (Fig. 1, Fig. 4, Fig. 5,
+//! Tables 1–3, ablations) from a single shared training run.
+//!
+//! This is the binary behind EXPERIMENTS.md:
+//!
+//! ```text
+//! cargo run --release -p ecofusion-bench --bin run_all -- --full --json
+//! ```
+
+use ecofusion_eval::experiments::{
+    ablations, common::{Scale, Setup}, fig1, fig4, fig5, table1, table2, table3,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args(&args);
+    eprintln!("preparing shared setup ({scale:?})...");
+    let t0 = std::time::Instant::now();
+    let mut setup = Setup::prepare(scale, 42);
+    eprintln!("setup ready in {:.1}s", t0.elapsed().as_secs_f64());
+
+    let r = table3::run();
+    r.print();
+    ecofusion_bench::maybe_write_json(&args, "table3", &r);
+
+    let r = table1::run(&mut setup);
+    r.print();
+    ecofusion_bench::maybe_write_json(&args, "table1", &r);
+
+    let r = table2::run(&mut setup);
+    r.print();
+    ecofusion_bench::maybe_write_json(&args, "table2", &r);
+
+    let r = fig1::run(&mut setup);
+    r.print();
+    ecofusion_bench::maybe_write_json(&args, "fig1", &r);
+
+    let r = fig5::run(&mut setup);
+    r.print();
+    ecofusion_bench::maybe_write_json(&args, "fig5", &r);
+
+    let r = fig4::run(&mut setup);
+    r.print();
+    ecofusion_bench::maybe_write_json(&args, "fig4", &r);
+
+    let results = vec![
+        ablations::gamma_sweep(&mut setup),
+        ablations::candidate_rule(&mut setup),
+        ablations::fusion_block(&mut setup),
+    ];
+    for r in &results {
+        r.print();
+    }
+    ecofusion_bench::maybe_write_json(&args, "ablations", &results);
+    eprintln!("all artifacts regenerated in {:.1}s total", t0.elapsed().as_secs_f64());
+}

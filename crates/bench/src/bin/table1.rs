@@ -1,0 +1,15 @@
+//! Regenerates paper Table 1 (energy consumption and performance
+//! evaluation). `--full` runs the full-scale harness; `--json` also writes
+//! `results/table1.json`.
+
+use ecofusion_eval::experiments::{common::{Scale, Setup}, table1};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args(&args);
+    eprintln!("preparing setup ({scale:?})...");
+    let mut setup = Setup::prepare(scale, 42);
+    let result = table1::run(&mut setup);
+    result.print();
+    ecofusion_bench::maybe_write_json(&args, "table1", &result);
+}

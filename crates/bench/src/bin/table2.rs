@@ -1,0 +1,13 @@
+//! Regenerates paper Table 2 (gating method evaluation).
+
+use ecofusion_eval::experiments::{common::{Scale, Setup}, table2};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args(&args);
+    eprintln!("preparing setup ({scale:?})...");
+    let mut setup = Setup::prepare(scale, 42);
+    let result = table2::run(&mut setup);
+    result.print();
+    ecofusion_bench::maybe_write_json(&args, "table2", &result);
+}

@@ -1,0 +1,11 @@
+//! Regenerates paper Table 3 (sensor clock-gating energy per scenario).
+//! Pure energy-model arithmetic; no training involved.
+
+use ecofusion_eval::experiments::table3;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let result = table3::run();
+    result.print();
+    ecofusion_bench::maybe_write_json(&args, "table3", &result);
+}

@@ -1,0 +1,537 @@
+//! The EcoFusion model: Fig. 3 / Algorithm 1.
+
+use crate::config::{BaselineIds, ConfigId, ConfigSpace};
+use crate::optimizer::{select_config, CandidateRule};
+use ecofusion_detect::{fusion_loss, BranchConfig, BranchDetector, Detection, Stem, WbfParams};
+use ecofusion_detect::weighted_boxes_fusion;
+use ecofusion_energy::{EnergyBreakdown, Joules, Px2Model, SensorPowerModel, StemPolicy};
+use ecofusion_gating::{
+    AttentionGate, DeepGate, Gate, GateInput, GateKind, KnowledgeGate, LossBasedGate,
+};
+use ecofusion_scene::GtBox;
+use ecofusion_sensors::{Observation, SensorKind};
+use ecofusion_tensor::layer::Layer;
+use ecofusion_tensor::rng::Rng;
+use ecofusion_tensor::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+use crate::dataset::Frame;
+use crate::knowledge::default_knowledge_rules;
+
+/// All four gating strategies over one configuration space.
+pub struct GateSet {
+    /// Static context rules (§4.2.1).
+    pub knowledge: KnowledgeGate,
+    /// Learned CNN+MLP gate (§4.2.2).
+    pub deep: DeepGate,
+    /// Learned gate with self-attention (§4.2.3).
+    pub attention: AttentionGate,
+    /// A-posteriori oracle (§4.2.4).
+    pub loss_based: LossBasedGate,
+}
+
+impl fmt::Debug for GateSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GateSet(knowledge, deep, attention, loss-based)")
+    }
+}
+
+/// Options for one adaptive inference (Algorithm 1's tunables).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InferenceOptions {
+    /// Energy weight `λ_E ∈ [0, 1]` in Eq. 8.
+    pub lambda_e: f64,
+    /// Candidate margin `γ` in Eq. 7 (the paper uses 0.5).
+    pub gamma: f32,
+    /// Which gating strategy to use.
+    pub gate: GateKind,
+    /// Candidate-selection rule variant.
+    pub rule: CandidateRule,
+    /// Objectness threshold for branch decoding.
+    pub score_thresh: f32,
+    /// Per-class NMS IoU for branch decoding.
+    pub nms_iou: f32,
+}
+
+impl InferenceOptions {
+    /// Creates options with the paper's defaults: attention gating, margin
+    /// rule, decode thresholds 0.3 / 0.5.
+    pub fn new(lambda_e: f64, gamma: f32) -> Self {
+        InferenceOptions {
+            lambda_e,
+            gamma,
+            gate: GateKind::Attention,
+            rule: CandidateRule::Margin,
+            score_thresh: 0.2,
+            nms_iou: 0.5,
+        }
+    }
+
+    /// Same options with a different gate.
+    pub fn with_gate(mut self, gate: GateKind) -> Self {
+        self.gate = gate;
+        self
+    }
+}
+
+/// Result of one adaptive inference.
+#[derive(Debug, Clone)]
+pub struct InferenceOutput {
+    /// Final fused detections Ŷ.
+    pub detections: Vec<Detection>,
+    /// The selected configuration φ*.
+    pub selected_config: ConfigId,
+    /// Human-readable label of φ*.
+    pub selected_label: String,
+    /// The gate's per-configuration loss estimates L_f(Φ).
+    pub predicted_losses: Vec<f32>,
+    /// Energy/latency breakdown of executing φ* (adaptive stem policy).
+    pub energy: EnergyBreakdown,
+}
+
+impl InferenceOutput {
+    /// Platform energy of the executed configuration (Eq. 6).
+    pub fn energy_joules(&self) -> f64 {
+        self.energy.platform.joules()
+    }
+}
+
+/// Error from [`EcoFusionModel::infer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InferError {
+    /// The frame's observation grid does not match the model.
+    GridMismatch {
+        /// Grid the model was built for.
+        expected: usize,
+        /// Grid of the offending frame.
+        found: usize,
+    },
+}
+
+impl fmt::Display for InferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InferError::GridMismatch { expected, found } => {
+                write!(f, "frame grid {found} does not match model grid {expected}")
+            }
+        }
+    }
+}
+
+impl Error for InferError {}
+
+/// The full adaptive perception model: four stems, seven branches, four
+/// gates, the joint optimizer, and the WBF fusion block.
+#[derive(Debug)]
+pub struct EcoFusionModel {
+    stems: Vec<Stem>,
+    branches: Vec<BranchDetector>,
+    space: ConfigSpace,
+    gates: GateSet,
+    px2: Px2Model,
+    sensor_power: SensorPowerModel,
+    wbf: WbfParams,
+    adaptive_energies: Vec<Joules>,
+    grid: usize,
+    num_classes: usize,
+}
+
+impl EcoFusionModel {
+    /// Builds an untrained model for `grid`-pixel observations and
+    /// `num_classes` object classes.
+    ///
+    /// # Panics
+    /// Panics if `grid` is not a multiple of 16 (stems halve the
+    /// resolution and branches need a multiple of 8).
+    pub fn new(grid: usize, num_classes: usize, rng: &mut Rng) -> Self {
+        assert!(grid % 16 == 0 && grid >= 32, "grid must be a multiple of 16, at least 32");
+        let space = ConfigSpace::canonical();
+        let stems: Vec<Stem> = (0..SensorKind::COUNT).map(|_| Stem::new(1, rng)).collect();
+        let branches: Vec<BranchDetector> = space
+            .branches()
+            .iter()
+            .map(|spec| {
+                BranchDetector::new(
+                    BranchConfig { num_sensors: spec.arity(), num_classes, raster: grid },
+                    rng,
+                )
+            })
+            .collect();
+        let px2 = Px2Model::default();
+        let adaptive_energies = space.energies(&px2, StemPolicy::Adaptive);
+        let n = space.num_configs();
+        let stem_c = ecofusion_detect::stem::STEM_CHANNELS * SensorKind::COUNT;
+        let gates = GateSet {
+            knowledge: KnowledgeGate::new(default_knowledge_rules(&space), n),
+            deep: DeepGate::new(stem_c, grid / 2, n, rng),
+            attention: AttentionGate::new(stem_c, grid / 2, n, rng),
+            loss_based: LossBasedGate::new(n),
+        };
+        EcoFusionModel {
+            stems,
+            branches,
+            space,
+            gates,
+            px2,
+            sensor_power: SensorPowerModel::default(),
+            wbf: WbfParams::default(),
+            adaptive_energies,
+            grid,
+            num_classes,
+        }
+    }
+
+    /// The configuration space Φ.
+    pub fn space(&self) -> &ConfigSpace {
+        &self.space
+    }
+
+    /// The paper's fixed baseline configuration ids.
+    pub fn baseline_ids(&self) -> BaselineIds {
+        self.space.baseline_ids()
+    }
+
+    /// The PX2 cost model.
+    pub fn px2(&self) -> &Px2Model {
+        &self.px2
+    }
+
+    /// The sensor power model.
+    pub fn sensor_power(&self) -> &SensorPowerModel {
+        &self.sensor_power
+    }
+
+    /// Observation grid size the model expects.
+    pub fn grid(&self) -> usize {
+        self.grid
+    }
+
+    /// Number of object classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Mutable access to the stems (training).
+    pub fn stems_mut(&mut self) -> &mut [Stem] {
+        &mut self.stems
+    }
+
+    /// Mutable access to the branches (training).
+    pub fn branches_mut(&mut self) -> &mut [BranchDetector] {
+        &mut self.branches
+    }
+
+    /// Mutable access to the gates (training).
+    pub fn gates_mut(&mut self) -> &mut GateSet {
+        &mut self.gates
+    }
+
+    /// Runs every stem over an observation. `train` controls batch-norm
+    /// statistics and activation caching.
+    pub fn stem_features(&mut self, obs: &Observation, train: bool) -> Vec<Tensor> {
+        SensorKind::ALL
+            .iter()
+            .map(|k| self.stems[k.index()].forward(obs.grid(*k), train))
+            .collect()
+    }
+
+    /// Concatenates per-sensor stem features into the gate input F.
+    pub fn gate_features(stem_feats: &[Tensor]) -> Tensor {
+        let refs: Vec<&Tensor> = stem_feats.iter().collect();
+        Tensor::concat_channels(&refs)
+    }
+
+    /// The stem-feature input of one branch (concatenation of the stems of
+    /// the sensors the branch consumes, in spec order).
+    pub fn branch_input(&self, branch: usize, stem_feats: &[Tensor]) -> Tensor {
+        let spec = &self.space.branches()[branch];
+        let parts: Vec<&Tensor> =
+            spec.sensors().iter().map(|k| &stem_feats[k.index()]).collect();
+        Tensor::concat_channels(&parts)
+    }
+
+    /// Runs one branch and decodes its detections.
+    pub fn run_branch(
+        &mut self,
+        branch: usize,
+        stem_feats: &[Tensor],
+        score_thresh: f32,
+        nms_iou: f32,
+    ) -> Vec<Detection> {
+        let input = self.branch_input(branch, stem_feats);
+        self.branches[branch].detect(&input, score_thresh, nms_iou)
+    }
+
+    /// Runs all branches once, returning per-branch detections.
+    pub fn all_branch_detections(
+        &mut self,
+        stem_feats: &[Tensor],
+        score_thresh: f32,
+        nms_iou: f32,
+    ) -> Vec<Vec<Detection>> {
+        (0..self.branches.len())
+            .map(|b| self.run_branch(b, stem_feats, score_thresh, nms_iou))
+            .collect()
+    }
+
+    /// Late-fuses branch outputs with weighted boxes fusion (§4.4). A
+    /// single branch passes through unfused.
+    pub fn fuse(&self, outputs: &[Vec<Detection>]) -> Vec<Detection> {
+        if outputs.len() == 1 {
+            return outputs[0].clone();
+        }
+        weighted_boxes_fusion(outputs, &self.wbf, outputs.len())
+    }
+
+    /// True fusion loss of every configuration for one frame given the
+    /// per-branch detections (the gate-training target and the oracle
+    /// input).
+    pub fn config_losses_from(
+        &self,
+        branch_dets: &[Vec<Detection>],
+        gts: &[GtBox],
+    ) -> Vec<f32> {
+        (0..self.space.num_configs())
+            .map(|i| {
+                let ids = self.space.branch_ids(ConfigId(i));
+                let outputs: Vec<Vec<Detection>> =
+                    ids.iter().map(|b| branch_dets[b.0].clone()).collect();
+                let fused = self.fuse(&outputs);
+                fusion_loss(&fused, gts).total()
+            })
+            .collect()
+    }
+
+    /// Convenience: stem features + all branches + per-config losses for a
+    /// frame (used by the trainer and the loss-based oracle).
+    pub fn config_losses(&mut self, frame: &Frame, opts: &InferenceOptions) -> Vec<f32> {
+        let feats = self.stem_features(&frame.obs, false);
+        let dets = self.all_branch_detections(&feats, opts.score_thresh, opts.nms_iou);
+        self.config_losses_from(&dets, &frame.gt_boxes())
+    }
+
+    /// Runs a *fixed* configuration as a static baseline (paper Table 1
+    /// rows: None / Early / Late). Only the stems of the used sensors are
+    /// charged, and no gate runs.
+    pub fn detect_static(
+        &mut self,
+        frame: &Frame,
+        config: ConfigId,
+        opts: &InferenceOptions,
+    ) -> (Vec<Detection>, EnergyBreakdown) {
+        let feats = self.stem_features(&frame.obs, false);
+        let ids = self.space.branch_ids(config);
+        let outputs: Vec<Vec<Detection>> = ids
+            .iter()
+            .map(|b| self.run_branch(b.0, &feats, opts.score_thresh, opts.nms_iou))
+            .collect();
+        let fused = self.fuse(&outputs);
+        let specs = self.space.branch_specs(config);
+        let breakdown = EnergyBreakdown::compute(
+            &self.px2,
+            &self.sensor_power,
+            &specs,
+            StemPolicy::Static,
+        );
+        (fused, breakdown)
+    }
+
+    /// Algorithm 1: adaptive inference on one frame.
+    ///
+    /// # Errors
+    /// Returns [`InferError::GridMismatch`] if the frame was rendered at a
+    /// different grid size than the model.
+    pub fn infer(
+        &mut self,
+        frame: &Frame,
+        opts: &InferenceOptions,
+    ) -> Result<InferenceOutput, InferError> {
+        if frame.obs.grid_size() != self.grid {
+            return Err(InferError::GridMismatch {
+                expected: self.grid,
+                found: frame.obs.grid_size(),
+            });
+        }
+        // 1. Stems (always all four — the gate needs every modality).
+        let feats = self.stem_features(&frame.obs, false);
+        let gate_input_tensor = Self::gate_features(&feats);
+        // 2. Oracle losses if the loss-based gate is active (a posteriori:
+        //    runs every branch, as the paper's §4.2.4 defines).
+        let oracle: Option<Vec<f32>> = if opts.gate == GateKind::LossBased {
+            let dets = self.all_branch_detections(&feats, opts.score_thresh, opts.nms_iou);
+            Some(self.config_losses_from(&dets, &frame.gt_boxes()))
+        } else {
+            None
+        };
+        // 3. Gate: estimate L_f(Φ).
+        let input = GateInput {
+            features: &gate_input_tensor,
+            context: Some(frame.scene.context),
+            oracle_losses: oracle.as_deref(),
+        };
+        let predicted = match opts.gate {
+            GateKind::Knowledge => self.gates.knowledge.predict(&input),
+            GateKind::Deep => self.gates.deep.predict(&input),
+            GateKind::Attention => self.gates.attention.predict(&input),
+            GateKind::LossBased => self.gates.loss_based.predict(&input),
+        };
+        // 4. Joint optimization (Eq. 7-9).
+        let idx = select_config(
+            &predicted,
+            &self.adaptive_energies,
+            opts.lambda_e,
+            opts.gamma,
+            opts.rule,
+        );
+        let selected = ConfigId(idx);
+        // 5. Execute the selected branches on the already-computed stems.
+        let ids = self.space.branch_ids(selected);
+        let outputs: Vec<Vec<Detection>> = ids
+            .iter()
+            .map(|b| self.run_branch(b.0, &feats, opts.score_thresh, opts.nms_iou))
+            .collect();
+        // 6. Fusion block.
+        let detections = self.fuse(&outputs);
+        let specs = self.space.branch_specs(selected);
+        let energy = EnergyBreakdown::compute(
+            &self.px2,
+            &self.sensor_power,
+            &specs,
+            StemPolicy::Adaptive,
+        );
+        Ok(InferenceOutput {
+            detections,
+            selected_config: selected,
+            selected_label: self.space.label(selected),
+            predicted_losses: predicted,
+            energy,
+        })
+    }
+
+    /// Applies `f` to every trainable parameter of stems and branches
+    /// (used by the trainer's optimizer).
+    pub fn visit_perception_params(
+        &mut self,
+        f: &mut dyn FnMut(&mut ecofusion_tensor::param::Param),
+    ) {
+        for s in &mut self.stems {
+            s.visit_params(f);
+        }
+        for b in &mut self.branches {
+            b.visit_params(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Dataset, DatasetSpec};
+
+    fn tiny_model() -> EcoFusionModel {
+        let mut rng = Rng::new(1);
+        EcoFusionModel::new(32, 8, &mut rng)
+    }
+
+    #[test]
+    fn model_shape() {
+        let m = tiny_model();
+        assert_eq!(m.space().num_branches(), 7);
+        assert_eq!(m.space().num_configs(), 127);
+        assert_eq!(m.grid(), 32);
+    }
+
+    #[test]
+    fn infer_runs_untrained() {
+        let mut m = tiny_model();
+        let data = Dataset::generate(&DatasetSpec::small(2));
+        let opts = InferenceOptions::new(0.01, 0.5);
+        let out = m.infer(&data.test()[0], &opts).unwrap();
+        assert_eq!(out.predicted_losses.len(), 127);
+        assert!(out.energy_joules() > 0.0);
+        assert!(!out.selected_label.is_empty());
+    }
+
+    #[test]
+    fn infer_grid_mismatch_errors() {
+        let mut m = tiny_model();
+        let mut spec = DatasetSpec::small(3);
+        spec.grid = 48;
+        let data = Dataset::generate(&spec);
+        let opts = InferenceOptions::new(0.0, 0.5);
+        let err = m.infer(&data.test()[0], &opts).unwrap_err();
+        assert!(matches!(err, InferError::GridMismatch { expected: 32, found: 48 }));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn knowledge_gate_selects_table3_config() {
+        let mut m = tiny_model();
+        let mut spec = DatasetSpec::small(4);
+        spec.mix = crate::dataset::DatasetMix::Single(ecofusion_scene::Context::City);
+        spec.num_scenes = 10;
+        let data = Dataset::generate(&spec);
+        let opts = InferenceOptions::new(0.01, 0.5).with_gate(GateKind::Knowledge);
+        let out = m.infer(&data.test()[0], &opts).unwrap();
+        assert_eq!(out.selected_label, "{E(C_L+C_R+L)}");
+    }
+
+    #[test]
+    fn loss_based_gate_runs() {
+        let mut m = tiny_model();
+        let data = Dataset::generate(&DatasetSpec::small(5));
+        let opts = InferenceOptions::new(0.5, 0.5).with_gate(GateKind::LossBased);
+        let out = m.infer(&data.test()[0], &opts).unwrap();
+        // Oracle predictions are finite true losses.
+        assert!(out.predicted_losses.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn lambda_one_picks_cheapest_candidate() {
+        let mut m = tiny_model();
+        let data = Dataset::generate(&DatasetSpec::small(6));
+        // Huge gamma: all configs candidates; λ=1 must pick the global
+        // energy minimum = a single-branch config.
+        let opts = InferenceOptions {
+            lambda_e: 1.0,
+            gamma: 1e9,
+            ..InferenceOptions::new(1.0, 0.5)
+        };
+        let out = m.infer(&data.test()[0], &opts).unwrap();
+        assert_eq!(m.space().branch_ids(out.selected_config).len(), 1);
+    }
+
+    #[test]
+    fn static_baseline_energy_matches_table1() {
+        let mut m = tiny_model();
+        let data = Dataset::generate(&DatasetSpec::small(7));
+        let opts = InferenceOptions::new(0.0, 0.5);
+        let late = m.baseline_ids().late;
+        let (_, breakdown) = m.detect_static(&data.test()[0], late, &opts);
+        assert!((breakdown.platform.joules() - 3.798).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fuse_single_branch_passthrough() {
+        let m = tiny_model();
+        let dets = vec![vec![Detection::new(
+            ecofusion_detect::BBox::new(0.0, 0.0, 4.0, 4.0),
+            0,
+            0.9,
+        )]];
+        let fused = m.fuse(&dets);
+        assert_eq!(fused, dets[0]);
+    }
+
+    #[test]
+    fn config_losses_len() {
+        let mut m = tiny_model();
+        let data = Dataset::generate(&DatasetSpec::small(8));
+        let opts = InferenceOptions::new(0.0, 0.5);
+        let losses = m.config_losses(&data.test()[0], &opts);
+        assert_eq!(losses.len(), 127);
+        assert!(losses.iter().all(|l| l.is_finite() && *l >= 0.0));
+    }
+}

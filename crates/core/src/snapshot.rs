@@ -1,0 +1,235 @@
+//! Whole-model (de)serialization.
+//!
+//! §5.5.1 of the paper: "the designer would first need to train the model
+//! on the appropriate dataset before ... the model can be compiled for
+//! hardware". A deployable reproduction therefore needs trained models to
+//! round-trip through disk; [`ModelSnapshot`] captures every trainable
+//! parameter and batch-norm buffer of the stems, branches, and learned
+//! gates, together with the shape metadata needed to validate a restore.
+
+use crate::model::EcoFusionModel;
+use ecofusion_tensor::rng::Rng;
+use ecofusion_tensor::serialize::{ParamSnapshot, RestoreSnapshotError};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use std::path::Path;
+
+/// A serializable snapshot of a trained [`EcoFusionModel`].
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ModelSnapshot {
+    grid: usize,
+    num_classes: usize,
+    stems: Vec<ParamSnapshot>,
+    branches: Vec<ParamSnapshot>,
+    deep_gate: ParamSnapshot,
+    attention_gate: ParamSnapshot,
+}
+
+impl ModelSnapshot {
+    /// Captures a model's weights.
+    pub fn capture(model: &mut EcoFusionModel) -> Self {
+        let grid = model.grid();
+        let num_classes = model.num_classes();
+        let stems = model
+            .stems_mut()
+            .iter_mut()
+            .map(|s| ParamSnapshot::capture(s))
+            .collect();
+        let branches = model
+            .branches_mut()
+            .iter_mut()
+            .map(|b| ParamSnapshot::capture(b))
+            .collect();
+        let gates = model.gates_mut();
+        let deep_gate = ParamSnapshot::capture(&mut gates.deep);
+        let attention_gate = ParamSnapshot::capture(&mut gates.attention);
+        ModelSnapshot { grid, num_classes, stems, branches, deep_gate, attention_gate }
+    }
+
+    /// Observation grid the snapshot was trained for.
+    pub fn grid(&self) -> usize {
+        self.grid
+    }
+
+    /// Number of object classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Rebuilds a runnable model from the snapshot.
+    ///
+    /// # Errors
+    /// Returns [`RestoreModelError`] if any component's parameter count or
+    /// shape does not match (e.g. a snapshot from a different version).
+    pub fn restore(&self) -> Result<EcoFusionModel, RestoreModelError> {
+        // Seed is irrelevant: every weight is overwritten.
+        let mut rng = Rng::new(0);
+        let mut model = EcoFusionModel::new(self.grid, self.num_classes, &mut rng);
+        if self.stems.len() != model.stems_mut().len() {
+            return Err(RestoreModelError::ComponentCount {
+                component: "stems",
+                expected: self.stems.len(),
+                found: model.stems_mut().len(),
+            });
+        }
+        if self.branches.len() != model.branches_mut().len() {
+            return Err(RestoreModelError::ComponentCount {
+                component: "branches",
+                expected: self.branches.len(),
+                found: model.branches_mut().len(),
+            });
+        }
+        for (i, (snap, stem)) in
+            self.stems.iter().zip(model.stems_mut().iter_mut()).enumerate()
+        {
+            snap.restore(stem).map_err(|source| RestoreModelError::Component {
+                component: "stem",
+                index: i,
+                source,
+            })?;
+        }
+        for (i, (snap, branch)) in
+            self.branches.iter().zip(model.branches_mut().iter_mut()).enumerate()
+        {
+            snap.restore(branch).map_err(|source| RestoreModelError::Component {
+                component: "branch",
+                index: i,
+                source,
+            })?;
+        }
+        let gates = model.gates_mut();
+        self.deep_gate.restore(&mut gates.deep).map_err(|source| {
+            RestoreModelError::Component { component: "deep gate", index: 0, source }
+        })?;
+        self.attention_gate.restore(&mut gates.attention).map_err(|source| {
+            RestoreModelError::Component { component: "attention gate", index: 0, source }
+        })?;
+        Ok(model)
+    }
+
+    /// Serializes the snapshot as JSON to `path`.
+    ///
+    /// # Errors
+    /// Returns any I/O or serialization error.
+    pub fn save_json(&self, path: &Path) -> Result<(), Box<dyn Error>> {
+        let json = serde_json::to_string(self)?;
+        std::fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Reads a snapshot back from JSON.
+    ///
+    /// # Errors
+    /// Returns any I/O or deserialization error.
+    pub fn load_json(path: &Path) -> Result<ModelSnapshot, Box<dyn Error>> {
+        let json = std::fs::read_to_string(path)?;
+        Ok(serde_json::from_str(&json)?)
+    }
+}
+
+/// Error restoring a [`ModelSnapshot`].
+#[derive(Debug)]
+pub enum RestoreModelError {
+    /// A component group has the wrong cardinality.
+    ComponentCount {
+        /// Which group ("stems", "branches").
+        component: &'static str,
+        /// Count in the snapshot.
+        expected: usize,
+        /// Count in the freshly built model.
+        found: usize,
+    },
+    /// One component failed to restore.
+    Component {
+        /// Which component kind.
+        component: &'static str,
+        /// Index within the group.
+        index: usize,
+        /// Underlying snapshot error.
+        source: RestoreSnapshotError,
+    },
+}
+
+impl fmt::Display for RestoreModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreModelError::ComponentCount { component, expected, found } => {
+                write!(f, "snapshot has {expected} {component} but the model wants {found}")
+            }
+            RestoreModelError::Component { component, index, source } => {
+                write!(f, "{component} {index}: {source}")
+            }
+        }
+    }
+}
+
+impl Error for RestoreModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RestoreModelError::Component { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl EcoFusionModel {
+    /// Captures a weight snapshot (see [`ModelSnapshot`]).
+    pub fn snapshot(&mut self) -> ModelSnapshot {
+        ModelSnapshot::capture(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Dataset, DatasetSpec};
+    use crate::model::InferenceOptions;
+    use crate::trainer::{TrainConfig, Trainer};
+    use ecofusion_gating::GateKind;
+
+    fn small_trained() -> (EcoFusionModel, Dataset) {
+        let mut spec = DatasetSpec::small(51);
+        spec.num_scenes = 20;
+        let data = Dataset::generate(&spec);
+        let config = TrainConfig { branch_epochs: 1, gate_epochs: 1, ..TrainConfig::fast_demo() };
+        let model = Trainer::new(config, 52).train(&data).expect("train");
+        (model, data)
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_inference() {
+        let (mut model, data) = small_trained();
+        let snap = model.snapshot();
+        let mut restored = snap.restore().expect("restore");
+        let opts = InferenceOptions::new(0.01, 0.5).with_gate(GateKind::Deep);
+        for frame in data.test().iter().take(3) {
+            let a = model.infer(frame, &opts).expect("infer a");
+            let b = restored.infer(frame, &opts).expect("infer b");
+            assert_eq!(a.selected_config, b.selected_config);
+            assert_eq!(a.predicted_losses, b.predicted_losses);
+            assert_eq!(a.detections, b.detections);
+        }
+    }
+
+    #[test]
+    fn snapshot_json_roundtrip() {
+        let (mut model, _) = small_trained();
+        let snap = model.snapshot();
+        let dir = std::env::temp_dir().join("ecofusion_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        snap.save_json(&path).expect("save");
+        let back = ModelSnapshot::load_json(&path).expect("load");
+        assert_eq!(snap, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshot_metadata() {
+        let (mut model, _) = small_trained();
+        let snap = model.snapshot();
+        assert_eq!(snap.grid(), 32);
+        assert_eq!(snap.num_classes(), 8);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests of the Eq. 7–9 joint optimization.
+
+use ecofusion_core::{joint_loss, select_candidates, select_config, CandidateRule, ConfigSpace};
+use ecofusion_energy::{Joules, Px2Model, StemPolicy};
+use proptest::prelude::*;
+
+fn arb_losses() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(0.0f32..10.0, 1..40)
+}
+
+proptest! {
+    #[test]
+    fn candidates_always_include_argmin(losses in arb_losses(), gamma in 0.0f32..3.0) {
+        for rule in [CandidateRule::Margin, CandidateRule::PaperEq7] {
+            let cands = select_candidates(&losses, gamma, rule);
+            let argmin = losses
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap();
+            prop_assert!(cands.contains(&argmin), "{rule:?}");
+        }
+    }
+
+    #[test]
+    fn paper_rule_is_superset_of_margin(losses in arb_losses(), gamma in 0.0f32..3.0) {
+        // 2·L' + γ ≥ L' + γ whenever L' ≥ 0, so Eq. 7 as printed admits
+        // every margin candidate.
+        let margin = select_candidates(&losses, gamma, CandidateRule::Margin);
+        let paper = select_candidates(&losses, gamma, CandidateRule::PaperEq7);
+        for c in &margin {
+            prop_assert!(paper.contains(c));
+        }
+    }
+
+    #[test]
+    fn selected_config_is_a_candidate(
+        losses in arb_losses(),
+        gamma in 0.0f32..3.0,
+        lambda in 0.0f64..1.0,
+        seed in 0u64..500,
+    ) {
+        let mut rng = ecofusion_tensor::rng::Rng::new(seed);
+        let energies: Vec<Joules> =
+            (0..losses.len()).map(|_| Joules::new(rng.uniform(0.5, 8.0))).collect();
+        let idx = select_config(&losses, &energies, lambda, gamma, CandidateRule::Margin);
+        let cands = select_candidates(&losses, gamma, CandidateRule::Margin);
+        prop_assert!(cands.contains(&idx));
+    }
+
+    #[test]
+    fn lambda_zero_minimizes_loss_lambda_one_minimizes_energy(
+        losses in arb_losses(),
+        seed in 0u64..500,
+    ) {
+        let mut rng = ecofusion_tensor::rng::Rng::new(seed);
+        let energies: Vec<Joules> =
+            (0..losses.len()).map(|_| Joules::new(rng.uniform(0.5, 8.0))).collect();
+        // Huge gamma: all configs are candidates.
+        let i0 = select_config(&losses, &energies, 0.0, 1e9, CandidateRule::Margin);
+        let min_loss = losses.iter().copied().fold(f32::INFINITY, f32::min);
+        prop_assert!((losses[i0] - min_loss).abs() < 1e-6);
+        let i1 = select_config(&losses, &energies, 1.0, 1e9, CandidateRule::Margin);
+        let min_e = energies.iter().map(|e| e.joules()).fold(f64::INFINITY, f64::min);
+        prop_assert!((energies[i1].joules() - min_e).abs() < 1e-9);
+    }
+
+    #[test]
+    fn joint_loss_interpolates_linearly(
+        l in 0.0f32..10.0,
+        e in 0.0f64..10.0,
+        lambda in 0.0f64..1.0,
+    ) {
+        let j = joint_loss(l, Joules::new(e), lambda);
+        let expect = (1.0 - lambda) * l as f64 + lambda * e;
+        prop_assert!((j - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn selected_energy_monotone_in_lambda(
+        losses in prop::collection::vec(0.0f32..4.0, 2..30),
+        seed in 0u64..500,
+    ) {
+        // With a fixed loss vector, raising lambda never increases the
+        // energy of the selected configuration.
+        let mut rng = ecofusion_tensor::rng::Rng::new(seed);
+        let energies: Vec<Joules> =
+            (0..losses.len()).map(|_| Joules::new(rng.uniform(0.5, 8.0))).collect();
+        let mut prev = f64::INFINITY;
+        for lambda in [0.0, 0.1, 0.3, 0.6, 1.0] {
+            let i = select_config(&losses, &energies, lambda, 1.0, CandidateRule::Margin);
+            let e = energies[i].joules();
+            prop_assert!(e <= prev + 1e-9, "lambda {lambda}: {e} > {prev}");
+            prev = e;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn config_space_roundtrip(mask in 1usize..128) {
+        let space = ConfigSpace::canonical();
+        let id = ecofusion_core::ConfigId(mask - 1);
+        let ids = space.branch_ids(id);
+        prop_assert!(!ids.is_empty());
+        prop_assert_eq!(space.config_of(&ids), id);
+        // Energy of every config is at least the cheapest single branch.
+        let e = space.energies(&Px2Model::default(), StemPolicy::Static);
+        prop_assert!(e[id.0].joules() >= 0.945 - 1e-9);
+    }
+}

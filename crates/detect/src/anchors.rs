@@ -1,0 +1,183 @@
+//! Detection cell grid and ground-truth assignment.
+
+use crate::bbox::BBox;
+use ecofusion_scene::GtBox;
+use serde::{Deserialize, Serialize};
+
+/// The `S × S` grid of detection cells over a `G × G` pixel raster.
+///
+/// Each cell owns one implicit anchor centred in the cell with a square
+/// base size proportional to the cell stride; the dense head regresses
+/// offsets relative to that anchor (the single-anchor analogue of the RPN's
+/// anchor boxes).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellGrid {
+    /// Cells per side.
+    pub cells: usize,
+    /// Pixels per cell.
+    pub stride: f32,
+    /// Anchor base size in pixels (width and height before regression).
+    pub base: f32,
+}
+
+impl CellGrid {
+    /// Creates the grid for `cells × cells` detection cells over a raster
+    /// of `raster` pixels.
+    ///
+    /// # Panics
+    /// Panics if `cells` is zero or does not divide `raster`.
+    pub fn new(raster: usize, cells: usize) -> Self {
+        assert!(cells > 0, "cells must be positive");
+        assert_eq!(raster % cells, 0, "cells must divide the raster size");
+        let stride = (raster / cells) as f32;
+        CellGrid { cells, stride, base: stride * 2.0 }
+    }
+
+    /// Centre of cell `(row, col)` in pixels.
+    pub fn cell_center(&self, row: usize, col: usize) -> (f32, f32) {
+        ((col as f32 + 0.5) * self.stride, (row as f32 + 0.5) * self.stride)
+    }
+
+    /// The cell containing pixel `(x, y)`, clamped to the grid.
+    pub fn cell_of(&self, x: f32, y: f32) -> (usize, usize) {
+        let col = ((x / self.stride) as isize).clamp(0, self.cells as isize - 1) as usize;
+        let row = ((y / self.stride) as isize).clamp(0, self.cells as isize - 1) as usize;
+        (row, col)
+    }
+
+    /// Decodes head regression outputs `(tx, ty, tw, th)` at cell
+    /// `(row, col)` into a pixel box:
+    ///
+    /// ```text
+    /// cx = cell_cx + tx·stride      w = base·exp(tw)
+    /// cy = cell_cy + ty·stride      h = base·exp(th)
+    /// ```
+    pub fn decode(&self, row: usize, col: usize, t: [f32; 4]) -> BBox {
+        let (cx0, cy0) = self.cell_center(row, col);
+        let cx = cx0 + t[0] * self.stride;
+        let cy = cy0 + t[1] * self.stride;
+        // Clamp pre-exp for numerical safety on untrained heads.
+        let w = self.base * t[2].clamp(-4.0, 4.0).exp();
+        let h = self.base * t[3].clamp(-4.0, 4.0).exp();
+        BBox::new(cx - w / 2.0, cy - h / 2.0, cx + w / 2.0, cy + h / 2.0)
+    }
+
+    /// Encodes a ground-truth box into regression targets for its cell
+    /// (inverse of [`CellGrid::decode`]).
+    pub fn encode(&self, b: &BBox) -> ((usize, usize), [f32; 4]) {
+        let (cx, cy) = b.center();
+        let (row, col) = self.cell_of(cx, cy);
+        let (cx0, cy0) = self.cell_center(row, col);
+        let tx = (cx - cx0) / self.stride;
+        let ty = (cy - cy0) / self.stride;
+        let tw = (b.width().max(1e-3) / self.base).ln();
+        let th = (b.height().max(1e-3) / self.base).ln();
+        ((row, col), [tx, ty, tw, th])
+    }
+}
+
+/// Ground-truth assignment for one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellTarget {
+    /// Target class id.
+    pub class_id: usize,
+    /// Regression targets `(tx, ty, tw, th)`.
+    pub t: [f32; 4],
+}
+
+/// Assigns ground-truth boxes to cells: the cell containing a box centre
+/// becomes positive. When two boxes land in one cell, the larger box wins
+/// (it dominates the cell's receptive field).
+///
+/// Returns a `cells × cells` row-major vector of optional targets.
+pub fn assign_targets(grid: &CellGrid, gts: &[GtBox]) -> Vec<Option<CellTarget>> {
+    let mut targets: Vec<Option<(f32, CellTarget)>> = vec![None; grid.cells * grid.cells];
+    for gt in gts {
+        let b: BBox = (*gt).into();
+        if b.area() <= 0.0 {
+            continue;
+        }
+        let ((row, col), t) = grid.encode(&b);
+        let idx = row * grid.cells + col;
+        let cand = (b.area(), CellTarget { class_id: gt.class_id, t });
+        match &targets[idx] {
+            Some((area, _)) if *area >= b.area() => {}
+            _ => targets[idx] = Some(cand),
+        }
+    }
+    targets.into_iter().map(|o| o.map(|(_, t)| t)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_geometry() {
+        let g = CellGrid::new(64, 8);
+        assert_eq!(g.stride, 8.0);
+        assert_eq!(g.cell_center(0, 0), (4.0, 4.0));
+        assert_eq!(g.cell_center(7, 7), (60.0, 60.0));
+        assert_eq!(g.cell_of(0.0, 0.0), (0, 0));
+        assert_eq!(g.cell_of(63.9, 63.9), (7, 7));
+        // Out-of-range pixels clamp.
+        assert_eq!(g.cell_of(-5.0, 100.0), (7, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn non_dividing_cells_panics() {
+        let _ = CellGrid::new(64, 7);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let g = CellGrid::new(64, 8);
+        let b = BBox::new(10.0, 18.0, 26.0, 30.0);
+        let ((row, col), t) = g.encode(&b);
+        let back = g.decode(row, col, t);
+        assert!((back.x1 - b.x1).abs() < 1e-3, "{back:?}");
+        assert!((back.y1 - b.y1).abs() < 1e-3);
+        assert!((back.x2 - b.x2).abs() < 1e-3);
+        assert!((back.y2 - b.y2).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zero_offsets_decode_to_anchor() {
+        let g = CellGrid::new(64, 8);
+        let b = g.decode(3, 4, [0.0; 4]);
+        let (cx, cy) = b.center();
+        assert_eq!((cx, cy), g.cell_center(3, 4));
+        assert!((b.width() - g.base).abs() < 1e-5);
+    }
+
+    #[test]
+    fn assign_puts_gt_in_center_cell() {
+        let g = CellGrid::new(64, 8);
+        let gt = GtBox { class_id: 3, x1: 16.0, y1: 16.0, x2: 24.0, y2: 24.0 };
+        let targets = assign_targets(&g, &[gt]);
+        // Box centre (20, 20) -> cell (2, 2).
+        let idx = 2 * 8 + 2;
+        let t = targets[idx].expect("cell should be positive");
+        assert_eq!(t.class_id, 3);
+        assert_eq!(targets.iter().filter(|t| t.is_some()).count(), 1);
+    }
+
+    #[test]
+    fn larger_box_wins_shared_cell() {
+        let g = CellGrid::new(64, 8);
+        let small = GtBox { class_id: 1, x1: 18.0, y1: 18.0, x2: 22.0, y2: 22.0 };
+        let large = GtBox { class_id: 2, x1: 12.0, y1: 12.0, x2: 28.0, y2: 28.0 };
+        let targets = assign_targets(&g, &[small, large]);
+        let t = targets[2 * 8 + 2].expect("positive");
+        assert_eq!(t.class_id, 2);
+    }
+
+    #[test]
+    fn degenerate_gt_ignored() {
+        let g = CellGrid::new(64, 8);
+        let degenerate = GtBox { class_id: 0, x1: 5.0, y1: 5.0, x2: 5.0, y2: 9.0 };
+        let targets = assign_targets(&g, &[degenerate]);
+        assert!(targets.iter().all(|t| t.is_none()));
+    }
+}

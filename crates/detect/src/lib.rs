@@ -1,0 +1,42 @@
+//! Object-detection substrate for the EcoFusion reproduction.
+//!
+//! The paper's branches are Faster R-CNN detectors (ResNet-18 backbone +
+//! RPN + ROI head) split after the first convolution block into a
+//! per-modality *stem* and a per-branch *body*. This crate provides every
+//! building block at a CPU-trainable scale:
+//!
+//! * [`BBox`] / [`Detection`] — axis-aligned boxes, IoU/GIoU.
+//! * [`nms()`](nms::nms) — greedy and soft non-maximum suppression.
+//! * [`wbf`] — Weighted Boxes Fusion (Solovyev et al. 2021), the paper's
+//!   late-fusion block (§4.4).
+//! * [`anchors`] — the cell grid and ground-truth assignment used by the
+//!   dense detection head.
+//! * [`Stem`] — the first convolution block, one per sensing modality.
+//! * [`BranchDetector`] — backbone blocks + RPN-style dense head, with an
+//!   optional two-stage ROI refinement ([`RoiHead`]).
+//!
+//! The dense head plays the role of Faster R-CNN's RPN + classification
+//! head in a single stage — the same loss structure (objectness BCE, class
+//! cross-entropy, smooth-L1 box regression from Ren et al.) at a scale
+//! trainable in seconds on CPU, per the reproduction's substitution policy
+//! (see DESIGN.md).
+
+pub mod anchors;
+pub mod bbox;
+pub mod branch;
+pub mod head;
+pub mod metrics;
+pub mod nms;
+pub mod roi;
+pub mod stem;
+pub mod wbf;
+
+pub use anchors::{assign_targets, CellGrid, CellTarget};
+pub use bbox::{BBox, Detection};
+pub use branch::{BranchConfig, BranchDetector};
+pub use head::{DenseHead, DetectionLoss, HeadOutput};
+pub use metrics::{fusion_loss, FusionLoss};
+pub use nms::{nms, soft_nms};
+pub use roi::RoiHead;
+pub use stem::Stem;
+pub use wbf::{weighted_boxes_fusion, WbfParams};

@@ -1,0 +1,101 @@
+//! Per-modality stem models (§4.1).
+
+use ecofusion_tensor::layer::{BatchNorm2d, Conv2d, Layer, MaxPool2d, ReLU, Sequential};
+use ecofusion_tensor::param::Param;
+use ecofusion_tensor::rng::Rng;
+use ecofusion_tensor::tensor::Tensor;
+
+/// Feature channels produced by every stem. Early-fusion branches see
+/// `STEM_CHANNELS × m` input channels for `m` fused sensors.
+pub const STEM_CHANNELS: usize = 8;
+
+/// The first convolution block of the detector, split off as the
+/// per-modality stem exactly as the paper splits ResNet-18 after its first
+/// convolution block (§4.3): `Conv3×3 → BatchNorm → ReLU → MaxPool2`.
+///
+/// One stem per sensor runs on *every* frame (the gate needs all stem
+/// features to identify the context), which is why the energy model charges
+/// all four stems to every adaptive configuration.
+#[derive(Debug)]
+pub struct Stem {
+    net: Sequential,
+    in_channels: usize,
+}
+
+impl Stem {
+    /// Creates a stem for a sensor with `in_channels` input channels.
+    pub fn new(in_channels: usize, rng: &mut Rng) -> Self {
+        let net = Sequential::new(vec![
+            Box::new(Conv2d::new(in_channels, STEM_CHANNELS, 3, 1, 1, rng)),
+            Box::new(BatchNorm2d::new(STEM_CHANNELS)),
+            Box::new(ReLU::new()),
+            Box::new(MaxPool2d::new(2)),
+        ]);
+        Stem { net, in_channels }
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Output spatial size for a square input of side `g`.
+    pub fn out_size(g: usize) -> usize {
+        g / 2
+    }
+}
+
+impl Layer for Stem {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        self.net.forward(x, train)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.net.backward(grad_out)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.net.visit_params(f);
+    }
+
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        self.net.visit_buffers(f);
+    }
+
+    fn name(&self) -> &'static str {
+        "Stem"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halves_resolution_and_sets_channels() {
+        let mut rng = Rng::new(1);
+        let mut stem = Stem::new(1, &mut rng);
+        let x = Tensor::zeros(&[1, 1, 64, 64]);
+        let y = stem.forward(&x, false);
+        assert_eq!(y.shape(), &[1, STEM_CHANNELS, 32, 32]);
+        assert_eq!(Stem::out_size(64), 32);
+    }
+
+    #[test]
+    fn trainable_params_exist() {
+        let mut rng = Rng::new(2);
+        let mut stem = Stem::new(1, &mut rng);
+        assert!(stem.param_count() > 0);
+        assert_eq!(stem.in_channels(), 1);
+    }
+
+    #[test]
+    fn backward_shape_matches_input() {
+        let mut rng = Rng::new(3);
+        let mut stem = Stem::new(1, &mut rng);
+        let x = Tensor::randn(&[1, 1, 16, 16], 1.0, &mut rng);
+        let y = stem.forward(&x, true);
+        let dx = stem.backward(&y);
+        assert_eq!(dx.shape(), x.shape());
+    }
+}

@@ -1,0 +1,328 @@
+//! Calibrated Nvidia Drive PX2 platform model.
+//!
+//! # Calibration (derived from paper Table 1)
+//!
+//! The paper reports, per static configuration (energy J / latency ms):
+//!
+//! ```text
+//! single camera     0.945 / 21.57      early-3 (C_L+C_R+L)  1.379 / 31.36
+//! single radar      0.954 / 21.85      late-4 (all)         3.798 / 84.32
+//! single lidar      0.954 / 21.85
+//! ```
+//!
+//! Late-4 energy is *exactly* the sum of the four single-sensor energies
+//! (0.945·2 + 0.954·2 = 3.798), so energy composes additively. Splitting
+//! each single configuration into stem + branch with a stem share of
+//! 0.088 J / 2.0 ms (one convolution block ≈ 9 % of the single-sensor
+//! pipeline) reproduces every published row; the early-2 branch energy
+//! 1.019 J is implied by Table 3's junction/motorway row
+//! (1.195 + 2·(1.9/8) + 2·(2.4/4) = 2.87 J, matching the paper exactly).
+//!
+//! Latency composes additively with an ensemble-overlap factor of 0.958
+//! applied to the branch sum when two or more branches run (the PX2's two
+//! GPUs pipeline independent branches): 8 + 0.958·78.84 + 0.8 ≈ 84.3 ms
+//! matches the late-4 row.
+
+use crate::units::{Joules, Millis, Watts};
+use ecofusion_sensors::SensorKind;
+use serde::{Deserialize, Serialize};
+
+/// What a branch consumes: one sensor (no fusion) or an early-fused set.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BranchSpec {
+    /// Single-sensor branch (paper: "no fusion" within the branch).
+    Single(SensorKind),
+    /// Early-fusion branch over the given sensors (raw/stem-feature concat).
+    Early(Vec<SensorKind>),
+}
+
+impl BranchSpec {
+    /// The sensors this branch consumes.
+    pub fn sensors(&self) -> Vec<SensorKind> {
+        match self {
+            BranchSpec::Single(s) => vec![*s],
+            BranchSpec::Early(v) => v.clone(),
+        }
+    }
+
+    /// Number of sensors consumed.
+    pub fn arity(&self) -> usize {
+        match self {
+            BranchSpec::Single(_) => 1,
+            BranchSpec::Early(v) => v.len(),
+        }
+    }
+
+    /// Compact label (e.g. `C_L`, `E(C_L+C_R+L)`).
+    pub fn label(&self) -> String {
+        match self {
+            BranchSpec::Single(s) => s.abbrev().to_string(),
+            BranchSpec::Early(v) => {
+                let inner: Vec<&str> = v.iter().map(|s| s.abbrev()).collect();
+                format!("E({})", inner.join("+"))
+            }
+        }
+    }
+}
+
+/// How stems are charged to a configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StemPolicy {
+    /// Static pipeline (paper Table 1 baselines and Table 3 knowledge
+    /// configurations): every branch is compiled as an independent network
+    /// with its *own* stems, so a configuration pays one stem per sensor
+    /// per branch (Table 3's fog row is only reproduced with this
+    /// accounting — its config energy is the plain sum of the published
+    /// per-configuration energies).
+    Static,
+    /// Adaptive EcoFusion pipeline: all four stems always run (the gate
+    /// needs every modality's features to identify the context) and run
+    /// concurrently, so they contribute the energy of four stems but the
+    /// latency of one.
+    Adaptive,
+}
+
+/// Calibrated PX2 cost model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Px2Model {
+    /// Energy of one stem execution.
+    pub stem_energy: Joules,
+    /// Latency of one stem execution.
+    pub stem_latency: Millis,
+    /// Energy/latency of a single-sensor camera branch.
+    pub camera_branch: (Joules, Millis),
+    /// Energy/latency of a single-sensor radar or lidar branch.
+    pub range_branch: (Joules, Millis),
+    /// Energy/latency of the two-camera early-fusion branch.
+    pub early2_branch: (Joules, Millis),
+    /// Energy/latency of the three-sensor early-fusion branch.
+    pub early3_branch: (Joules, Millis),
+    /// Energy/latency of the lidar+radar early-fusion branch (not in the
+    /// paper's tables; interpolated between early-2 and the range-sensor
+    /// premium).
+    pub early_lr_branch: (Joules, Millis),
+    /// Gate inference cost. The paper measures < 0.005 J after TensorRT
+    /// compilation and ignores it; the default charges zero energy and
+    /// 1 ms latency.
+    pub gate: (Joules, Millis),
+    /// Weighted-boxes-fusion block cost (CPU-side, negligible energy).
+    pub fusion_block: (Joules, Millis),
+    /// Multiplier on the branch-latency sum when ≥ 2 branches run.
+    pub ensemble_overlap: f64,
+    /// Average platform power under load (paper: 45.4 W), for reporting.
+    pub platform_power: Watts,
+}
+
+impl Default for Px2Model {
+    fn default() -> Self {
+        Px2Model {
+            stem_energy: Joules::new(0.088),
+            stem_latency: Millis::new(2.0),
+            camera_branch: (Joules::new(0.857), Millis::new(19.57)),
+            range_branch: (Joules::new(0.866), Millis::new(19.85)),
+            early2_branch: (Joules::new(1.019), Millis::new(22.90)),
+            early3_branch: (Joules::new(1.115), Millis::new(25.36)),
+            early_lr_branch: (Joules::new(1.037), Millis::new(23.30)),
+            gate: (Joules::zero(), Millis::new(1.0)),
+            fusion_block: (Joules::zero(), Millis::new(0.8)),
+            ensemble_overlap: 0.958,
+            platform_power: Watts::new(45.4),
+        }
+    }
+}
+
+impl Px2Model {
+    /// Energy and latency of one branch body (stems excluded).
+    pub fn branch_cost(&self, spec: &BranchSpec) -> (Joules, Millis) {
+        match spec {
+            BranchSpec::Single(s) if s.is_camera() => self.camera_branch,
+            BranchSpec::Single(_) => self.range_branch,
+            BranchSpec::Early(v) => match v.len() {
+                0 | 1 => self.camera_branch, // degenerate; treated as single
+                2 if v.iter().all(|s| s.is_camera()) => self.early2_branch,
+                2 if v.iter().all(|s| !s.is_camera()) => self.early_lr_branch,
+                2 => self.early2_branch,
+                3 => self.early3_branch,
+                // Wider fusions extrapolate the per-sensor increment of
+                // the 2 -> 3 step (+0.096 J / +2.46 ms per extra sensor).
+                m => {
+                    let extra = (m - 3) as f64;
+                    (
+                        self.early3_branch.0 + Joules::new(0.096) * extra,
+                        self.early3_branch.1 + Millis::new(2.46) * extra,
+                    )
+                }
+            },
+        }
+    }
+
+    /// The unique sensors used by a set of branches.
+    pub fn sensors_used(branches: &[BranchSpec]) -> Vec<SensorKind> {
+        let mut used = [false; SensorKind::COUNT];
+        for b in branches {
+            for s in b.sensors() {
+                used[s.index()] = true;
+            }
+        }
+        SensorKind::ALL.iter().copied().filter(|s| used[s.index()]).collect()
+    }
+
+    /// Total platform energy of running `branches` under a stem policy
+    /// (Eq. 6, composed per DESIGN.md's calibration).
+    pub fn config_energy(&self, branches: &[BranchSpec], policy: StemPolicy) -> Joules {
+        let stems = match policy {
+            StemPolicy::Static => branches.iter().map(|b| b.arity()).sum(),
+            StemPolicy::Adaptive => SensorKind::COUNT,
+        };
+        let gate = match policy {
+            StemPolicy::Static => Joules::zero(),
+            StemPolicy::Adaptive => self.gate.0,
+        };
+        let branch_total: Joules = branches.iter().map(|b| self.branch_cost(b).0).sum();
+        let fusion = if branches.len() >= 2 { self.fusion_block.0 } else { Joules::zero() };
+        self.stem_energy * stems as f64 + branch_total + gate + fusion
+    }
+
+    /// Total pipeline latency of running `branches` under a stem policy.
+    pub fn config_latency(&self, branches: &[BranchSpec], policy: StemPolicy) -> Millis {
+        let stem_lat = match policy {
+            StemPolicy::Static => {
+                self.stem_latency * branches.iter().map(|b| b.arity()).sum::<usize>() as f64
+            }
+            // All four stems run concurrently in the compiled adaptive
+            // engine: one stem of latency.
+            StemPolicy::Adaptive => self.stem_latency,
+        };
+        let gate_lat = match policy {
+            StemPolicy::Static => Millis::zero(),
+            StemPolicy::Adaptive => self.gate.1,
+        };
+        let branch_sum: Millis = branches.iter().map(|b| self.branch_cost(b).1).sum();
+        let branch_lat = if branches.len() >= 2 {
+            branch_sum * self.ensemble_overlap
+        } else {
+            branch_sum
+        };
+        let fusion = if branches.len() >= 2 { self.fusion_block.1 } else { Millis::zero() };
+        stem_lat + gate_lat + branch_lat + fusion
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use SensorKind::{CameraLeft as CL, CameraRight as CR, Lidar as L, Radar as R};
+
+    fn m() -> Px2Model {
+        Px2Model::default()
+    }
+
+    #[test]
+    fn single_camera_matches_table1() {
+        let b = [BranchSpec::Single(CL)];
+        let e = m().config_energy(&b, StemPolicy::Static);
+        let t = m().config_latency(&b, StemPolicy::Static);
+        assert!((e.joules() - 0.945).abs() < 1e-9, "{e}");
+        assert!((t.millis() - 21.57).abs() < 1e-9, "{t}");
+    }
+
+    #[test]
+    fn single_radar_matches_table1() {
+        let b = [BranchSpec::Single(R)];
+        let e = m().config_energy(&b, StemPolicy::Static);
+        let t = m().config_latency(&b, StemPolicy::Static);
+        assert!((e.joules() - 0.954).abs() < 1e-9);
+        assert!((t.millis() - 21.85).abs() < 1e-9);
+    }
+
+    #[test]
+    fn early3_matches_table1() {
+        let b = [BranchSpec::Early(vec![CL, CR, L])];
+        let e = m().config_energy(&b, StemPolicy::Static);
+        let t = m().config_latency(&b, StemPolicy::Static);
+        assert!((e.joules() - 1.379).abs() < 1e-9, "{e}");
+        assert!((t.millis() - 31.36).abs() < 1e-9, "{t}");
+    }
+
+    #[test]
+    fn late4_matches_table1() {
+        let b = [
+            BranchSpec::Single(CL),
+            BranchSpec::Single(CR),
+            BranchSpec::Single(L),
+            BranchSpec::Single(R),
+        ];
+        let e = m().config_energy(&b, StemPolicy::Static);
+        let t = m().config_latency(&b, StemPolicy::Static);
+        assert!((e.joules() - 3.798).abs() < 1e-9, "{e}");
+        assert!((t.millis() - 84.32).abs() < 0.35, "{t}");
+    }
+
+    #[test]
+    fn adaptive_charges_all_stems() {
+        let b = [BranchSpec::Early(vec![CL, CR, L])];
+        let e = m().config_energy(&b, StemPolicy::Adaptive);
+        // 4 stems + early3 branch.
+        assert!((e.joules() - (0.088 * 4.0 + 1.115)).abs() < 1e-9);
+        // Latency: 1 stem (parallel) + gate + branch.
+        let t = m().config_latency(&b, StemPolicy::Adaptive);
+        assert!((t.millis() - (2.0 + 1.0 + 25.36)).abs() < 1e-9, "{t}");
+    }
+
+    #[test]
+    fn adaptive_early3_close_to_paper_eco_row() {
+        // The paper's EcoFusion λE=0.01 row: 1.533 J / 35.14 ms. A gate
+        // that mostly selects the early-3 branch gives 1.467 J / 28.36 ms;
+        // mixing in heavier picks raises the mean. Sanity: within range.
+        let b = [BranchSpec::Early(vec![CL, CR, L])];
+        let e = m().config_energy(&b, StemPolicy::Adaptive).joules();
+        assert!(e > 1.3 && e < 1.6, "{e}");
+    }
+
+    #[test]
+    fn energy_additivity_over_branches() {
+        let single: f64 = [BranchSpec::Single(CL)]
+            .iter()
+            .map(|b| m().branch_cost(b).0.joules())
+            .sum();
+        let ens = [BranchSpec::Single(CL), BranchSpec::Single(CL)];
+        let both: f64 = ens.iter().map(|b| m().branch_cost(b).0.joules()).sum();
+        assert!((both - 2.0 * single).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_branches_cost_more() {
+        let small = [BranchSpec::Single(CL)];
+        let big = [BranchSpec::Single(CL), BranchSpec::Single(R)];
+        assert!(
+            m().config_energy(&big, StemPolicy::Static).joules()
+                > m().config_energy(&small, StemPolicy::Static).joules()
+        );
+        assert!(
+            m().config_latency(&big, StemPolicy::Static).millis()
+                > m().config_latency(&small, StemPolicy::Static).millis()
+        );
+    }
+
+    #[test]
+    fn sensors_used_dedupes() {
+        let b = [BranchSpec::Single(CL), BranchSpec::Early(vec![CL, CR])];
+        let used = Px2Model::sensors_used(&b);
+        assert_eq!(used, vec![CL, CR]);
+    }
+
+    #[test]
+    fn wide_fusion_extrapolates() {
+        let b4 = BranchSpec::Early(vec![CL, CR, L, R]);
+        let (e4, t4) = m().branch_cost(&b4);
+        let (e3, t3) = m().early3_branch;
+        assert!(e4.joules() > e3.joules());
+        assert!(t4.millis() > t3.millis());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(BranchSpec::Single(CL).label(), "C_L");
+        assert_eq!(BranchSpec::Early(vec![CL, CR, L]).label(), "E(C_L+C_R+L)");
+    }
+}

@@ -1,0 +1,175 @@
+//! Typed physical units.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+macro_rules! unit {
+    ($(#[$doc:meta])* $name:ident, $suffix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Wraps a raw value.
+            pub fn new(v: f64) -> Self {
+                $name(v)
+            }
+
+            /// The raw value.
+            pub fn value(&self) -> f64 {
+                self.0
+            }
+
+            /// A zero quantity.
+            pub fn zero() -> Self {
+                $name(0.0)
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.3} {}", self.0, $suffix)
+            }
+        }
+    };
+}
+
+unit!(
+    /// Energy in Joules.
+    Joules,
+    "J"
+);
+unit!(
+    /// Power in Watts.
+    Watts,
+    "W"
+);
+unit!(
+    /// Time in milliseconds.
+    Millis,
+    "ms"
+);
+
+impl Joules {
+    /// Energy in Joules (alias for [`Joules::value`]).
+    pub fn joules(&self) -> f64 {
+        self.0
+    }
+}
+
+impl Millis {
+    /// Time in milliseconds (alias for [`Millis::value`]).
+    pub fn millis(&self) -> f64 {
+        self.0
+    }
+
+    /// Time in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.0 / 1000.0
+    }
+}
+
+impl Watts {
+    /// `E = P · t` (Eq. 6 of the paper).
+    pub fn energy_over(&self, t: Millis) -> Joules {
+        Joules(self.0 * t.seconds())
+    }
+}
+
+impl Joules {
+    /// Average power implied by this energy over duration `t`.
+    ///
+    /// Returns zero power for a zero duration.
+    pub fn average_power(&self, t: Millis) -> Watts {
+        if t.seconds() <= 0.0 {
+            Watts(0.0)
+        } else {
+            Watts(self.0 / t.seconds())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Joules::new(1.5);
+        let b = Joules::new(0.5);
+        assert_eq!((a + b).value(), 2.0);
+        assert_eq!((a - b).value(), 1.0);
+        assert_eq!((a * 2.0).value(), 3.0);
+        assert_eq!((a / 3.0).value(), 0.5);
+        let total: Joules = vec![a, b, b].into_iter().sum();
+        assert_eq!(total.value(), 2.5);
+    }
+
+    #[test]
+    fn power_times_time_is_energy() {
+        // Paper Eq. 6 with the PX2's 45.4 W over 84.32 ms.
+        let e = Watts::new(45.4).energy_over(Millis::new(84.32));
+        assert!((e.joules() - 3.828).abs() < 0.01);
+    }
+
+    #[test]
+    fn average_power_inverts() {
+        let p = Joules::new(3.798).average_power(Millis::new(84.32));
+        assert!((p.value() - 45.04).abs() < 0.05);
+        assert_eq!(Joules::new(1.0).average_power(Millis::zero()).value(), 0.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Joules::new(1.2345).to_string(), "1.234 J");
+        assert_eq!(Millis::new(21.57).to_string(), "21.570 ms");
+        assert_eq!(Watts::new(45.4).to_string(), "45.400 W");
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        assert_eq!(Millis::new(1500.0).seconds(), 1.5);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests of the energy models.
+
+use ecofusion_energy::{BranchSpec, Px2Model, SensorPowerModel, SensorState, StemPolicy};
+use ecofusion_sensors::SensorKind;
+use proptest::prelude::*;
+
+fn arb_sensor() -> impl Strategy<Value = SensorKind> {
+    (0usize..4).prop_map(|i| SensorKind::from_index(i).expect("index < 4"))
+}
+
+fn arb_branch() -> impl Strategy<Value = BranchSpec> {
+    prop_oneof![
+        arb_sensor().prop_map(BranchSpec::Single),
+        prop::collection::btree_set(arb_sensor(), 2..4)
+            .prop_map(|s| BranchSpec::Early(s.into_iter().collect())),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn config_energy_positive_and_monotone(
+        branches in prop::collection::vec(arb_branch(), 1..6),
+        extra in arb_branch(),
+    ) {
+        let px2 = Px2Model::default();
+        for policy in [StemPolicy::Static, StemPolicy::Adaptive] {
+            let base = px2.config_energy(&branches, policy);
+            prop_assert!(base.joules() > 0.0);
+            let mut bigger = branches.clone();
+            bigger.push(extra.clone());
+            let more = px2.config_energy(&bigger, policy);
+            prop_assert!(more.joules() > base.joules(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn static_energy_is_additive_over_branches(
+        a in arb_branch(),
+        b in arb_branch(),
+    ) {
+        let px2 = Px2Model::default();
+        let ea = px2.config_energy(std::slice::from_ref(&a), StemPolicy::Static);
+        let eb = px2.config_energy(std::slice::from_ref(&b), StemPolicy::Static);
+        let eab = px2.config_energy(&[a, b], StemPolicy::Static);
+        // Static pipelines replicate stems per branch, so energy adds
+        // exactly (the paper's late-4 row validates this).
+        prop_assert!((eab.joules() - (ea.joules() + eb.joules())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_positive_and_monotone(
+        branches in prop::collection::vec(arb_branch(), 1..6),
+        extra in arb_branch(),
+    ) {
+        let px2 = Px2Model::default();
+        for policy in [StemPolicy::Static, StemPolicy::Adaptive] {
+            let t = px2.config_latency(&branches, policy);
+            prop_assert!(t.millis() > 0.0);
+            let mut bigger = branches.clone();
+            bigger.push(extra.clone());
+            prop_assert!(px2.config_latency(&bigger, policy).millis() > t.millis());
+        }
+    }
+
+    #[test]
+    fn adaptive_charges_at_least_four_stems(branches in prop::collection::vec(arb_branch(), 1..4)) {
+        let px2 = Px2Model::default();
+        let e = px2.config_energy(&branches, StemPolicy::Adaptive);
+        let branch_only: f64 = branches.iter().map(|b| px2.branch_cost(b).0.joules()).sum();
+        prop_assert!(e.joules() >= branch_only + 4.0 * px2.stem_energy.joules() - 1e-9);
+    }
+
+    #[test]
+    fn gating_a_sensor_never_costs_more(active in prop::collection::btree_set(arb_sensor(), 0..4)) {
+        let m = SensorPowerModel::default();
+        let active: Vec<SensorKind> = active.into_iter().collect();
+        let gated = m.total_frame_energy(&active);
+        let all = m.total_frame_energy_all_active();
+        prop_assert!(gated.joules() <= all.joules() + 1e-12);
+    }
+
+    #[test]
+    fn per_sensor_gated_energy_below_active(s in arb_sensor()) {
+        let m = SensorPowerModel::default();
+        let active = m.frame_energy(s, SensorState::Active);
+        let gated = m.frame_energy(s, SensorState::Gated);
+        prop_assert!(gated.joules() <= active.joules());
+        prop_assert!(gated.joules() >= 0.0);
+    }
+}

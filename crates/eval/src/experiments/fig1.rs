@@ -1,0 +1,86 @@
+//! Figure 1: loss and energy of each fusion method in City vs Rain.
+
+use crate::experiments::common::{adaptive_summary, static_summary, Setup};
+use crate::tables::Table;
+use ecofusion_gating::GateKind;
+use ecofusion_scene::Context;
+use serde::Serialize;
+
+/// One bar of Figure 1.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig1Row {
+    /// Fusion method name.
+    pub method: String,
+    /// City or Rain.
+    pub context: String,
+    /// Average fusion loss.
+    pub avg_loss: f64,
+    /// Average platform energy, Joules.
+    pub avg_energy_j: f64,
+}
+
+/// Figure 1 result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig1Result {
+    /// All bars (method × context).
+    pub rows: Vec<Fig1Row>,
+}
+
+/// Runs the Figure 1 comparison: None (radar only), Early, Late, and
+/// EcoFusion (attention gate, λ_E = 0.01) in City and Rain.
+pub fn run(setup: &mut Setup) -> Fig1Result {
+    let baselines = setup.model.baseline_ids();
+    let mut rows = Vec::new();
+    for context in [Context::City, Context::Rain] {
+        let frames = setup.dataset.test_in_context(context);
+        let mut push = |method: &str, loss: f64, energy: f64| {
+            rows.push(Fig1Row {
+                method: method.to_string(),
+                context: context.label().to_string(),
+                avg_loss: loss,
+                avg_energy_j: energy,
+            });
+        };
+        let n = setup.num_classes;
+        let s = static_summary(&mut setup.model, n, &frames, baselines.radar);
+        push("None", s.avg_loss, s.avg_energy_j);
+        let s = static_summary(&mut setup.model, n, &frames, baselines.early);
+        push("Early Fusion", s.avg_loss, s.avg_energy_j);
+        let s = static_summary(&mut setup.model, n, &frames, baselines.late);
+        push("Late Fusion", s.avg_loss, s.avg_energy_j);
+        let s = adaptive_summary(&mut setup.model, n, &frames, GateKind::Attention, 0.01, 0.5);
+        push("EcoFusion", s.avg_loss, s.avg_energy_j);
+    }
+    Fig1Result { rows }
+}
+
+impl Fig1Result {
+    /// Renders the figure data as two tables (loss and energy), matching
+    /// the two bar charts of Figure 1.
+    pub fn print(&self) {
+        let metrics: [(&str, fn(&Fig1Row) -> f64); 2] = [
+            ("Avg. Loss", |r| r.avg_loss),
+            ("Avg. Energy Consumption (J)", |r| r.avg_energy_j),
+        ];
+        for (title, pick) in metrics {
+            println!("Figure 1 — {title}");
+            let mut t = Table::new(&["Method", "City", "Rain"]);
+            for method in ["None", "Early Fusion", "Late Fusion", "EcoFusion"] {
+                let city = self
+                    .rows
+                    .iter()
+                    .find(|r| r.method == method && r.context == "City")
+                    .map(pick)
+                    .unwrap_or(f64::NAN);
+                let rain = self
+                    .rows
+                    .iter()
+                    .find(|r| r.method == method && r.context == "Rain")
+                    .map(pick)
+                    .unwrap_or(f64::NAN);
+                t.row(&[method.to_string(), format!("{city:.3}"), format!("{rain:.3}")]);
+            }
+            println!("{t}");
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Figure 4: energy–loss trade-off of the joint optimization across
+//! gating models and λ_E values.
+
+use crate::experiments::common::{adaptive_summary, Setup};
+use crate::tables::Table;
+use ecofusion_gating::GateKind;
+use serde::Serialize;
+
+/// The λ_E sweep used for the scatter (0 → 1 as in the paper's colour bar).
+pub const LAMBDA_SWEEP: [f64; 11] =
+    [0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.85, 1.0];
+
+/// One scatter point of Figure 4.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig4Point {
+    /// Gating method.
+    pub gate: String,
+    /// Energy weight λ_E.
+    pub lambda_e: f64,
+    /// Average platform energy, Joules (x axis).
+    pub energy_j: f64,
+    /// Average fusion loss (y axis).
+    pub avg_loss: f64,
+}
+
+/// Figure 4 result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig4Result {
+    /// All points (gate × λ_E).
+    pub points: Vec<Fig4Point>,
+}
+
+/// Runs the λ_E sweep for every gating model.
+pub fn run(setup: &mut Setup) -> Fig4Result {
+    let frames: Vec<&ecofusion_core::Frame> = setup.dataset.test().iter().collect();
+    let mut points = Vec::new();
+    for gate in GateKind::ALL {
+        for &lambda in &LAMBDA_SWEEP {
+            let s = adaptive_summary(&mut setup.model, setup.num_classes, &frames, gate, lambda, 0.5);
+            points.push(Fig4Point {
+                gate: gate.to_string(),
+                lambda_e: lambda,
+                energy_j: s.avg_energy_j,
+                avg_loss: s.avg_loss,
+            });
+        }
+    }
+    Fig4Result { points }
+}
+
+impl Fig4Result {
+    /// Renders the scatter as one table per gate (energy, loss per λ_E) —
+    /// the numeric content of Figure 4.
+    pub fn print(&self) {
+        println!("Figure 4 — Energy–loss trade-off per gating model");
+        let mut t = Table::new(&["Gate", "lambda_E", "Energy (J)", "Avg. Loss"]);
+        for p in &self.points {
+            t.row(&[
+                p.gate.clone(),
+                format!("{}", p.lambda_e),
+                format!("{:.3}", p.energy_j),
+                format!("{:.3}", p.avg_loss),
+            ]);
+        }
+        println!("{t}");
+    }
+
+    /// Points of one gate, in sweep order.
+    pub fn series(&self, gate: &str) -> Vec<&Fig4Point> {
+        self.points.iter().filter(|p| p.gate == gate).collect()
+    }
+}

@@ -1,0 +1,16 @@
+//! One runner per paper table/figure, plus ablations.
+//!
+//! Every runner consumes a [`Setup`] (trained model + dataset) so several
+//! experiments can share one training run, and returns typed rows with a
+//! `print` method that renders the same layout as the paper.
+
+pub mod ablations;
+pub mod common;
+pub mod fig1;
+pub mod fig4;
+pub mod fig5;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+pub use common::{Scale, Setup};

@@ -1,0 +1,86 @@
+//! Table 1: energy consumption and performance evaluation.
+
+use crate::experiments::common::{adaptive_summary, static_summary, Setup};
+use crate::tables::Table;
+use ecofusion_gating::GateKind;
+use serde::Serialize;
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    /// Fusion type (None / Early / Late / EcoFusion).
+    pub fusion_type: String,
+    /// Configuration label.
+    pub configuration: String,
+    /// VOC mAP, percent.
+    pub map_pct: f64,
+    /// Average platform energy, Joules.
+    pub energy_j: f64,
+    /// Average latency, ms.
+    pub latency_ms: f64,
+}
+
+/// Table 1 result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Result {
+    /// Rows in paper order.
+    pub rows: Vec<Table1Row>,
+}
+
+/// Runs Table 1: the four single-sensor baselines, early fusion, late
+/// fusion, and EcoFusion (attention gate) at λ_E ∈ {0, 0.01, 0.05}.
+pub fn run(setup: &mut Setup) -> Table1Result {
+    let frames: Vec<&ecofusion_core::Frame> = setup.dataset.test().iter().collect();
+    let b = setup.model.baseline_ids();
+    let mut rows = Vec::new();
+    let mut push = |fusion: &str, config: &str, s: &crate::summary::EvalSummary| {
+        rows.push(Table1Row {
+            fusion_type: fusion.to_string(),
+            configuration: config.to_string(),
+            map_pct: s.map_pct,
+            energy_j: s.avg_energy_j,
+            latency_ms: s.avg_latency_ms,
+        });
+    };
+    let s = static_summary(&mut setup.model, setup.num_classes, &frames, b.camera_left);
+    push("None", "L. Camera (C_L)", &s);
+    let s = static_summary(&mut setup.model, setup.num_classes, &frames, b.camera_right);
+    push("None", "R. Camera (C_R)", &s);
+    let s = static_summary(&mut setup.model, setup.num_classes, &frames, b.radar);
+    push("None", "Radar (R)", &s);
+    let s = static_summary(&mut setup.model, setup.num_classes, &frames, b.lidar);
+    push("None", "Lidar (L)", &s);
+    let s = static_summary(&mut setup.model, setup.num_classes, &frames, b.early);
+    push("Early", "C_L + C_R + L", &s);
+    let s = static_summary(&mut setup.model, setup.num_classes, &frames, b.late);
+    push("Late", "C_L + C_R + L + R", &s);
+    for lambda in [0.0, 0.01, 0.05] {
+        let s = adaptive_summary(&mut setup.model, setup.num_classes, &frames, GateKind::Attention, lambda, 0.5);
+        push("EcoFusion", &format!("lambda_E = {lambda}"), &s);
+    }
+    Table1Result { rows }
+}
+
+impl Table1Result {
+    /// Renders the table in the paper's layout.
+    pub fn print(&self) {
+        println!("Table 1 — Energy Consumption and Performance Evaluation");
+        let mut t =
+            Table::new(&["Fusion Type", "Configuration", "mAP (%)", "Energy (J)", "Latency (ms)"]);
+        for r in &self.rows {
+            t.row(&[
+                r.fusion_type.clone(),
+                r.configuration.clone(),
+                format!("{:.2}%", r.map_pct),
+                format!("{:.3}", r.energy_j),
+                format!("{:.2}", r.latency_ms),
+            ]);
+        }
+        println!("{t}");
+    }
+
+    /// The row for a configuration, by label substring.
+    pub fn row(&self, needle: &str) -> Option<&Table1Row> {
+        self.rows.iter().find(|r| r.configuration.contains(needle))
+    }
+}

@@ -1,0 +1,72 @@
+//! Table 2: gating method evaluation.
+
+use crate::experiments::common::{adaptive_summary, Setup};
+use crate::tables::Table;
+use ecofusion_gating::GateKind;
+use serde::Serialize;
+
+/// One row of Table 2.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Row {
+    /// Energy weight λ_E.
+    pub lambda_e: f64,
+    /// Gating method name.
+    pub gating_method: String,
+    /// VOC mAP, percent.
+    pub map_pct: f64,
+    /// Average fusion loss.
+    pub avg_loss: f64,
+    /// Average platform energy, Joules.
+    pub energy_j: f64,
+}
+
+/// Table 2 result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Result {
+    /// Rows in paper order (λ_E major, gate minor).
+    pub rows: Vec<Table2Row>,
+}
+
+/// Runs Table 2: all four gating strategies at λ_E ∈ {0, 0.01, 0.1}.
+pub fn run(setup: &mut Setup) -> Table2Result {
+    let frames: Vec<&ecofusion_core::Frame> = setup.dataset.test().iter().collect();
+    let mut rows = Vec::new();
+    for lambda in [0.0, 0.01, 0.1] {
+        for gate in GateKind::ALL {
+            let s = adaptive_summary(&mut setup.model, setup.num_classes, &frames, gate, lambda, 0.5);
+            rows.push(Table2Row {
+                lambda_e: lambda,
+                gating_method: gate.to_string(),
+                map_pct: s.map_pct,
+                avg_loss: s.avg_loss,
+                energy_j: s.avg_energy_j,
+            });
+        }
+    }
+    Table2Result { rows }
+}
+
+impl Table2Result {
+    /// Renders the table in the paper's layout.
+    pub fn print(&self) {
+        println!("Table 2 — Gating Method Evaluation (gamma = 0.5)");
+        let mut t = Table::new(&["lambda_E", "Gating Method", "mAP (%)", "Avg. Loss", "Energy (J)"]);
+        for r in &self.rows {
+            t.row(&[
+                format!("{}", r.lambda_e),
+                r.gating_method.clone(),
+                format!("{:.2}%", r.map_pct),
+                format!("{:.3}", r.avg_loss),
+                format!("{:.3}", r.energy_j),
+            ]);
+        }
+        println!("{t}");
+    }
+
+    /// Finds a row by gate name and λ_E.
+    pub fn row(&self, gate: &str, lambda_e: f64) -> Option<&Table2Row> {
+        self.rows
+            .iter()
+            .find(|r| r.gating_method == gate && (r.lambda_e - lambda_e).abs() < 1e-12)
+    }
+}

@@ -1,0 +1,258 @@
+//! Learned gates: Deep (§4.2.2) and Attention (§4.2.3).
+
+use crate::input::GateInput;
+use crate::{Gate, GateKind};
+use ecofusion_tensor::layer::{
+    Conv2d, Flatten, Layer, Linear, ReLU, SelfAttention2d, Sequential,
+};
+use ecofusion_tensor::loss;
+use ecofusion_tensor::param::Param;
+use ecofusion_tensor::rng::Rng;
+use ecofusion_tensor::tensor::Tensor;
+
+/// Builds the 3-conv trunk shared by both learned gates.
+///
+/// `spatial` must be divisible by 8 (three stride-2 convolutions).
+fn build_net(
+    in_channels: usize,
+    spatial: usize,
+    num_configs: usize,
+    with_attention: bool,
+    rng: &mut Rng,
+) -> Sequential {
+    assert!(spatial % 8 == 0 && spatial >= 8, "gate input spatial size must be a multiple of 8");
+    // No normalization layers: the gate must see absolute signal levels
+    // (a fog frame is globally dimmer than a clear one), and batch-size-1
+    // batch norm would erase exactly that context cue.
+    let mut layers: Vec<Box<dyn Layer>> = vec![
+        Box::new(Conv2d::new(in_channels, 16, 3, 2, 1, rng)),
+        Box::new(ReLU::new()),
+    ];
+    if with_attention {
+        // The attention gate adds one self-attention layer so the gate can
+        // focus on informative regions of the feature map (§4.2.3).
+        layers.push(Box::new(SelfAttention2d::new(16, rng)));
+    }
+    layers.extend([
+        Box::new(Conv2d::new(16, 16, 3, 2, 1, rng)) as Box<dyn Layer>,
+        Box::new(ReLU::new()),
+        Box::new(Conv2d::new(16, 8, 3, 2, 1, rng)),
+        Box::new(ReLU::new()),
+        Box::new(Flatten::new()),
+        Box::new(Linear::new(8 * (spatial / 8) * (spatial / 8), num_configs, rng)),
+    ]);
+    Sequential::new(layers)
+}
+
+macro_rules! learned_gate {
+    ($(#[$doc:meta])* $name:ident, $kind:expr, $attention:expr) => {
+        $(#[$doc])*
+        pub struct $name {
+            net: Sequential,
+            num_configs: usize,
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "(configs={})"), self.num_configs)
+            }
+        }
+
+        impl $name {
+            /// Creates a gate over stem features of shape
+            /// `(1, in_channels, spatial, spatial)` scoring `num_configs`
+            /// configurations.
+            pub fn new(
+                in_channels: usize,
+                spatial: usize,
+                num_configs: usize,
+                rng: &mut Rng,
+            ) -> Self {
+                $name { net: build_net(in_channels, spatial, num_configs, $attention, rng), num_configs }
+            }
+
+            /// One regression training step against the true per-config
+            /// losses; returns the smooth-L1 loss. Parameter gradients
+            /// accumulate for the caller's optimizer.
+            ///
+            /// # Panics
+            /// Panics if `target_losses.len() != num_configs`.
+            pub fn train_step(&mut self, features: &Tensor, target_losses: &[f32]) -> f32 {
+                assert_eq!(target_losses.len(), self.num_configs, "target length mismatch");
+                let pred = self.net.forward(features, true);
+                // Regress log1p(loss): fusion losses are heavy-tailed (a
+                // missed-everything config costs 4+ while the configs that
+                // matter differ by tenths), and raw-scale smooth-L1 lets
+                // the tail dominate. The log squash makes the gate rank
+                // the *good* configurations accurately; `predict`
+                // transforms back to loss scale.
+                let squashed: Vec<f32> =
+                    target_losses.iter().map(|t| t.max(0.0).ln_1p()).collect();
+                let target = Tensor::from_vec(&[1, self.num_configs], squashed);
+                let (l, grad) = loss::smooth_l1(&pred, &target, 1.0);
+                let _ = self.net.backward(&grad);
+                l
+            }
+        }
+
+        impl Gate for $name {
+            fn kind(&self) -> GateKind {
+                $kind
+            }
+
+            fn num_configs(&self) -> usize {
+                self.num_configs
+            }
+
+            fn predict(&mut self, input: &GateInput<'_>) -> Vec<f32> {
+                let out = self.net.forward(input.features, false);
+                // Inverse of the log1p squash used in training, clamped so
+                // a slightly-negative regression output stays a valid loss.
+                out.into_vec().into_iter().map(|v| v.exp_m1().max(0.0)).collect()
+            }
+        }
+
+        impl Layer for $name {
+            fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+                self.net.forward(x, train)
+            }
+
+            fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+                self.net.backward(grad_out)
+            }
+
+            fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+                self.net.visit_params(f);
+            }
+
+            fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+                self.net.visit_buffers(f);
+            }
+
+            fn name(&self) -> &'static str {
+                stringify!($name)
+            }
+        }
+    };
+}
+
+learned_gate!(
+    /// Deep gate (§4.2.2): three convolution layers and one MLP layer
+    /// regressing the fusion loss of every configuration from the stem
+    /// features.
+    DeepGate,
+    GateKind::Deep,
+    false
+);
+
+learned_gate!(
+    /// Attention gate (§4.2.3): identical to [`DeepGate`] plus a
+    /// self-attention layer that lets the gate weigh informative areas of
+    /// the input feature map.
+    AttentionGate,
+    GateKind::Attention,
+    true
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecofusion_tensor::optim::{Optimizer, Sgd};
+
+    fn features(rng: &mut Rng) -> Tensor {
+        Tensor::randn(&[1, 4, 16, 16], 1.0, rng)
+    }
+
+    #[test]
+    fn output_length_matches_configs() {
+        let mut rng = Rng::new(1);
+        let mut g = DeepGate::new(4, 16, 7, &mut rng);
+        let f = features(&mut rng);
+        let pred = g.predict(&GateInput::features_only(&f));
+        assert_eq!(pred.len(), 7);
+        assert_eq!(g.num_configs(), 7);
+    }
+
+    #[test]
+    fn attention_gate_has_more_params_than_deep() {
+        let mut rng = Rng::new(2);
+        let mut d = DeepGate::new(4, 16, 5, &mut rng);
+        let mut a = AttentionGate::new(4, 16, 5, &mut rng);
+        assert!(a.param_count() > d.param_count());
+    }
+
+    #[test]
+    fn deep_gate_learns_constant_targets() {
+        let mut rng = Rng::new(3);
+        let mut g = DeepGate::new(4, 16, 3, &mut rng);
+        let f = features(&mut rng);
+        let targets = [0.5f32, 2.0, 1.0];
+        let mut opt = Sgd::new(0.01, 0.9, 0.0);
+        for _ in 0..300 {
+            g.zero_grad();
+            let _ = g.train_step(&f, &targets);
+            opt.step(&mut g);
+        }
+        let pred = g.predict(&GateInput::features_only(&f));
+        for (p, t) in pred.iter().zip(&targets) {
+            assert!((p - t).abs() < 0.2, "pred {pred:?} vs targets {targets:?}");
+        }
+    }
+
+    #[test]
+    fn attention_gate_learns_constant_targets() {
+        let mut rng = Rng::new(4);
+        let mut g = AttentionGate::new(4, 16, 2, &mut rng);
+        let f = features(&mut rng);
+        let targets = [1.5f32, 0.25];
+        let mut opt = Sgd::new(0.01, 0.9, 0.0);
+        for _ in 0..300 {
+            g.zero_grad();
+            let _ = g.train_step(&f, &targets);
+            opt.step(&mut g);
+        }
+        let pred = g.predict(&GateInput::features_only(&f));
+        for (p, t) in pred.iter().zip(&targets) {
+            assert!((p - t).abs() < 0.25, "pred {pred:?} vs targets {targets:?}");
+        }
+    }
+
+    #[test]
+    fn gates_discriminate_inputs_after_training() {
+        // Two distinct inputs with opposite targets: the gate must learn
+        // input-dependent predictions, not just the mean.
+        let mut rng = Rng::new(5);
+        let mut g = DeepGate::new(4, 16, 2, &mut rng);
+        let fa = Tensor::full(&[1, 4, 16, 16], 1.0);
+        let fb = Tensor::full(&[1, 4, 16, 16], -1.0);
+        let ta = [0.2f32, 1.8];
+        let tb = [1.8f32, 0.2];
+        let mut opt = Sgd::new(0.01, 0.9, 0.0);
+        for _ in 0..300 {
+            g.zero_grad();
+            let _ = g.train_step(&fa, &ta);
+            let _ = g.train_step(&fb, &tb);
+            opt.step(&mut g);
+        }
+        let pa = g.predict(&GateInput::features_only(&fa));
+        let pb = g.predict(&GateInput::features_only(&fb));
+        assert!(pa[0] < pa[1], "pa {pa:?}");
+        assert!(pb[0] > pb[1], "pb {pb:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "target length")]
+    fn wrong_target_len_panics() {
+        let mut rng = Rng::new(6);
+        let mut g = DeepGate::new(4, 16, 3, &mut rng);
+        let f = features(&mut rng);
+        let _ = g.train_step(&f, &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 8")]
+    fn bad_spatial_panics() {
+        let mut rng = Rng::new(7);
+        let _ = DeepGate::new(4, 12, 3, &mut rng);
+    }
+}

@@ -1,0 +1,45 @@
+//! Gate input bundle.
+
+use ecofusion_scene::Context;
+use ecofusion_tensor::tensor::Tensor;
+
+/// Everything a gating strategy may consult for one frame.
+///
+/// Learned gates use only `features`; the knowledge gate needs the
+/// externally identified `context` (weather service, GPS — paper §4.2.1);
+/// the loss-based oracle needs the a-posteriori `oracle_losses`.
+#[derive(Debug)]
+pub struct GateInput<'a> {
+    /// Concatenated stem features of all sensors, shape `(1, C, H, W)`.
+    pub features: &'a Tensor,
+    /// Externally identified driving context, if available.
+    pub context: Option<Context>,
+    /// Ground-truth per-configuration losses, if available.
+    pub oracle_losses: Option<&'a [f32]>,
+}
+
+impl<'a> GateInput<'a> {
+    /// Input carrying only stem features (what learned gates need).
+    pub fn features_only(features: &'a Tensor) -> Self {
+        GateInput { features, context: None, oracle_losses: None }
+    }
+
+    /// Input with features and external context.
+    pub fn with_context(features: &'a Tensor, context: Context) -> Self {
+        GateInput { features, context: Some(context), oracle_losses: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let t = Tensor::zeros(&[1, 1, 2, 2]);
+        let a = GateInput::features_only(&t);
+        assert!(a.context.is_none() && a.oracle_losses.is_none());
+        let b = GateInput::with_context(&t, Context::Fog);
+        assert_eq!(b.context, Some(Context::Fog));
+    }
+}

@@ -1,0 +1,111 @@
+//! Knowledge gating (§4.2.1).
+
+use crate::input::GateInput;
+use crate::{Gate, GateKind};
+use ecofusion_scene::Context;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Loss value assigned to configurations the knowledge gate did not pick:
+/// large enough that the joint optimizer never selects them.
+pub const KNOWLEDGE_REJECT_LOSS: f32 = 1.0e6;
+
+/// Static, rule-based gate: domain knowledge maps each rigidly defined
+/// driving context to one configuration. The context is assumed to come
+/// from external sources (weather service, GPS, clock — paper §4.2.1), so
+/// this gate never looks at the stem features.
+///
+/// Because its output is 0 for the chosen configuration and effectively
+/// infinite for all others, the downstream `λ_E` optimization cannot trade
+/// the choice off — matching the paper's observation that Knowledge "lacks
+/// tunability" (identical loss/energy for every `λ_E` in Table 2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KnowledgeGate {
+    rules: BTreeMap<Context, usize>,
+    num_configs: usize,
+}
+
+impl KnowledgeGate {
+    /// Creates a gate from explicit context → configuration-index rules.
+    ///
+    /// # Panics
+    /// Panics if any rule points beyond `num_configs` or if no rule exists
+    /// for some context in [`Context::ALL`].
+    pub fn new(rules: BTreeMap<Context, usize>, num_configs: usize) -> Self {
+        for c in Context::ALL {
+            let idx = rules
+                .get(&c)
+                .unwrap_or_else(|| panic!("knowledge gate missing rule for context {c:?}"));
+            assert!(*idx < num_configs, "rule for {c:?} out of range");
+        }
+        KnowledgeGate { rules, num_configs }
+    }
+
+    /// The configured choice for a context.
+    pub fn choice(&self, context: Context) -> usize {
+        self.rules[&context]
+    }
+}
+
+impl Gate for KnowledgeGate {
+    fn kind(&self) -> GateKind {
+        GateKind::Knowledge
+    }
+
+    fn num_configs(&self) -> usize {
+        self.num_configs
+    }
+
+    fn predict(&mut self, input: &GateInput<'_>) -> Vec<f32> {
+        let context = input
+            .context
+            .expect("knowledge gating requires an externally identified context");
+        let mut out = vec![KNOWLEDGE_REJECT_LOSS; self.num_configs];
+        out[self.rules[&context]] = 0.0;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecofusion_tensor::tensor::Tensor;
+
+    fn rules() -> BTreeMap<Context, usize> {
+        Context::ALL.iter().enumerate().map(|(i, c)| (*c, i % 3)).collect()
+    }
+
+    #[test]
+    fn picks_configured_rule() {
+        let mut g = KnowledgeGate::new(rules(), 3);
+        let t = Tensor::zeros(&[1, 1, 2, 2]);
+        let pred = g.predict(&GateInput::with_context(&t, Context::City));
+        let chosen = g.choice(Context::City);
+        assert_eq!(pred[chosen], 0.0);
+        assert!(pred.iter().enumerate().all(|(i, &v)| i == chosen || v >= KNOWLEDGE_REJECT_LOSS));
+    }
+
+    #[test]
+    #[should_panic(expected = "externally identified context")]
+    fn missing_context_panics() {
+        let mut g = KnowledgeGate::new(rules(), 3);
+        let t = Tensor::zeros(&[1, 1, 2, 2]);
+        let _ = g.predict(&GateInput::features_only(&t));
+    }
+
+    #[test]
+    #[should_panic(expected = "missing rule")]
+    fn incomplete_rules_panics() {
+        let mut r = rules();
+        r.remove(&Context::Snow);
+        let _ = KnowledgeGate::new(r, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rule_panics() {
+        let mut r = rules();
+        r.insert(Context::City, 99);
+        let _ = KnowledgeGate::new(r, 3);
+    }
+}

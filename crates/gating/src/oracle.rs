@@ -1,0 +1,72 @@
+//! Loss-based (oracle) gating (§4.2.4).
+
+use crate::input::GateInput;
+use crate::{Gate, GateKind};
+use serde::{Deserialize, Serialize};
+
+/// A-posteriori oracle gate: returns the *true* fusion loss of every
+/// configuration for the current input. Not deployable (it requires ground
+/// truth), but it upper-bounds what a perfect learned gate could achieve —
+/// the paper's "theoretical best-case" row in Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LossBasedGate {
+    num_configs: usize,
+}
+
+impl LossBasedGate {
+    /// Creates an oracle over `num_configs` configurations.
+    pub fn new(num_configs: usize) -> Self {
+        LossBasedGate { num_configs }
+    }
+}
+
+impl Gate for LossBasedGate {
+    fn kind(&self) -> GateKind {
+        GateKind::LossBased
+    }
+
+    fn num_configs(&self) -> usize {
+        self.num_configs
+    }
+
+    fn predict(&mut self, input: &GateInput<'_>) -> Vec<f32> {
+        let oracle = input
+            .oracle_losses
+            .expect("loss-based gating requires a-posteriori per-configuration losses");
+        assert_eq!(oracle.len(), self.num_configs, "oracle loss count mismatch");
+        oracle.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecofusion_tensor::tensor::Tensor;
+
+    #[test]
+    fn returns_oracle_values() {
+        let mut g = LossBasedGate::new(3);
+        let t = Tensor::zeros(&[1, 1, 2, 2]);
+        let oracle = [0.5, 0.2, 0.9];
+        let input = GateInput { features: &t, context: None, oracle_losses: Some(&oracle) };
+        assert_eq!(g.predict(&input), vec![0.5, 0.2, 0.9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "a-posteriori")]
+    fn missing_oracle_panics() {
+        let mut g = LossBasedGate::new(3);
+        let t = Tensor::zeros(&[1, 1, 2, 2]);
+        let _ = g.predict(&GateInput::features_only(&t));
+    }
+
+    #[test]
+    #[should_panic(expected = "count mismatch")]
+    fn wrong_len_panics() {
+        let mut g = LossBasedGate::new(3);
+        let t = Tensor::zeros(&[1, 1, 2, 2]);
+        let oracle = [0.5];
+        let input = GateInput { features: &t, context: None, oracle_losses: Some(&oracle) };
+        let _ = g.predict(&input);
+    }
+}

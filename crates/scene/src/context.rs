@@ -1,0 +1,274 @@
+//! Driving contexts and their generative profiles.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The eight RADIATE driving contexts evaluated in the paper (Fig. 5 /
+/// Table 3 use exactly this set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Context {
+    /// Dense urban driving: many slow objects, clear optics.
+    City,
+    /// Heavy fog: optical sensors severely attenuated.
+    Fog,
+    /// Road junction: medium density, crossing traffic.
+    Junction,
+    /// Motorway: sparse fast traffic.
+    Motorway,
+    /// Night: low illumination, cameras nearly blind.
+    Night,
+    /// Rain: moderate optical degradation, lidar speckle.
+    Rain,
+    /// Rural roads: sparse mixed traffic.
+    Rural,
+    /// Snowfall: strong optical degradation plus ground clutter.
+    Snow,
+}
+
+impl Context {
+    /// All contexts in paper (Fig. 5) order.
+    pub const ALL: [Context; 8] = [
+        Context::City,
+        Context::Fog,
+        Context::Junction,
+        Context::Motorway,
+        Context::Night,
+        Context::Rain,
+        Context::Rural,
+        Context::Snow,
+    ];
+
+    /// Short label as used in the paper's figures ("Jct.", "Mwy.", ...).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Context::City => "City",
+            Context::Fog => "Fog",
+            Context::Junction => "Jct.",
+            Context::Motorway => "Mwy.",
+            Context::Night => "Night",
+            Context::Rain => "Rain",
+            Context::Rural => "Rural",
+            Context::Snow => "Snow",
+        }
+    }
+
+    /// Relative frequency of each context in the dataset mix.
+    ///
+    /// RADIATE is dominated by city/motorway/junction footage with rarer
+    /// adverse-weather sequences; the paper's Table 3 "Overall" column is a
+    /// frequency-weighted average. These weights approximate the RADIATE
+    /// sequence distribution and are normalized by [`Context::mix_weights`].
+    pub fn mix_weight(&self) -> f64 {
+        match self {
+            Context::City => 0.21,
+            Context::Fog => 0.06,
+            Context::Junction => 0.18,
+            Context::Motorway => 0.20,
+            Context::Night => 0.08,
+            Context::Rain => 0.06,
+            Context::Rural => 0.15,
+            Context::Snow => 0.06,
+        }
+    }
+
+    /// Normalized mix weights over [`Context::ALL`] (sums to 1).
+    pub fn mix_weights() -> [f64; 8] {
+        let mut w = [0.0; 8];
+        let total: f64 = Context::ALL.iter().map(|c| c.mix_weight()).sum();
+        for (i, c) in Context::ALL.iter().enumerate() {
+            w[i] = c.mix_weight() / total;
+        }
+        w
+    }
+
+    /// The generative profile for this context.
+    pub fn profile(&self) -> ContextProfile {
+        match self {
+            Context::City => ContextProfile {
+                object_rate: 6.0,
+                speed_range_mps: (0.0, 12.0),
+                ego_speed_mps: 8.0,
+                visibility: 1.0,
+                illumination: 1.0,
+                precipitation: 0.0,
+                clutter: 0.05,
+                pedestrian_bias: 0.35,
+                heavy_vehicle_bias: 0.15,
+            },
+            Context::Fog => ContextProfile {
+                object_rate: 3.0,
+                speed_range_mps: (0.0, 15.0),
+                ego_speed_mps: 9.0,
+                visibility: 0.25,
+                illumination: 0.9,
+                precipitation: 0.1,
+                clutter: 0.08,
+                pedestrian_bias: 0.10,
+                heavy_vehicle_bias: 0.20,
+            },
+            Context::Junction => ContextProfile {
+                object_rate: 4.0,
+                speed_range_mps: (0.0, 14.0),
+                ego_speed_mps: 6.0,
+                visibility: 1.0,
+                illumination: 1.0,
+                precipitation: 0.0,
+                clutter: 0.05,
+                pedestrian_bias: 0.20,
+                heavy_vehicle_bias: 0.15,
+            },
+            Context::Motorway => ContextProfile {
+                object_rate: 2.5,
+                speed_range_mps: (20.0, 32.0),
+                ego_speed_mps: 28.0,
+                visibility: 1.0,
+                illumination: 1.0,
+                precipitation: 0.0,
+                clutter: 0.03,
+                pedestrian_bias: 0.0,
+                heavy_vehicle_bias: 0.35,
+            },
+            Context::Night => ContextProfile {
+                object_rate: 3.0,
+                speed_range_mps: (0.0, 16.0),
+                ego_speed_mps: 10.0,
+                visibility: 0.95,
+                illumination: 0.15,
+                precipitation: 0.0,
+                clutter: 0.04,
+                pedestrian_bias: 0.10,
+                heavy_vehicle_bias: 0.15,
+            },
+            Context::Rain => ContextProfile {
+                object_rate: 4.0,
+                speed_range_mps: (0.0, 16.0),
+                ego_speed_mps: 9.0,
+                visibility: 0.7,
+                illumination: 0.85,
+                precipitation: 0.6,
+                clutter: 0.10,
+                pedestrian_bias: 0.15,
+                heavy_vehicle_bias: 0.15,
+            },
+            Context::Rural => ContextProfile {
+                object_rate: 1.5,
+                speed_range_mps: (8.0, 22.0),
+                ego_speed_mps: 15.0,
+                visibility: 1.0,
+                illumination: 1.0,
+                precipitation: 0.0,
+                clutter: 0.06,
+                pedestrian_bias: 0.05,
+                heavy_vehicle_bias: 0.25,
+            },
+            Context::Snow => ContextProfile {
+                object_rate: 3.5,
+                speed_range_mps: (0.0, 12.0),
+                ego_speed_mps: 7.0,
+                visibility: 0.45,
+                illumination: 0.8,
+                precipitation: 0.8,
+                clutter: 0.18,
+                pedestrian_bias: 0.10,
+                heavy_vehicle_bias: 0.15,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Context {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Generative parameters for a [`Context`].
+///
+/// Fields are consumed by [`crate::ScenarioGenerator`] (densities and
+/// speeds) and by the sensor models in `ecofusion-sensors` (weather).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContextProfile {
+    /// Poisson rate for the number of objects per scene.
+    pub object_rate: f64,
+    /// Uniform speed range for dynamic objects, m/s.
+    pub speed_range_mps: (f64, f64),
+    /// Typical ego speed, m/s.
+    pub ego_speed_mps: f64,
+    /// Optical visibility factor in `[0, 1]` (1 = clear air). Attenuates
+    /// camera and lidar returns with range.
+    pub visibility: f64,
+    /// Ambient illumination in `[0, 1]` (1 = daylight). Scales camera
+    /// signal strength only.
+    pub illumination: f64,
+    /// Precipitation intensity in `[0, 1]`; adds lidar speckle and camera
+    /// streak noise.
+    pub precipitation: f64,
+    /// Background clutter probability per cell (radar ghosts, ground
+    /// returns).
+    pub clutter: f64,
+    /// Probability mass shifted toward pedestrian classes.
+    pub pedestrian_bias: f64,
+    /// Probability mass shifted toward trucks/buses.
+    pub heavy_vehicle_bias: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_contains_eight_distinct() {
+        let mut set = std::collections::HashSet::new();
+        for c in Context::ALL {
+            set.insert(c);
+        }
+        assert_eq!(set.len(), 8);
+    }
+
+    #[test]
+    fn mix_weights_normalized() {
+        let w = Context::mix_weights();
+        let sum: f64 = w.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(w.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn labels_match_paper_abbreviations() {
+        assert_eq!(Context::Junction.label(), "Jct.");
+        assert_eq!(Context::Motorway.label(), "Mwy.");
+        assert_eq!(format!("{}", Context::City), "City");
+    }
+
+    #[test]
+    fn profiles_bounded() {
+        for c in Context::ALL {
+            let p = c.profile();
+            assert!(p.object_rate > 0.0);
+            assert!((0.0..=1.0).contains(&p.visibility));
+            assert!((0.0..=1.0).contains(&p.illumination));
+            assert!((0.0..=1.0).contains(&p.precipitation));
+            assert!((0.0..=1.0).contains(&p.clutter));
+            assert!(p.speed_range_mps.0 <= p.speed_range_mps.1);
+        }
+    }
+
+    #[test]
+    fn adverse_weather_degrades_optics() {
+        assert!(Context::Fog.profile().visibility < Context::City.profile().visibility);
+        assert!(Context::Snow.profile().visibility < Context::Rain.profile().visibility);
+        assert!(Context::Night.profile().illumination < 0.3);
+    }
+
+    #[test]
+    fn motorway_has_no_pedestrians() {
+        assert_eq!(Context::Motorway.profile().pedestrian_bias, 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let json = serde_json::to_string(&Context::Snow).unwrap();
+        let back: Context = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Context::Snow);
+    }
+}

@@ -1,0 +1,252 @@
+//! Context-conditioned scene sampling.
+
+use crate::context::Context;
+use crate::object::{ObjectClass, SceneObject};
+use crate::scene::{Scene, WORLD_DEPTH_M, WORLD_HALF_WIDTH_M};
+use ecofusion_tensor::rng::Rng;
+
+/// Samples scenes whose statistics follow a context's
+/// [`crate::ContextProfile`].
+///
+/// Generation is deterministic given the seed: the same generator produces
+/// the same scene stream, which keeps every experiment reproducible.
+///
+/// # Example
+///
+/// ```
+/// use ecofusion_scene::{Context, ScenarioGenerator};
+/// let mut g1 = ScenarioGenerator::new(1);
+/// let mut g2 = ScenarioGenerator::new(1);
+/// assert_eq!(g1.scene(Context::Fog), g2.scene(Context::Fog));
+/// ```
+#[derive(Debug)]
+pub struct ScenarioGenerator {
+    rng: Rng,
+    next_id: u64,
+}
+
+impl ScenarioGenerator {
+    /// Creates a generator with the given seed.
+    pub fn new(seed: u64) -> Self {
+        ScenarioGenerator { rng: Rng::new(seed), next_id: 0 }
+    }
+
+    /// Samples one scene from `context`.
+    pub fn scene(&mut self, context: Context) -> Scene {
+        let profile = context.profile();
+        let mut scene = Scene::empty(context, self.next_id);
+        self.next_id += 1;
+        scene.ego_speed = profile.ego_speed_mps * self.rng.uniform(0.8, 1.2);
+        let count = self.rng.poisson(profile.object_rate).min(12);
+        for _ in 0..count {
+            if let Some(obj) = self.place_object(context, &scene) {
+                scene.objects.push(obj);
+            }
+        }
+        scene
+    }
+
+    /// Samples one scene with the context itself drawn from the RADIATE
+    /// mix distribution.
+    pub fn scene_mixed(&mut self) -> Scene {
+        let w = Context::mix_weights();
+        let r = self.rng.uniform(0.0, 1.0);
+        let mut acc = 0.0;
+        let mut picked = Context::City;
+        for (i, c) in Context::ALL.iter().enumerate() {
+            acc += w[i];
+            if r <= acc {
+                picked = *c;
+                break;
+            }
+        }
+        self.scene(picked)
+    }
+
+    /// Samples `n` scenes from `context`.
+    pub fn scenes(&mut self, context: Context, n: usize) -> Vec<Scene> {
+        (0..n).map(|_| self.scene(context)).collect()
+    }
+
+    /// Samples `n` scenes from the dataset mix.
+    pub fn scenes_mixed(&mut self, n: usize) -> Vec<Scene> {
+        (0..n).map(|_| self.scene_mixed()).collect()
+    }
+
+    /// Picks a class according to the context's bias parameters.
+    fn sample_class(&mut self, context: Context) -> ObjectClass {
+        let p = context.profile();
+        let r = self.rng.uniform(0.0, 1.0);
+        if r < p.pedestrian_bias {
+            if self.rng.chance(0.6) {
+                ObjectClass::Pedestrian
+            } else {
+                ObjectClass::GroupOfPedestrians
+            }
+        } else if r < p.pedestrian_bias + p.heavy_vehicle_bias {
+            if self.rng.chance(0.7) {
+                ObjectClass::Truck
+            } else {
+                ObjectClass::Bus
+            }
+        } else {
+            // Light-vehicle mix.
+            let light = [
+                ObjectClass::Car,
+                ObjectClass::Car,
+                ObjectClass::Car,
+                ObjectClass::Van,
+                ObjectClass::Motorbike,
+                ObjectClass::Bicycle,
+            ];
+            *self.rng.choose(&light).expect("non-empty")
+        }
+    }
+
+    /// Places an object without excessive overlap with existing objects.
+    /// Returns `None` if a free spot is not found in a bounded number of
+    /// rejection-sampling attempts.
+    fn place_object(&mut self, context: Context, scene: &Scene) -> Option<SceneObject> {
+        let profile = context.profile();
+        let class = self.sample_class(context);
+        for _ in 0..24 {
+            let (w, l) = class.footprint_m();
+            let margin = (w.max(l)) / 2.0 + 0.5;
+            let x = self.rng.uniform(-WORLD_HALF_WIDTH_M + margin, WORLD_HALF_WIDTH_M - margin);
+            let y = self.rng.uniform(margin.max(3.0), WORLD_DEPTH_M - margin);
+            let mut obj = SceneObject::new(class, x, y);
+            obj.heading = if self.rng.chance(0.7) {
+                // Mostly traffic-aligned with small deviations.
+                self.rng.normal(0.0, 0.15)
+            } else {
+                self.rng.uniform(-std::f64::consts::PI, std::f64::consts::PI)
+            };
+            obj.speed = if class.is_pedestrian() {
+                self.rng.uniform(0.0, 2.0)
+            } else {
+                self.rng.uniform(profile.speed_range_mps.0, profile.speed_range_mps.1)
+            };
+            if !self.too_close(&obj, scene) {
+                return Some(obj);
+            }
+        }
+        None
+    }
+
+    fn too_close(&self, obj: &SceneObject, scene: &Scene) -> bool {
+        let (hx_a, hy_a) = obj.half_extents_m();
+        scene.objects.iter().any(|o| {
+            let (hx_b, hy_b) = o.half_extents_m();
+            let dx = (obj.x - o.x).abs();
+            let dy = (obj.y - o.y).abs();
+            dx < (hx_a + hx_b) * 0.9 && dy < (hy_a + hy_b) * 0.9
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = ScenarioGenerator::new(5);
+        let mut b = ScenarioGenerator::new(5);
+        for c in Context::ALL {
+            assert_eq!(a.scene(c), b.scene(c));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ScenarioGenerator::new(1);
+        let mut b = ScenarioGenerator::new(2);
+        let sa = a.scenes(Context::City, 5);
+        let sb = b.scenes(Context::City, 5);
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn city_denser_than_rural() {
+        let mut gen = ScenarioGenerator::new(3);
+        let city: usize = gen.scenes(Context::City, 200).iter().map(|s| s.objects.len()).sum();
+        let rural: usize =
+            gen.scenes(Context::Rural, 200).iter().map(|s| s.objects.len()).sum();
+        assert!(city > rural, "city {city} vs rural {rural}");
+    }
+
+    #[test]
+    fn objects_inside_world() {
+        let mut gen = ScenarioGenerator::new(4);
+        for scene in gen.scenes_mixed(100) {
+            for o in &scene.objects {
+                assert!(Scene::in_view(o.x, o.y), "object out of view: {o:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn motorway_has_no_pedestrians() {
+        let mut gen = ScenarioGenerator::new(5);
+        for scene in gen.scenes(Context::Motorway, 100) {
+            assert!(scene.objects.iter().all(|o| !o.class.is_pedestrian()));
+        }
+    }
+
+    #[test]
+    fn city_has_some_pedestrians() {
+        let mut gen = ScenarioGenerator::new(6);
+        let total_peds: usize = gen
+            .scenes(Context::City, 100)
+            .iter()
+            .flat_map(|s| &s.objects)
+            .filter(|o| o.class.is_pedestrian())
+            .count();
+        assert!(total_peds > 10, "expected pedestrians in city scenes, got {total_peds}");
+    }
+
+    #[test]
+    fn mixed_sampling_roughly_follows_weights() {
+        let mut gen = ScenarioGenerator::new(7);
+        let mut counts: HashMap<Context, usize> = HashMap::new();
+        for s in gen.scenes_mixed(2000) {
+            *counts.entry(s.context).or_default() += 1;
+        }
+        let city = counts[&Context::City] as f64 / 2000.0;
+        assert!((city - 0.21).abs() < 0.05, "city fraction {city}");
+        // Every context appears.
+        for c in Context::ALL {
+            assert!(counts.contains_key(&c), "{c:?} missing from mix");
+        }
+    }
+
+    #[test]
+    fn ids_are_unique_and_increasing() {
+        let mut gen = ScenarioGenerator::new(8);
+        let scenes = gen.scenes_mixed(10);
+        for w in scenes.windows(2) {
+            assert!(w[1].id > w[0].id);
+        }
+    }
+
+    #[test]
+    fn no_heavy_object_overlap() {
+        let mut gen = ScenarioGenerator::new(9);
+        for scene in gen.scenes(Context::City, 50) {
+            for (i, a) in scene.objects.iter().enumerate() {
+                for b in scene.objects.iter().skip(i + 1) {
+                    let (hx_a, hy_a) = a.half_extents_m();
+                    let (hx_b, hy_b) = b.half_extents_m();
+                    let dx = (a.x - b.x).abs();
+                    let dy = (a.y - b.y).abs();
+                    // Centres must not coincide.
+                    assert!(
+                        dx >= (hx_a + hx_b) * 0.5 || dy >= (hy_a + hy_b) * 0.5,
+                        "objects nearly coincide: {a:?} {b:?}"
+                    );
+                }
+            }
+        }
+    }
+}

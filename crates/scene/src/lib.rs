@@ -1,0 +1,45 @@
+//! Synthetic RADIATE-like driving-scene generation.
+//!
+//! The paper evaluates on the RADIATE dataset (Sheeny et al. 2020): real
+//! radar/lidar/stereo recordings across eight driving contexts with eight
+//! annotated object classes. That data cannot ship with a reproduction, so
+//! this crate generates *parametric* scenes with the same statistical
+//! structure:
+//!
+//! * the same eight [`Context`]s (`city, fog, junction, motorway, night,
+//!   rain, rural, snow`) with context-specific object densities, speed
+//!   distributions, and weather parameters;
+//! * the same eight [`ObjectClass`]es (`car … group of pedestrians`) with
+//!   realistic footprints;
+//! * ground-truth 2-D bounding boxes projected into the sensor grid frame.
+//!
+//! What matters for EcoFusion is not photorealism but that *which modality
+//! is informative depends on the context* — fog/snow degrade optical
+//! sensors, night kills cameras, radar is weather-proof but coarse. Those
+//! couplings are applied downstream by `ecofusion-sensors`; this crate
+//! produces the latent world state they observe.
+//!
+//! # Example
+//!
+//! ```
+//! use ecofusion_scene::{Context, ScenarioGenerator};
+//! let mut gen = ScenarioGenerator::new(7);
+//! let scene = gen.scene(Context::City);
+//! assert_eq!(scene.context, Context::City);
+//! let boxes = scene.ground_truth_boxes(64);
+//! assert_eq!(boxes.len(), scene.objects.len());
+//! ```
+
+pub mod context;
+pub mod generator;
+pub mod object;
+pub mod scene;
+pub mod sequence;
+pub mod split;
+
+pub use context::{Context, ContextProfile};
+pub use generator::ScenarioGenerator;
+pub use object::{ObjectClass, SceneObject};
+pub use scene::{GtBox, Scene, WORLD_DEPTH_M, WORLD_HALF_WIDTH_M};
+pub use sequence::SceneSequence;
+pub use split::split_scenes;

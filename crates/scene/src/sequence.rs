@@ -1,0 +1,123 @@
+//! Temporal scene sequences.
+//!
+//! §5.5.2 of the paper notes that temporal modelling lets the context be
+//! estimated across time, enabling sensor clock gating for whole periods.
+//! [`SceneSequence`] provides the substrate: a scene evolved with simple
+//! constant-velocity kinematics at a fixed frame rate.
+
+use crate::scene::Scene;
+use serde::{Deserialize, Serialize};
+
+/// A temporally coherent sequence of scenes at a fixed frame rate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SceneSequence {
+    frames: Vec<Scene>,
+    /// Frame interval, seconds.
+    pub dt: f64,
+}
+
+impl SceneSequence {
+    /// Rolls `initial` forward for `steps` frames of `dt` seconds each.
+    ///
+    /// Objects move with constant velocity along their heading; objects
+    /// leaving the observed region are dropped (as they would leave the
+    /// sensors' field of view). Frame ids are derived from the initial
+    /// scene id.
+    ///
+    /// # Panics
+    /// Panics if `dt <= 0`.
+    pub fn simulate(initial: Scene, steps: usize, dt: f64) -> Self {
+        assert!(dt > 0.0, "dt must be positive");
+        let mut frames = Vec::with_capacity(steps + 1);
+        let mut cur = initial;
+        frames.push(cur.clone());
+        for k in 0..steps {
+            let mut next = cur.clone();
+            next.id = frames[0].id * 10_000 + k as u64 + 1;
+            for o in &mut next.objects {
+                // Relative longitudinal motion includes ego speed.
+                o.step(dt);
+                o.y -= next.ego_speed * dt;
+            }
+            next.objects.retain(|o| Scene::in_view(o.x, o.y));
+            frames.push(next.clone());
+            cur = next;
+        }
+        SceneSequence { frames, dt }
+    }
+
+    /// The frames, oldest first.
+    pub fn frames(&self) -> &[Scene] {
+        &self.frames
+    }
+
+    /// Number of frames (initial + simulated).
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the sequence has no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Total simulated duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.dt * (self.frames.len().saturating_sub(1)) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Context;
+    use crate::generator::ScenarioGenerator;
+
+    #[test]
+    fn simulate_produces_requested_frames() {
+        let mut gen = ScenarioGenerator::new(1);
+        let seq = SceneSequence::simulate(gen.scene(Context::City), 5, 0.25);
+        assert_eq!(seq.len(), 6);
+        assert!((seq.duration() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn objects_recede_with_ego_motion() {
+        let mut gen = ScenarioGenerator::new(2);
+        let mut scene = gen.scene(Context::Motorway);
+        // Put a stationary object directly ahead.
+        scene.objects.clear();
+        scene.objects.push(crate::object::SceneObject::new(
+            crate::object::ObjectClass::Car,
+            0.0,
+            30.0,
+        ));
+        scene.ego_speed = 10.0;
+        let seq = SceneSequence::simulate(scene, 2, 1.0);
+        let y0 = seq.frames()[0].objects[0].y;
+        let y1 = seq.frames()[1].objects[0].y;
+        assert!((y0 - y1 - 10.0).abs() < 1e-9, "object should approach by ego speed");
+    }
+
+    #[test]
+    fn out_of_view_objects_dropped() {
+        let mut gen = ScenarioGenerator::new(3);
+        let mut scene = gen.scene(Context::City);
+        scene.objects.clear();
+        scene.objects.push(crate::object::SceneObject::new(
+            crate::object::ObjectClass::Car,
+            0.0,
+            2.0,
+        ));
+        scene.ego_speed = 10.0;
+        let seq = SceneSequence::simulate(scene, 3, 1.0);
+        assert!(seq.frames().last().unwrap().objects.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be positive")]
+    fn zero_dt_panics() {
+        let mut gen = ScenarioGenerator::new(4);
+        let _ = SceneSequence::simulate(gen.scene(Context::City), 1, 0.0);
+    }
+}

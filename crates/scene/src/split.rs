@@ -1,0 +1,67 @@
+//! Train/test splitting.
+
+use crate::scene::Scene;
+use ecofusion_tensor::rng::Rng;
+
+/// Shuffles `scenes` and splits them into `(train, test)` with the given
+/// train fraction (the paper uses a 70:30 split).
+///
+/// # Panics
+/// Panics if `train_fraction` is outside `(0, 1)`.
+pub fn split_scenes(mut scenes: Vec<Scene>, train_fraction: f64, rng: &mut Rng) -> (Vec<Scene>, Vec<Scene>) {
+    assert!(
+        train_fraction > 0.0 && train_fraction < 1.0,
+        "train fraction must be in (0, 1)"
+    );
+    rng.shuffle(&mut scenes);
+    let n_train = ((scenes.len() as f64) * train_fraction).round() as usize;
+    let n_train = n_train.min(scenes.len());
+    let test = scenes.split_off(n_train);
+    (scenes, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::ScenarioGenerator;
+
+    #[test]
+    fn split_sizes_70_30() {
+        let mut gen = ScenarioGenerator::new(1);
+        let scenes = gen.scenes_mixed(100);
+        let mut rng = Rng::new(2);
+        let (train, test) = split_scenes(scenes, 0.7, &mut rng);
+        assert_eq!(train.len(), 70);
+        assert_eq!(test.len(), 30);
+    }
+
+    #[test]
+    fn split_is_partition() {
+        let mut gen = ScenarioGenerator::new(3);
+        let scenes = gen.scenes_mixed(50);
+        let ids: std::collections::HashSet<u64> = scenes.iter().map(|s| s.id).collect();
+        let mut rng = Rng::new(4);
+        let (train, test) = split_scenes(scenes, 0.6, &mut rng);
+        let mut out_ids = std::collections::HashSet::new();
+        for s in train.iter().chain(test.iter()) {
+            assert!(out_ids.insert(s.id), "duplicate scene in split");
+        }
+        assert_eq!(ids, out_ids);
+    }
+
+    #[test]
+    fn deterministic_given_rng_seed() {
+        let mut gen = ScenarioGenerator::new(5);
+        let scenes = gen.scenes_mixed(40);
+        let (t1, e1) = split_scenes(scenes.clone(), 0.5, &mut Rng::new(9));
+        let (t2, e2) = split_scenes(scenes, 0.5, &mut Rng::new(9));
+        assert_eq!(t1, t2);
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    #[should_panic(expected = "train fraction")]
+    fn bad_fraction_panics() {
+        let _ = split_scenes(Vec::new(), 1.5, &mut Rng::new(0));
+    }
+}

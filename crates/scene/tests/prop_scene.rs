@@ -1,0 +1,83 @@
+//! Property-based tests of scene generation and projection.
+
+use ecofusion_scene::{split_scenes, Context, ScenarioGenerator, Scene};
+use ecofusion_tensor::rng::Rng;
+use proptest::prelude::*;
+
+fn arb_context() -> impl Strategy<Value = Context> {
+    (0usize..8).prop_map(|i| Context::ALL[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn objects_always_in_view(seed in 0u64..10_000, ctx in arb_context()) {
+        let mut gen = ScenarioGenerator::new(seed);
+        let scene = gen.scene(ctx);
+        for o in &scene.objects {
+            prop_assert!(Scene::in_view(o.x, o.y), "{o:?}");
+        }
+    }
+
+    #[test]
+    fn gt_boxes_inside_raster(seed in 0u64..10_000, ctx in arb_context(), grid in 16usize..96) {
+        let mut gen = ScenarioGenerator::new(seed);
+        let scene = gen.scene(ctx);
+        for b in scene.ground_truth_boxes(grid) {
+            prop_assert!(b.x1 >= 0.0 && b.y1 >= 0.0);
+            prop_assert!(b.x2 <= grid as f32 && b.y2 <= grid as f32);
+            prop_assert!(b.x1 <= b.x2 && b.y1 <= b.y2);
+            prop_assert!(b.class_id < 8);
+        }
+    }
+
+    #[test]
+    fn gt_boxes_have_minimum_size_unless_clamped(
+        seed in 0u64..10_000,
+        ctx in arb_context(),
+    ) {
+        let grid = 48usize;
+        let mut gen = ScenarioGenerator::new(seed);
+        let scene = gen.scene(ctx);
+        for b in scene.ground_truth_boxes(grid) {
+            // Interior boxes respect the point-spread minimum.
+            let interior = b.x1 > 0.0 && b.y1 > 0.0 && b.x2 < grid as f32 && b.y2 < grid as f32;
+            if interior {
+                prop_assert!(b.x2 - b.x1 >= 2.0 * ecofusion_scene::scene::MIN_BOX_HALF_PX as f32 - 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn split_is_a_partition(seed in 0u64..10_000, n in 4usize..60, frac in 0.1f64..0.9) {
+        let mut gen = ScenarioGenerator::new(seed);
+        let scenes = gen.scenes_mixed(n);
+        let ids: std::collections::BTreeSet<u64> = scenes.iter().map(|s| s.id).collect();
+        let (train, test) = split_scenes(scenes, frac, &mut Rng::new(seed ^ 1));
+        let out: std::collections::BTreeSet<u64> =
+            train.iter().chain(test.iter()).map(|s| s.id).collect();
+        prop_assert_eq!(ids, out);
+        prop_assert_eq!(train.len() + test.len(), n);
+    }
+
+    #[test]
+    fn generation_deterministic(seed in 0u64..10_000, ctx in arb_context()) {
+        let a = ScenarioGenerator::new(seed).scene(ctx);
+        let b = ScenarioGenerator::new(seed).scene(ctx);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn world_grid_projection_is_monotone(
+        x1 in -12.0f64..12.0,
+        x2 in -12.0f64..12.0,
+        grid in 16usize..96,
+    ) {
+        let (px1, _) = Scene::world_to_grid(x1, 0.0, grid);
+        let (px2, _) = Scene::world_to_grid(x2, 0.0, grid);
+        if x1 < x2 {
+            prop_assert!(px1 < px2);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Sensor identity.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which side of the stereo rig a camera sits on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CameraSide {
+    /// Left camera of the ZED stereo pair.
+    Left,
+    /// Right camera of the ZED stereo pair.
+    Right,
+}
+
+/// The four physical sensors of the RADIATE platform (paper Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SensorKind {
+    /// Left ZED camera (paper: C_L).
+    CameraLeft,
+    /// Right ZED camera (paper: C_R).
+    CameraRight,
+    /// Velodyne HDL-32e lidar (paper: L).
+    Lidar,
+    /// Navtech CTS350-X radar (paper: R).
+    Radar,
+}
+
+impl SensorKind {
+    /// All sensors in canonical (paper Table 1) order.
+    pub const ALL: [SensorKind; 4] =
+        [SensorKind::CameraLeft, SensorKind::CameraRight, SensorKind::Lidar, SensorKind::Radar];
+
+    /// Number of sensors.
+    pub const COUNT: usize = 4;
+
+    /// Canonical index of this sensor in [`SensorKind::ALL`].
+    pub fn index(&self) -> usize {
+        SensorKind::ALL.iter().position(|s| s == self).expect("sensor in ALL")
+    }
+
+    /// Sensor from canonical index.
+    ///
+    /// Returns `None` for `index >= 4`.
+    pub fn from_index(index: usize) -> Option<SensorKind> {
+        SensorKind::ALL.get(index).copied()
+    }
+
+    /// The paper's abbreviation (C_L, C_R, L, R).
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            SensorKind::CameraLeft => "C_L",
+            SensorKind::CameraRight => "C_R",
+            SensorKind::Lidar => "L",
+            SensorKind::Radar => "R",
+        }
+    }
+
+    /// Whether this sensor is one of the two cameras.
+    pub fn is_camera(&self) -> bool {
+        matches!(self, SensorKind::CameraLeft | SensorKind::CameraRight)
+    }
+
+    /// Whether the physical sensor has a spinning assembly that cannot be
+    /// fully power-gated (paper §5.5.2: rotating lidar/radar keep motor
+    /// power when clock gated).
+    pub fn has_motor(&self) -> bool {
+        matches!(self, SensorKind::Lidar | SensorKind::Radar)
+    }
+}
+
+impl fmt::Display for SensorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SensorKind::CameraLeft => "left camera",
+            SensorKind::CameraRight => "right camera",
+            SensorKind::Lidar => "lidar",
+            SensorKind::Radar => "radar",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, s) in SensorKind::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+            assert_eq!(SensorKind::from_index(i), Some(*s));
+        }
+        assert_eq!(SensorKind::from_index(4), None);
+    }
+
+    #[test]
+    fn abbreviations_match_paper() {
+        assert_eq!(SensorKind::CameraLeft.abbrev(), "C_L");
+        assert_eq!(SensorKind::Radar.abbrev(), "R");
+    }
+
+    #[test]
+    fn camera_and_motor_predicates() {
+        assert!(SensorKind::CameraLeft.is_camera());
+        assert!(!SensorKind::Lidar.is_camera());
+        assert!(SensorKind::Radar.has_motor());
+        assert!(!SensorKind::CameraRight.has_motor());
+    }
+}

@@ -1,0 +1,57 @@
+//! Sensor observation models for the EcoFusion reproduction.
+//!
+//! The RADIATE vehicle carries a ZED stereo camera (left + right), a
+//! Velodyne HDL-32e lidar, and a Navtech CTS350-X radar. This crate renders
+//! a [`ecofusion_scene::Scene`] into one observation grid per sensor with
+//! the degradation physics that drive the paper's results:
+//!
+//! | Sensor | Strength | Weakness |
+//! |---|---|---|
+//! | Camera | high contrast, fine detail in daylight | fog/rain/snow attenuation, blind at night, rain streaks |
+//! | Lidar  | precise geometry, works at night | heavy attenuation + speckle in fog/snow |
+//! | Radar  | weather-proof, long range | coarse angular resolution, clutter ghosts, weak pedestrian returns |
+//!
+//! All sensors share one bird's-eye grid geometry (a deliberate
+//! simplification over perspective camera geometry — the fusion problem is
+//! unchanged, and it lets early fusion concatenate grids directly, exactly
+//! like the paper's channel-stacked inputs).
+//!
+//! # Example
+//!
+//! ```
+//! use ecofusion_scene::{Context, ScenarioGenerator};
+//! use ecofusion_sensors::{SensorKind, SensorSuite};
+//! use ecofusion_tensor::rng::Rng;
+//!
+//! let mut gen = ScenarioGenerator::new(3);
+//! let scene = gen.scene(Context::Fog);
+//! let suite = SensorSuite::new(32);
+//! let obs = suite.observe(&scene, &mut Rng::new(1));
+//! assert_eq!(obs.grid(SensorKind::Radar).shape(), &[1, 1, 32, 32]);
+//! ```
+
+pub mod camera;
+pub mod grid;
+pub mod kind;
+pub mod lidar;
+pub mod radar;
+pub mod suite;
+
+pub use camera::CameraModel;
+pub use kind::{CameraSide, SensorKind};
+pub use lidar::LidarModel;
+pub use radar::RadarModel;
+pub use suite::{Observation, SensorSuite};
+
+use ecofusion_scene::Scene;
+use ecofusion_tensor::rng::Rng;
+use ecofusion_tensor::tensor::Tensor;
+
+/// A sensor that renders a scene into a `(1, 1, grid, grid)` observation.
+pub trait SensorModel {
+    /// Which physical sensor this is.
+    fn kind(&self) -> SensorKind;
+
+    /// Renders `scene` into an observation grid using `rng` for noise.
+    fn render(&self, scene: &Scene, grid: usize, rng: &mut Rng) -> Tensor;
+}

@@ -1,0 +1,124 @@
+//! Velodyne HDL-32e lidar model.
+
+use crate::grid;
+use crate::kind::SensorKind;
+use crate::SensorModel;
+use ecofusion_scene::Scene;
+use ecofusion_tensor::rng::Rng;
+use ecofusion_tensor::tensor::Tensor;
+
+/// Lidar observation model.
+///
+/// Lidar returns are illumination-independent (it carries its own laser)
+/// and geometrically crisp, but scattering media hit it hard: fog and snow
+/// attenuate the beam strongly with range and precipitation produces
+/// backscatter speckle. This is the physics behind the paper's Fig. 5,
+/// where camera+lidar early fusion collapses in Fog and Snow.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LidarModel;
+
+impl LidarModel {
+    /// Creates the lidar model.
+    pub fn new() -> Self {
+        LidarModel
+    }
+}
+
+impl SensorModel for LidarModel {
+    fn kind(&self) -> SensorKind {
+        SensorKind::Lidar
+    }
+
+    fn render(&self, scene: &Scene, grid_size: usize, rng: &mut Rng) -> Tensor {
+        let profile = scene.context.profile();
+        let mut t = grid::empty_grid(grid_size);
+        let boxes = scene.ground_truth_boxes(grid_size);
+        let occ = grid::occlusion_factors(scene, 0.3);
+        for (obj, (b, occ_f)) in scene.objects.iter().zip(boxes.iter().zip(&occ)) {
+            // Beam attenuation: visibility^(range / 10 m) — steeper than the
+            // camera because the beam travels out and back.
+            let atten = (profile.visibility as f32).powf((obj.y as f32 / 10.0).max(0.0));
+            let intensity = 0.95 * atten * occ_f;
+            grid::splat_box(&mut t, b, intensity, 0.1, rng);
+        }
+        // Backscatter speckle from rain/snow.
+        let salt_rate = 0.015 + 0.15 * profile.precipitation;
+        grid::add_salt_noise(&mut t, salt_rate, 0.8, rng);
+        // Ground clutter blobs (snowbanks, spray).
+        let blobs = (profile.clutter * 25.0) as usize;
+        grid::add_blobs(&mut t, blobs, 2, 0.3, rng);
+        grid::add_gaussian_noise(&mut t, 0.03, rng);
+        grid::clamp(&mut t, 1.5);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecofusion_scene::{Context, ObjectClass, SceneObject};
+
+    fn one_car(ctx: Context, y: f64) -> Scene {
+        let mut s = Scene::empty(ctx, 0);
+        s.objects.push(SceneObject::new(ObjectClass::Car, 0.0, y));
+        s
+    }
+
+    fn box_mean(t: &Tensor, scene: &Scene, grid: usize) -> f32 {
+        let b = scene.ground_truth_boxes(grid)[0];
+        let mut s = 0.0;
+        let mut n = 0;
+        for y in b.y1 as usize..(b.y2 as usize).min(grid) {
+            for x in b.x1 as usize..(b.x2 as usize).min(grid) {
+                s += t.get4(0, 0, y, x);
+                n += 1;
+            }
+        }
+        s / n.max(1) as f32
+    }
+
+    #[test]
+    fn night_does_not_affect_lidar() {
+        let lidar = LidarModel::new();
+        let day = one_car(Context::City, 15.0);
+        let night = one_car(Context::Night, 15.0);
+        let td = box_mean(&lidar.render(&day, 64, &mut Rng::new(1)), &day, 64);
+        let tn = box_mean(&lidar.render(&night, 64, &mut Rng::new(1)), &night, 64);
+        assert!((td - tn).abs() < 0.15, "lidar day {td} vs night {tn} should be similar");
+    }
+
+    #[test]
+    fn fog_attenuates_strongly() {
+        let lidar = LidarModel::new();
+        let clear = one_car(Context::City, 25.0);
+        let fog = one_car(Context::Fog, 25.0);
+        let tc = box_mean(&lidar.render(&clear, 64, &mut Rng::new(2)), &clear, 64);
+        let tf = box_mean(&lidar.render(&fog, 64, &mut Rng::new(2)), &fog, 64);
+        assert!(tc > 4.0 * tf, "fog should crush lidar returns ({tc} vs {tf})");
+    }
+
+    #[test]
+    fn snow_produces_speckle() {
+        let lidar = LidarModel::new();
+        let clear = Scene::empty(Context::City, 0);
+        let snow = Scene::empty(Context::Snow, 1);
+        let tc = lidar.render(&clear, 64, &mut Rng::new(3));
+        let ts = lidar.render(&snow, 64, &mut Rng::new(3));
+        let count = |t: &Tensor| t.data().iter().filter(|&&v| v > 0.3).count();
+        assert!(
+            count(&ts) > 4 * count(&tc).max(1),
+            "snow speckle {} vs clear {}",
+            count(&ts),
+            count(&tc)
+        );
+    }
+
+    #[test]
+    fn output_shape_and_bounds() {
+        let lidar = LidarModel::new();
+        let s = one_car(Context::Snow, 10.0);
+        let t = lidar.render(&s, 48, &mut Rng::new(4));
+        assert_eq!(t.shape(), &[1, 1, 48, 48]);
+        assert!(t.min() >= 0.0 && t.max() <= 1.5);
+    }
+}

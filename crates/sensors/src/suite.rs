@@ -1,0 +1,156 @@
+//! The full four-sensor rig.
+
+use crate::camera::CameraModel;
+use crate::kind::{CameraSide, SensorKind};
+use crate::lidar::LidarModel;
+use crate::radar::RadarModel;
+use crate::SensorModel;
+use ecofusion_scene::Scene;
+use ecofusion_tensor::rng::Rng;
+use ecofusion_tensor::tensor::Tensor;
+
+/// One rendered observation per sensor for a single scene.
+#[derive(Debug, Clone)]
+pub struct Observation {
+    grids: [Tensor; 4],
+    grid_size: usize,
+}
+
+impl Observation {
+    /// The observation grid of a sensor, shape `(1, 1, g, g)`.
+    pub fn grid(&self, kind: SensorKind) -> &Tensor {
+        &self.grids[kind.index()]
+    }
+
+    /// Grid side length.
+    pub fn grid_size(&self) -> usize {
+        self.grid_size
+    }
+
+    /// Channel-concatenates the observations of the given sensors in order
+    /// (the raw-input form of early fusion, Eq. 3 of the paper).
+    ///
+    /// # Panics
+    /// Panics if `kinds` is empty.
+    pub fn stacked(&self, kinds: &[SensorKind]) -> Tensor {
+        assert!(!kinds.is_empty(), "stacked needs at least one sensor");
+        let parts: Vec<&Tensor> = kinds.iter().map(|k| self.grid(*k)).collect();
+        Tensor::concat_channels(&parts)
+    }
+}
+
+/// The RADIATE sensor rig: two cameras, one lidar, one radar (paper Fig. 2).
+#[derive(Debug, Clone)]
+pub struct SensorSuite {
+    camera_left: CameraModel,
+    camera_right: CameraModel,
+    lidar: LidarModel,
+    radar: RadarModel,
+    grid_size: usize,
+}
+
+impl SensorSuite {
+    /// Creates a suite rendering `grid_size × grid_size` observations.
+    ///
+    /// # Panics
+    /// Panics if `grid_size < 8`.
+    pub fn new(grid_size: usize) -> Self {
+        assert!(grid_size >= 8, "grid too small to resolve objects");
+        SensorSuite {
+            camera_left: CameraModel::new(CameraSide::Left),
+            camera_right: CameraModel::new(CameraSide::Right),
+            lidar: LidarModel::new(),
+            radar: RadarModel::new(),
+            grid_size,
+        }
+    }
+
+    /// Grid side length.
+    pub fn grid_size(&self) -> usize {
+        self.grid_size
+    }
+
+    /// Renders all four sensors. Each sensor draws from an independent RNG
+    /// stream forked off `rng`, so adding noise draws to one sensor model
+    /// never perturbs the others.
+    pub fn observe(&self, scene: &Scene, rng: &mut Rng) -> Observation {
+        let mut streams: Vec<Rng> = (0..4).map(|i| rng.fork(i as u64)).collect();
+        let grids = [
+            self.camera_left.render(scene, self.grid_size, &mut streams[0]),
+            self.camera_right.render(scene, self.grid_size, &mut streams[1]),
+            self.lidar.render(scene, self.grid_size, &mut streams[2]),
+            self.radar.render(scene, self.grid_size, &mut streams[3]),
+        ];
+        Observation { grids, grid_size: self.grid_size }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecofusion_scene::{Context, ScenarioGenerator};
+
+    #[test]
+    fn observe_renders_all_four() {
+        let mut gen = ScenarioGenerator::new(1);
+        let scene = gen.scene(Context::City);
+        let suite = SensorSuite::new(32);
+        let obs = suite.observe(&scene, &mut Rng::new(2));
+        for kind in SensorKind::ALL {
+            assert_eq!(obs.grid(kind).shape(), &[1, 1, 32, 32]);
+        }
+        assert_eq!(obs.grid_size(), 32);
+    }
+
+    #[test]
+    fn observation_deterministic_given_seed() {
+        let mut gen = ScenarioGenerator::new(3);
+        let scene = gen.scene(Context::Rain);
+        let suite = SensorSuite::new(32);
+        let a = suite.observe(&scene, &mut Rng::new(7));
+        let b = suite.observe(&scene, &mut Rng::new(7));
+        for kind in SensorKind::ALL {
+            assert_eq!(a.grid(kind), b.grid(kind));
+        }
+    }
+
+    #[test]
+    fn sensors_see_different_views() {
+        let mut gen = ScenarioGenerator::new(4);
+        let scene = gen.scene(Context::City);
+        let suite = SensorSuite::new(32);
+        let obs = suite.observe(&scene, &mut Rng::new(5));
+        assert_ne!(obs.grid(SensorKind::CameraRight), obs.grid(SensorKind::Radar));
+        assert_ne!(obs.grid(SensorKind::CameraLeft), obs.grid(SensorKind::CameraRight));
+    }
+
+    #[test]
+    fn stacked_concatenates_channels() {
+        let mut gen = ScenarioGenerator::new(6);
+        let scene = gen.scene(Context::City);
+        let suite = SensorSuite::new(16);
+        let obs = suite.observe(&scene, &mut Rng::new(7));
+        let stacked = obs.stacked(&[
+            SensorKind::CameraLeft,
+            SensorKind::CameraRight,
+            SensorKind::Lidar,
+        ]);
+        assert_eq!(stacked.shape(), &[1, 3, 16, 16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sensor")]
+    fn stacked_empty_panics() {
+        let mut gen = ScenarioGenerator::new(8);
+        let scene = gen.scene(Context::City);
+        let suite = SensorSuite::new(16);
+        let obs = suite.observe(&scene, &mut Rng::new(9));
+        let _ = obs.stacked(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid too small")]
+    fn tiny_grid_panics() {
+        let _ = SensorSuite::new(4);
+    }
+}

@@ -1,0 +1,42 @@
+//! Weight initialization schemes.
+
+use crate::rng::Rng;
+use crate::tensor::Tensor;
+
+/// Kaiming (He) normal initialization for layers followed by ReLU.
+///
+/// `fan_in` is the number of input connections per output unit.
+pub fn kaiming_normal(shape: &[usize], fan_in: usize, rng: &mut Rng) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f64).sqrt();
+    Tensor::randn(shape, std as f32, rng)
+}
+
+/// Xavier/Glorot uniform initialization for linear/attention projections.
+pub fn xavier_uniform(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut Rng) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt();
+    Tensor::rand_uniform(shape, -limit as f32, limit as f32, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kaiming_std_scales_with_fan_in() {
+        let mut rng = Rng::new(1);
+        let w = kaiming_normal(&[10_000], 50, &mut rng);
+        let mean = w.mean();
+        let var = w.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+            / w.len() as f32;
+        let want = 2.0 / 50.0;
+        assert!((var - want).abs() < want * 0.2, "var {var}, want {want}");
+    }
+
+    #[test]
+    fn xavier_within_limit() {
+        let mut rng = Rng::new(2);
+        let w = xavier_uniform(&[1000], 30, 50, &mut rng);
+        let limit = (6.0f32 / 80.0).sqrt();
+        assert!(w.max() <= limit && w.min() >= -limit);
+    }
+}

@@ -1,0 +1,298 @@
+//! 2-D convolution via im2col.
+
+use super::Layer;
+use crate::init;
+use crate::param::Param;
+use crate::rng::Rng;
+use crate::tensor::Tensor;
+
+/// 2-D convolution over NCHW inputs.
+///
+/// Weight layout is `(C_out, C_in·kh·kw)`; the forward pass lowers the input
+/// to column matrix form (im2col) and performs a single matmul, which is the
+/// standard CPU implementation strategy.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Param,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    cached_cols: Option<Tensor>,
+    cached_in_shape: Option<[usize; 4]>,
+}
+
+impl Conv2d {
+    /// Creates a Kaiming-initialized convolution.
+    ///
+    /// # Panics
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut Rng,
+    ) -> Self {
+        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        let fan_in = in_channels * kernel * kernel;
+        let weight = Param::new(init::kaiming_normal(&[out_channels, fan_in], fan_in, rng));
+        let bias = Param::new(Tensor::zeros(&[out_channels]));
+        Conv2d {
+            weight,
+            bias,
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            cached_cols: None,
+            cached_in_shape: None,
+        }
+    }
+
+    /// Output spatial size for a given input size.
+    pub fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
+        let ho = (h + 2 * self.padding - self.kernel) / self.stride + 1;
+        let wo = (w + 2 * self.padding - self.kernel) / self.stride + 1;
+        (ho, wo)
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Lowers `x` to a `(N·Ho·Wo, C_in·k·k)` column matrix.
+    fn im2col(&self, x: &Tensor) -> Tensor {
+        let [n, c, h, w] = [x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]];
+        let (ho, wo) = self.out_size(h, w);
+        let k = self.kernel;
+        let cols_w = c * k * k;
+        let mut cols = Tensor::zeros(&[n * ho * wo, cols_w]);
+        let cdata = cols.data_mut();
+        let xdata = x.data();
+        for b in 0..n {
+            for oy in 0..ho {
+                let iy0 = (oy * self.stride) as isize - self.padding as isize;
+                for ox in 0..wo {
+                    let ix0 = (ox * self.stride) as isize - self.padding as isize;
+                    let row = ((b * ho + oy) * wo + ox) * cols_w;
+                    for ci in 0..c {
+                        let ch_base = (b * c + ci) * h * w;
+                        let col_base = row + ci * k * k;
+                        for ky in 0..k {
+                            let iy = iy0 + ky as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            let src_row = ch_base + iy as usize * w;
+                            let dst_row = col_base + ky * k;
+                            for kx in 0..k {
+                                let ix = ix0 + kx as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                cdata[dst_row + kx] = xdata[src_row + ix as usize];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cols
+    }
+
+    /// Scatters column-matrix gradients back to input layout (inverse of
+    /// [`Conv2d::im2col`], accumulating where patches overlap).
+    fn col2im(&self, cols_grad: &Tensor, in_shape: [usize; 4]) -> Tensor {
+        let [n, c, h, w] = in_shape;
+        let (ho, wo) = self.out_size(h, w);
+        let k = self.kernel;
+        let cols_w = c * k * k;
+        let mut dx = Tensor::zeros(&[n, c, h, w]);
+        let dxd = dx.data_mut();
+        let cd = cols_grad.data();
+        for b in 0..n {
+            for oy in 0..ho {
+                let iy0 = (oy * self.stride) as isize - self.padding as isize;
+                for ox in 0..wo {
+                    let ix0 = (ox * self.stride) as isize - self.padding as isize;
+                    let row = ((b * ho + oy) * wo + ox) * cols_w;
+                    for ci in 0..c {
+                        let ch_base = (b * c + ci) * h * w;
+                        let col_base = row + ci * k * k;
+                        for ky in 0..k {
+                            let iy = iy0 + ky as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            let dst_row = ch_base + iy as usize * w;
+                            let src_row = col_base + ky * k;
+                            for kx in 0..k {
+                                let ix = ix0 + kx as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                dxd[dst_row + ix as usize] += cd[src_row + kx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.ndim(), 4, "Conv2d expects NCHW input");
+        assert_eq!(x.shape()[1], self.in_channels, "Conv2d channel mismatch");
+        let [n, _, h, w] = [x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]];
+        let (ho, wo) = self.out_size(h, w);
+        let cols = self.im2col(x); // (N·Ho·Wo, Cin·k·k)
+        let rows = cols.matmul_nt(&self.weight.value); // (N·Ho·Wo, Cout)
+        // Rearrange rows -> NCHW and add bias.
+        let mut y = Tensor::zeros(&[n, self.out_channels, ho, wo]);
+        let yd = y.data_mut();
+        let rd = rows.data();
+        let bias = self.bias.value.data();
+        for b in 0..n {
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let r = ((b * ho + oy) * wo + ox) * self.out_channels;
+                    for co in 0..self.out_channels {
+                        yd[((b * self.out_channels + co) * ho + oy) * wo + ox] =
+                            rd[r + co] + bias[co];
+                    }
+                }
+            }
+        }
+        if train {
+            self.cached_cols = Some(cols);
+            self.cached_in_shape = Some([n, self.in_channels, h, w]);
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cols = self.cached_cols.as_ref().expect("Conv2d::backward before forward(train)");
+        let in_shape = self.cached_in_shape.expect("Conv2d::backward before forward(train)");
+        let [n, _, h, w] = in_shape;
+        let (ho, wo) = self.out_size(h, w);
+        // Rearrange grad_out NCHW -> row layout (N·Ho·Wo, Cout).
+        let mut grows = Tensor::zeros(&[n * ho * wo, self.out_channels]);
+        {
+            let gd = grows.data_mut();
+            let od = grad_out.data();
+            for b in 0..n {
+                for co in 0..self.out_channels {
+                    for oy in 0..ho {
+                        for ox in 0..wo {
+                            gd[((b * ho + oy) * wo + ox) * self.out_channels + co] =
+                                od[((b * self.out_channels + co) * ho + oy) * wo + ox];
+                        }
+                    }
+                }
+            }
+        }
+        // dW = growsᵀ × cols.
+        let dw = grows.matmul_tn(cols);
+        self.weight.grad.add_assign(&dw);
+        // db = column sums of grows.
+        for j in 0..self.out_channels {
+            let mut s = 0.0;
+            for i in 0..n * ho * wo {
+                s += grows.get2(i, j);
+            }
+            self.bias.grad.data_mut()[j] += s;
+        }
+        // dcols = grows × W.
+        let dcols = grows.matmul(&self.weight.value);
+        self.col2im(&dcols, in_shape)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::testutil::gradcheck;
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        let mut rng = Rng::new(0);
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, &mut rng);
+        // Dirac kernel.
+        let mut w = Tensor::zeros(&[1, 9]);
+        w.data_mut()[4] = 1.0;
+        conv.weight.value = w;
+        conv.bias.value = Tensor::zeros(&[1]);
+        let x = Tensor::randn(&[1, 1, 5, 5], 1.0, &mut rng);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.shape(), x.shape());
+        for (a, b) in x.data().iter().zip(y.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn output_shape_stride_two() {
+        let mut rng = Rng::new(1);
+        let mut conv = Conv2d::new(2, 4, 3, 2, 1, &mut rng);
+        let x = Tensor::zeros(&[3, 2, 8, 8]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.shape(), &[3, 4, 4, 4]);
+    }
+
+    #[test]
+    fn bias_applied_everywhere() {
+        let mut rng = Rng::new(2);
+        let mut conv = Conv2d::new(1, 2, 1, 1, 0, &mut rng);
+        conv.weight.value = Tensor::zeros(&[2, 1]);
+        conv.bias.value = Tensor::from_vec(&[2], vec![1.5, -2.0]);
+        let x = Tensor::zeros(&[1, 1, 2, 2]);
+        let y = conv.forward(&x, false);
+        for i in 0..4 {
+            assert_eq!(y.data()[i], 1.5);
+            assert_eq!(y.data()[4 + i], -2.0);
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = Rng::new(3);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(&[1, 2, 4, 4], 1.0, &mut rng);
+        gradcheck(&mut conv, &x, 1e-2, 3e-2);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences_strided() {
+        let mut rng = Rng::new(4);
+        let mut conv = Conv2d::new(1, 2, 3, 2, 1, &mut rng);
+        let x = Tensor::randn(&[2, 1, 5, 5], 1.0, &mut rng);
+        gradcheck(&mut conv, &x, 1e-2, 3e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn wrong_channels_panics() {
+        let mut rng = Rng::new(5);
+        let mut conv = Conv2d::new(3, 2, 3, 1, 1, &mut rng);
+        let x = Tensor::zeros(&[1, 2, 4, 4]);
+        let _ = conv.forward(&x, false);
+    }
+}

@@ -1,0 +1,59 @@
+//! Flatten layer.
+
+use super::Layer;
+use crate::param::Param;
+use crate::tensor::Tensor;
+
+/// Flattens `(N, C, H, W)` (or any batched shape) to `(N, F)`.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    in_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert!(x.ndim() >= 2, "Flatten expects a batched tensor");
+        if train {
+            self.in_shape = Some(x.shape().to_vec());
+        }
+        let n = x.shape()[0];
+        let f = x.len() / n.max(1);
+        x.reshape(&[n, f])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self.in_shape.as_ref().expect("Flatten::backward before forward(train)");
+        grad_out.reshape(shape)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &'static str {
+        "Flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn flattens_and_restores() {
+        let mut rng = Rng::new(1);
+        let x = Tensor::randn(&[2, 3, 4, 4], 1.0, &mut rng);
+        let mut f = Flatten::new();
+        let y = f.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 48]);
+        let dx = f.backward(&y);
+        assert_eq!(dx.shape(), x.shape());
+        assert_eq!(dx.data(), y.data());
+    }
+}

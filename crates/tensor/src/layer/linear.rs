@@ -1,0 +1,125 @@
+//! Fully-connected layer.
+
+use super::Layer;
+use crate::init;
+use crate::param::Param;
+use crate::rng::Rng;
+use crate::tensor::Tensor;
+
+/// `y = x·Wᵀ + b` over 2-D inputs `(N, in_features)`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weight: Param, // (out, in)
+    bias: Param,   // (out)
+    in_features: usize,
+    out_features: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a Kaiming-initialized linear layer.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut Rng) -> Self {
+        let weight =
+            Param::new(init::kaiming_normal(&[out_features, in_features], in_features, rng));
+        let bias = Param::new(Tensor::zeros(&[out_features]));
+        Linear { weight, bias, in_features, out_features, cached_input: None }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.ndim(), 2, "Linear expects (N, F) input");
+        assert_eq!(x.shape()[1], self.in_features, "Linear input width mismatch");
+        let mut y = x.matmul_nt(&self.weight.value); // (N, out)
+        let n = y.shape()[0];
+        for i in 0..n {
+            for j in 0..self.out_features {
+                let v = y.get2(i, j) + self.bias.value.data()[j];
+                y.set2(i, j, v);
+            }
+        }
+        if train {
+            self.cached_input = Some(x.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cached_input.as_ref().expect("Linear::backward before forward(train)");
+        // dW (out,in) = grad_outᵀ (out,N) × x (N,in)
+        let dw = grad_out.matmul_tn(x);
+        self.weight.grad.add_assign(&dw);
+        // db = column sums of grad_out
+        let (n, o) = (grad_out.shape()[0], grad_out.shape()[1]);
+        for j in 0..o {
+            let mut s = 0.0;
+            for i in 0..n {
+                s += grad_out.get2(i, j);
+            }
+            self.bias.grad.data_mut()[j] += s;
+        }
+        // dx (N,in) = grad_out (N,out) × W (out,in)
+        grad_out.matmul(&self.weight.value)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn name(&self) -> &'static str {
+        "Linear"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::testutil::gradcheck;
+
+    #[test]
+    fn forward_known_values() {
+        let mut rng = Rng::new(0);
+        let mut l = Linear::new(2, 2, &mut rng);
+        // Overwrite with known weights.
+        l.weight.value = Tensor::from_vec(&[2, 2], vec![1., 2., 3., 4.]);
+        l.bias.value = Tensor::from_vec(&[2], vec![0.5, -0.5]);
+        let x = Tensor::from_vec(&[1, 2], vec![1., 1.]);
+        let y = l.forward(&x, false);
+        assert_eq!(y.data(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = Rng::new(1);
+        let mut l = Linear::new(3, 4, &mut rng);
+        let x = Tensor::randn(&[2, 3], 1.0, &mut rng);
+        gradcheck(&mut l, &x, 1e-2, 2e-2);
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = Rng::new(2);
+        let mut l = Linear::new(5, 7, &mut rng);
+        assert_eq!(l.param_count(), 5 * 7 + 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_input_width_panics() {
+        let mut rng = Rng::new(3);
+        let mut l = Linear::new(3, 2, &mut rng);
+        let x = Tensor::zeros(&[1, 4]);
+        let _ = l.forward(&x, false);
+    }
+}

@@ -1,0 +1,132 @@
+//! Spatial pooling layers.
+
+use super::Layer;
+use crate::param::Param;
+use crate::tensor::Tensor;
+
+/// Max pooling with square kernel and equal stride over NCHW inputs.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    kernel: usize,
+    argmax: Option<Vec<usize>>,
+    in_shape: Option<[usize; 4]>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with `kernel × kernel` windows and stride
+    /// equal to the kernel size.
+    ///
+    /// # Panics
+    /// Panics if `kernel` is zero.
+    pub fn new(kernel: usize) -> Self {
+        assert!(kernel > 0, "kernel must be positive");
+        MaxPool2d { kernel, argmax: None, in_shape: None }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.ndim(), 4, "MaxPool2d expects NCHW input");
+        let [n, c, h, w] = [x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]];
+        let k = self.kernel;
+        assert!(h >= k && w >= k, "input smaller than pooling kernel");
+        let (ho, wo) = (h / k, w / k);
+        let mut y = Tensor::zeros(&[n, c, ho, wo]);
+        let mut argmax = vec![0usize; n * c * ho * wo];
+        let xd = x.data();
+        let yd = y.data_mut();
+        for b in 0..n {
+            for ci in 0..c {
+                let base = (b * c + ci) * h * w;
+                for oy in 0..ho {
+                    for ox in 0..wo {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_i = 0;
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let i = base + (oy * k + ky) * w + ox * k + kx;
+                                if xd[i] > best {
+                                    best = xd[i];
+                                    best_i = i;
+                                }
+                            }
+                        }
+                        let o = ((b * c + ci) * ho + oy) * wo + ox;
+                        yd[o] = best;
+                        argmax[o] = best_i;
+                    }
+                }
+            }
+        }
+        if train {
+            self.argmax = Some(argmax);
+            self.in_shape = Some([n, c, h, w]);
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let argmax = self.argmax.as_ref().expect("MaxPool2d::backward before forward(train)");
+        let [n, c, h, w] = self.in_shape.expect("MaxPool2d::backward before forward(train)");
+        let mut dx = Tensor::zeros(&[n, c, h, w]);
+        let dxd = dx.data_mut();
+        for (o, &src) in argmax.iter().enumerate() {
+            dxd[src] += grad_out.data()[o];
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &'static str {
+        "MaxPool2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        let mut p = MaxPool2d::new(2);
+        let x = Tensor::from_vec(
+            &[1, 1, 4, 4],
+            vec![
+                1., 2., 5., 6., //
+                3., 4., 7., 8., //
+                9., 10., 13., 14., //
+                11., 12., 15., 16.,
+            ],
+        );
+        let y = p.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[4., 8., 12., 16.]);
+    }
+
+    #[test]
+    fn backward_routes_to_argmax() {
+        let mut p = MaxPool2d::new(2);
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1., 9., 3., 4.]);
+        let _ = p.forward(&x, true);
+        let g = Tensor::from_vec(&[1, 1, 1, 1], vec![2.5]);
+        let dx = p.backward(&g);
+        assert_eq!(dx.data(), &[0.0, 2.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn odd_sizes_truncate() {
+        let mut p = MaxPool2d::new(2);
+        let x = Tensor::zeros(&[1, 1, 5, 5]);
+        let y = p.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than pooling kernel")]
+    fn too_small_input_panics() {
+        let mut p = MaxPool2d::new(4);
+        let x = Tensor::zeros(&[1, 1, 2, 2]);
+        let _ = p.forward(&x, false);
+    }
+}

@@ -1,0 +1,144 @@
+//! Layer composition.
+
+use super::Layer;
+use crate::param::Param;
+use crate::tensor::Tensor;
+
+/// A chain of layers applied in order.
+///
+/// # Example
+///
+/// ```
+/// use ecofusion_tensor::{layer::{Layer, Linear, ReLU, Sequential}, rng::Rng, Tensor};
+/// let mut rng = Rng::new(0);
+/// let mut net = Sequential::new(vec![
+///     Box::new(Linear::new(3, 8, &mut rng)),
+///     Box::new(ReLU::new()),
+///     Box::new(Linear::new(8, 2, &mut rng)),
+/// ]);
+/// let y = net.forward(&Tensor::zeros(&[1, 3]), false);
+/// assert_eq!(y.shape(), &[1, 2]);
+/// ```
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
+        write!(f, "Sequential{names:?}")
+    }
+}
+
+impl Sequential {
+    /// Creates a sequential container from layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Sequential { layers }
+    }
+
+    /// Creates an empty container.
+    pub fn empty() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: Box<dyn Layer>) -> &mut Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the container has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, train);
+        }
+        cur
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut grad = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+        grad
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        for layer in &mut self.layers {
+            layer.visit_buffers(f);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Sequential"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::testutil::gradcheck;
+    use crate::layer::{Linear, ReLU};
+    use crate::rng::Rng;
+
+    #[test]
+    fn empty_sequential_is_identity() {
+        let mut s = Sequential::empty();
+        let x = Tensor::from_vec(&[2], vec![1.0, -1.0]);
+        assert_eq!(s.forward(&x, false), x);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn composes_layers_in_order() {
+        let mut rng = Rng::new(1);
+        let mut s = Sequential::new(vec![
+            Box::new(Linear::new(2, 4, &mut rng)),
+            Box::new(ReLU::new()),
+            Box::new(Linear::new(4, 3, &mut rng)),
+        ]);
+        assert_eq!(s.len(), 3);
+        let y = s.forward(&Tensor::zeros(&[5, 2]), false);
+        assert_eq!(y.shape(), &[5, 3]);
+    }
+
+    #[test]
+    fn gradcheck_through_stack() {
+        let mut rng = Rng::new(2);
+        let mut s = Sequential::new(vec![
+            Box::new(Linear::new(3, 5, &mut rng)),
+            Box::new(ReLU::new()),
+            Box::new(Linear::new(5, 2, &mut rng)),
+        ]);
+        let x = Tensor::randn(&[2, 3], 1.0, &mut rng);
+        gradcheck(&mut s, &x, 1e-2, 3e-2);
+    }
+
+    #[test]
+    fn param_count_sums_layers() {
+        let mut rng = Rng::new(3);
+        let mut s = Sequential::new(vec![
+            Box::new(Linear::new(2, 3, &mut rng)),
+            Box::new(Linear::new(3, 4, &mut rng)),
+        ]);
+        assert_eq!(s.param_count(), (2 * 3 + 3) + (3 * 4 + 4));
+    }
+}

@@ -1,0 +1,64 @@
+//! Minimal CPU tensor and neural-network substrate.
+//!
+//! The EcoFusion paper builds its stems, branches, and gates out of PyTorch
+//! `Conv2d`/`Linear`/attention layers trained with SGD. The Rust DNN
+//! ecosystem is thin (reproduction band 2/5), so this crate provides the
+//! smallest substrate that supports the paper end-to-end, implemented from
+//! scratch:
+//!
+//! * [`Tensor`] — dense `f32` tensor in NCHW layout with the linear-algebra
+//!   kernels the layers need (matmul, im2col, reductions).
+//! * [`layer`] — neural-network layers with hand-written backpropagation:
+//!   [`Conv2d`], [`Linear`], [`ReLU`], [`MaxPool2d`], [`BatchNorm2d`],
+//!   [`SelfAttention2d`], and the [`Sequential`] container.
+//! * [`loss`] — the paper's loss functions: softmax cross-entropy and smooth
+//!   L1 (from Faster R-CNN) plus binary cross-entropy for objectness.
+//! * [`optim`] — [`optim::Sgd`] (momentum + weight decay) and
+//!   [`optim::Adam`].
+//! * [`rng`] — seeded RNG with Box–Muller normal sampling so every
+//!   experiment is reproducible.
+//!
+//! Gradients of every layer are validated against finite differences in the
+//! test suite (see `tests` in each module and `proptest` suites).
+//!
+//! # Example
+//!
+//! ```
+//! use ecofusion_tensor::{layer::{Layer, Linear, ReLU, Sequential}, loss,
+//!                        optim::{Optimizer, Sgd}, rng::Rng, Tensor};
+//!
+//! let mut rng = Rng::new(7);
+//! let mut net = Sequential::new(vec![
+//!     Box::new(Linear::new(4, 16, &mut rng)),
+//!     Box::new(ReLU::new()),
+//!     Box::new(Linear::new(16, 3, &mut rng)),
+//! ]);
+//! let x = Tensor::randn(&[8, 4], 1.0, &mut rng);
+//! let labels = vec![0usize, 1, 2, 0, 1, 2, 0, 1];
+//! let mut opt = Sgd::new(0.1, 0.9, 0.0);
+//! for _ in 0..50 {
+//!     let logits = net.forward(&x, true);
+//!     let (l, grad) = loss::softmax_cross_entropy(&logits, &labels);
+//!     net.zero_grad();
+//!     net.backward(&grad);
+//!     opt.step(&mut net);
+//!     let _ = l;
+//! }
+//! ```
+
+pub mod init;
+pub mod layer;
+pub mod loss;
+pub mod optim;
+pub mod param;
+pub mod rng;
+pub mod serialize;
+pub mod tensor;
+
+pub use layer::{
+    BatchNorm2d, Conv2d, Layer, LeakyReLU, Linear, MaxPool2d, ReLU, SelfAttention2d, Sequential,
+    Sigmoid,
+};
+pub use param::Param;
+pub use rng::Rng;
+pub use tensor::Tensor;

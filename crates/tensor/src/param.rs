@@ -1,0 +1,68 @@
+//! Trainable parameter storage.
+
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A trainable tensor together with its gradient and optimizer state.
+///
+/// Embedding the optimizer moments in the parameter keeps the optimizer
+/// itself stateless, which avoids fragile param-to-state keying when models
+/// are composed of many heterogeneous modules (stems, branches, gates).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+    /// First-moment buffer (SGD momentum / Adam m).
+    pub m: Tensor,
+    /// Second-moment buffer (Adam v).
+    pub v: Tensor,
+}
+
+impl Param {
+    /// Wraps an initial value with zeroed gradient and moments.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        let m = Tensor::zeros(value.shape());
+        let v = Tensor::zeros(value.shape());
+        Param { value, grad, m, v }
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.data_mut().iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad_and_moments() {
+        let p = Param::new(Tensor::ones(&[2, 2]));
+        assert_eq!(p.grad.sum(), 0.0);
+        assert_eq!(p.m.sum(), 0.0);
+        assert_eq!(p.v.sum(), 0.0);
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Tensor::ones(&[3]));
+        p.grad.data_mut()[1] = 5.0;
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Model parameter (de)serialization.
+//!
+//! Parameters are extracted in [`Layer::visit_params`] order into a plain
+//! `Vec<Tensor>` snapshot that serializes with serde. Loading validates
+//! count and shapes, so a snapshot can only be restored into an identically
+//! structured model.
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// A serializable snapshot of a module's parameter values and state
+/// buffers (batch-norm running statistics).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ParamSnapshot {
+    tensors: Vec<Tensor>,
+    #[serde(default)]
+    buffers: Vec<Tensor>,
+}
+
+impl ParamSnapshot {
+    /// Captures the current parameter values and buffers of `layer`.
+    pub fn capture(layer: &mut dyn Layer) -> Self {
+        let mut tensors = Vec::new();
+        layer.visit_params(&mut |p| tensors.push(p.value.clone()));
+        let mut buffers = Vec::new();
+        layer.visit_buffers(&mut |b| buffers.push(b.clone()));
+        ParamSnapshot { tensors, buffers }
+    }
+
+    /// Number of parameter tensors in the snapshot.
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// Restores the snapshot into `layer`.
+    ///
+    /// # Errors
+    /// Returns [`RestoreSnapshotError`] if the parameter count or any shape
+    /// does not match.
+    pub fn restore(&self, layer: &mut dyn Layer) -> Result<(), RestoreSnapshotError> {
+        let mut count = 0;
+        layer.visit_params(&mut |_| count += 1);
+        if count != self.tensors.len() {
+            return Err(RestoreSnapshotError::CountMismatch {
+                expected: self.tensors.len(),
+                found: count,
+            });
+        }
+        let mut buf_count = 0;
+        layer.visit_buffers(&mut |_| buf_count += 1);
+        if buf_count != self.buffers.len() {
+            return Err(RestoreSnapshotError::CountMismatch {
+                expected: self.buffers.len(),
+                found: buf_count,
+            });
+        }
+        // Validate shapes first so restore is all-or-nothing.
+        let mut idx = 0;
+        let mut shape_err = None;
+        layer.visit_params(&mut |p| {
+            if shape_err.is_none() && p.value.shape() != self.tensors[idx].shape() {
+                shape_err = Some(RestoreSnapshotError::ShapeMismatch {
+                    index: idx,
+                    expected: self.tensors[idx].shape().to_vec(),
+                    found: p.value.shape().to_vec(),
+                });
+            }
+            idx += 1;
+        });
+        let mut idx = 0;
+        layer.visit_buffers(&mut |b| {
+            if shape_err.is_none() && b.shape() != self.buffers[idx].shape() {
+                shape_err = Some(RestoreSnapshotError::ShapeMismatch {
+                    index: idx,
+                    expected: self.buffers[idx].shape().to_vec(),
+                    found: b.shape().to_vec(),
+                });
+            }
+            idx += 1;
+        });
+        if let Some(e) = shape_err {
+            return Err(e);
+        }
+        let mut idx = 0;
+        layer.visit_params(&mut |p| {
+            p.value = self.tensors[idx].clone();
+            idx += 1;
+        });
+        let mut idx = 0;
+        layer.visit_buffers(&mut |b| {
+            *b = self.buffers[idx].clone();
+            idx += 1;
+        });
+        Ok(())
+    }
+}
+
+/// Error restoring a [`ParamSnapshot`] into a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreSnapshotError {
+    /// The model has a different number of parameter tensors.
+    CountMismatch {
+        /// Tensors in the snapshot.
+        expected: usize,
+        /// Tensors in the target model.
+        found: usize,
+    },
+    /// A tensor shape differs at the given visit index.
+    ShapeMismatch {
+        /// Visit-order index of the offending tensor.
+        index: usize,
+        /// Shape stored in the snapshot.
+        expected: Vec<usize>,
+        /// Shape in the target model.
+        found: Vec<usize>,
+    },
+}
+
+impl fmt::Display for RestoreSnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreSnapshotError::CountMismatch { expected, found } => {
+                write!(f, "snapshot has {expected} tensors but model has {found}")
+            }
+            RestoreSnapshotError::ShapeMismatch { index, expected, found } => {
+                write!(
+                    f,
+                    "tensor {index} shape mismatch: snapshot {expected:?}, model {found:?}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for RestoreSnapshotError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Linear, ReLU, Sequential};
+    use crate::rng::Rng;
+
+    #[test]
+    fn capture_restore_roundtrip() {
+        let mut rng = Rng::new(1);
+        let mut a = Sequential::new(vec![
+            Box::new(Linear::new(3, 4, &mut rng)),
+            Box::new(ReLU::new()),
+            Box::new(Linear::new(4, 2, &mut rng)),
+        ]);
+        let snap = ParamSnapshot::capture(&mut a);
+        let mut b = Sequential::new(vec![
+            Box::new(Linear::new(3, 4, &mut rng)),
+            Box::new(ReLU::new()),
+            Box::new(Linear::new(4, 2, &mut rng)),
+        ]);
+        snap.restore(&mut b).unwrap();
+        let x = crate::tensor::Tensor::randn(&[2, 3], 1.0, &mut rng);
+        let ya = a.forward(&x, false);
+        let yb = b.forward(&x, false);
+        assert_eq!(ya, yb);
+    }
+
+    #[test]
+    fn restore_count_mismatch_errors() {
+        let mut rng = Rng::new(2);
+        let mut a = Sequential::new(vec![Box::new(Linear::new(2, 2, &mut rng))]);
+        let snap = ParamSnapshot::capture(&mut a);
+        let mut b = Sequential::new(vec![
+            Box::new(Linear::new(2, 2, &mut rng)),
+            Box::new(Linear::new(2, 2, &mut rng)),
+        ]);
+        let err = snap.restore(&mut b).unwrap_err();
+        assert!(matches!(err, RestoreSnapshotError::CountMismatch { .. }));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn restore_shape_mismatch_errors_and_leaves_model_intact() {
+        let mut rng = Rng::new(3);
+        let mut a = Sequential::new(vec![Box::new(Linear::new(2, 3, &mut rng))]);
+        let snap = ParamSnapshot::capture(&mut a);
+        let mut b = Sequential::new(vec![Box::new(Linear::new(3, 2, &mut rng))]);
+        let before = ParamSnapshot::capture(&mut b);
+        let err = snap.restore(&mut b).unwrap_err();
+        assert!(matches!(err, RestoreSnapshotError::ShapeMismatch { .. }));
+        let after = ParamSnapshot::capture(&mut b);
+        assert_eq!(before, after, "failed restore must not modify the model");
+    }
+
+    #[test]
+    fn snapshot_serde_json_roundtrip() {
+        let mut rng = Rng::new(4);
+        let mut a = Sequential::new(vec![Box::new(Linear::new(2, 2, &mut rng))]);
+        let snap = ParamSnapshot::capture(&mut a);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: ParamSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+    }
+}

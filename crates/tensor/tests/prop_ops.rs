@@ -1,0 +1,115 @@
+//! Property-based tests of the tensor kernels and layer gradients.
+
+use ecofusion_tensor::layer::{Layer, Linear};
+use ecofusion_tensor::rng::Rng;
+use ecofusion_tensor::tensor::Tensor;
+use proptest::prelude::*;
+
+fn arb_shape2() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..6, 1usize..6, 1usize..6)
+}
+
+proptest! {
+    #[test]
+    fn matmul_distributes_over_addition((m, k, n) in arb_shape2(), seed in 0u64..1000) {
+        let mut rng = Rng::new(seed);
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let c = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let left = a.matmul(&b.add(&c));
+        let right = a.matmul(&b).add(&a.matmul(&c));
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution((m, _k, n) in arb_shape2(), seed in 0u64..1000) {
+        let mut rng = Rng::new(seed);
+        let a = Tensor::randn(&[m, n], 1.0, &mut rng);
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit((m, k, n) in arb_shape2(), seed in 0u64..1000) {
+        let mut rng = Rng::new(seed);
+        let a = Tensor::randn(&[k, m], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let fast = a.matmul_tn(&b);
+        let slow = a.transpose().matmul(&b);
+        for (x, y) in fast.data().iter().zip(slow.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(rows in 1usize..5, cols in 1usize..8, seed in 0u64..1000) {
+        let mut rng = Rng::new(seed);
+        let t = Tensor::randn(&[rows, cols], 3.0, &mut rng);
+        let s = t.softmax_rows();
+        for r in 0..rows {
+            let mut sum = 0.0f32;
+            for c in 0..cols {
+                let v = s.get2(r, c);
+                prop_assert!((0.0..=1.0 + 1e-6).contains(&v));
+                sum += v;
+            }
+            prop_assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn concat_split_roundtrip(c1 in 1usize..4, c2 in 1usize..4, hw in 1usize..5, seed in 0u64..1000) {
+        let mut rng = Rng::new(seed);
+        let a = Tensor::randn(&[2, c1, hw, hw], 1.0, &mut rng);
+        let b = Tensor::randn(&[2, c2, hw, hw], 1.0, &mut rng);
+        let cat = Tensor::concat_channels(&[&a, &b]);
+        let parts = cat.split_channels(&[c1, c2]);
+        prop_assert_eq!(&parts[0], &a);
+        prop_assert_eq!(&parts[1], &b);
+    }
+
+    #[test]
+    fn linear_gradient_matches_finite_difference(
+        inf in 1usize..5, outf in 1usize..5, seed in 0u64..200,
+    ) {
+        let mut rng = Rng::new(seed);
+        let mut layer = Linear::new(inf, outf, &mut rng);
+        let x = Tensor::randn(&[2, inf], 1.0, &mut rng);
+        // Objective: 0.5 * ||y||^2; analytic input grad via backward.
+        let y = layer.forward(&x, true);
+        layer.zero_grad();
+        let grad = layer.backward(&y);
+        let eps = 1e-2f32;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let fp = 0.5 * layer.forward(&xp, false).norm_sq();
+            xp.data_mut()[i] -= 2.0 * eps;
+            let fm = 0.5 * layer.forward(&xp, false).norm_sq();
+            let num = (fp - fm) / (2.0 * eps);
+            prop_assert!(
+                (num - grad.data()[i]).abs() < 2e-2 * (1.0 + num.abs()),
+                "dim {i}: numeric {num} vs analytic {}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn scale_then_sum_is_linear(len in 1usize..32, k in -3.0f32..3.0, seed in 0u64..1000) {
+        let mut rng = Rng::new(seed);
+        let t = Tensor::randn(&[len], 1.0, &mut rng);
+        let scaled_sum = t.scaled(k).sum();
+        prop_assert!((scaled_sum - k * t.sum()).abs() < 1e-3 * (1.0 + t.sum().abs() * k.abs()));
+    }
+
+    #[test]
+    fn rng_normal_is_finite(mean in -10.0f64..10.0, std in 0.0f64..5.0, seed in 0u64..1000) {
+        let mut rng = Rng::new(seed);
+        for _ in 0..32 {
+            let v = rng.normal(mean, std);
+            prop_assert!(v.is_finite());
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! The λ_E energy–performance dial (the workload behind the paper's
+//! Fig. 4): sweeping λ_E from 0 (performance-only) to 1 (energy-only)
+//! trades loss for energy along a Pareto-like frontier.
+//!
+//! ```text
+//! cargo run --release --example energy_tradeoff
+//! ```
+
+use ecofusion::detect::fusion_loss;
+use ecofusion::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = Dataset::generate(&DatasetSpec::small(21));
+    let mut config = TrainConfig::fast_demo();
+    config.verbose = true;
+    let mut model = Trainer::new(config, 21).train(&dataset)?;
+
+    println!("{:>8} | {:>10} | {:>10} | {:>12}", "lambda_E", "avg loss", "energy (J)", "latency (ms)");
+    for lambda in [0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0] {
+        let opts = InferenceOptions::new(lambda, 0.5).with_gate(GateKind::Attention);
+        let mut loss = 0.0f64;
+        let mut energy = 0.0f64;
+        let mut latency = 0.0f64;
+        for frame in dataset.test() {
+            let out = model.infer(frame, &opts)?;
+            loss += fusion_loss(&out.detections, &frame.gt_boxes()).total() as f64;
+            energy += out.energy_joules();
+            latency += out.energy.latency.millis();
+        }
+        let n = dataset.test().len() as f64;
+        println!(
+            "{:>8} | {:>10.3} | {:>10.3} | {:>12.2}",
+            lambda,
+            loss / n,
+            energy / n,
+            latency / n
+        );
+    }
+    println!("\nRaising lambda_E buys energy with (bounded, via gamma) loss increase —");
+    println!("the dial a deployment tunes to its battery and safety budget.");
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! # EcoFusion
+//!
+//! A Rust reproduction of *"EcoFusion: Energy-Aware Adaptive Sensor Fusion
+//! for Efficient Autonomous Vehicle Perception"* (DAC 2022).
+//!
+//! This facade crate re-exports the public API of every workspace crate so a
+//! downstream user can depend on `ecofusion` alone.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use ecofusion::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Generate a synthetic RADIATE-like dataset, train the model, and run
+//! // the adaptive pipeline on one frame.
+//! let spec = DatasetSpec::small(42);
+//! let dataset = Dataset::generate(&spec);
+//! let mut trainer = Trainer::new(TrainConfig::fast_demo(), 42);
+//! let mut model = trainer.train(&dataset)?;
+//! let frame = &dataset.test()[0];
+//! let out = model.infer(frame, &InferenceOptions::new(0.01, 0.5))?;
+//! println!("selected {}, {} detections, {:.3} J",
+//!          out.selected_label, out.detections.len(), out.energy_joules());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios.
+
+pub use ecofusion_core as core;
+pub use ecofusion_detect as detect;
+pub use ecofusion_energy as energy;
+pub use ecofusion_eval as eval;
+pub use ecofusion_gating as gating;
+pub use ecofusion_scene as scene;
+pub use ecofusion_sensors as sensors;
+pub use ecofusion_tensor as tensor;
+
+/// Convenient single-import surface for the most common types.
+pub mod prelude {
+    pub use ecofusion_core::{
+        BranchId, ConfigId, ConfigSpace, Dataset, DatasetSpec, EcoFusionModel, Frame,
+        InferenceOptions, TrainConfig, Trainer,
+    };
+    pub use ecofusion_detect::{BBox, Detection, WbfParams};
+    pub use ecofusion_energy::{EnergyBreakdown, Joules, Millis, Px2Model, SensorPowerModel};
+    pub use ecofusion_eval::{map_voc, EvalSummary};
+    pub use ecofusion_gating::{AttentionGate, DeepGate, GateKind, KnowledgeGate, LossBasedGate};
+    pub use ecofusion_scene::{Context, ObjectClass, Scene, ScenarioGenerator};
+    pub use ecofusion_sensors::{SensorKind, SensorSuite};
+}
