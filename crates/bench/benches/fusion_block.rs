@@ -29,9 +29,7 @@ fn bench_fusers(c: &mut Criterion) {
             (0..4).map(|_| random_detections(n / 4, &mut rng)).collect();
         let flat: Vec<Detection> = branches.iter().flatten().copied().collect();
         group.bench_with_input(BenchmarkId::new("wbf", n), &branches, |b, branches| {
-            b.iter(|| {
-                black_box(weighted_boxes_fusion(branches, &WbfParams::default(), 4))
-            });
+            b.iter(|| black_box(weighted_boxes_fusion(branches, &WbfParams::default(), 4)));
         });
         group.bench_with_input(BenchmarkId::new("nms", n), &flat, |b, flat| {
             b.iter(|| black_box(nms(flat.clone(), 0.5)));

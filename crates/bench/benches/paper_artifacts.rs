@@ -36,13 +36,9 @@ fn artifact_table1_map(c: &mut Criterion) {
     let (mut model, data) = bench_fixture(12);
     let opts = InferenceOptions::new(0.0, 0.5);
     let late = model.baseline_ids().late;
-    let dets: Vec<Vec<ecofusion_detect::Detection>> = data
-        .test()
-        .iter()
-        .map(|f| model.detect_static(f, late, &opts).0)
-        .collect();
-    let gts: Vec<GtFrame> =
-        data.test().iter().map(|f| GtFrame { boxes: f.gt_boxes() }).collect();
+    let dets: Vec<Vec<ecofusion_detect::Detection>> =
+        data.test().iter().map(|f| model.detect_static(f, late, &opts).0).collect();
+    let gts: Vec<GtFrame> = data.test().iter().map(|f| GtFrame { boxes: f.gt_boxes() }).collect();
     c.bench_function("table1_map_voc", |bench| {
         bench.iter(|| black_box(map_voc(&dets, &gts, 8, 0.5)))
     });
@@ -74,21 +70,16 @@ fn artifact_fig4_optimizer(c: &mut Criterion) {
     let space = ecofusion_core::ConfigSpace::canonical();
     let energies = space.energies(&Px2Model::default(), StemPolicy::Adaptive);
     let mut rng = ecofusion_tensor::rng::Rng::new(14);
-    let losses: Vec<f32> = (0..space.num_configs())
-        .map(|_| rng.uniform(0.5, 6.0) as f32)
-        .collect();
+    let losses: Vec<f32> = (0..space.num_configs()).map(|_| rng.uniform(0.5, 6.0) as f32).collect();
     c.bench_function("fig4_joint_optimization_127_configs", |bench| {
-        bench.iter(|| {
-            black_box(select_config(&losses, &energies, 0.05, 0.5, CandidateRule::Margin))
-        })
+        bench
+            .iter(|| black_box(select_config(&losses, &energies, 0.05, 0.5, CandidateRule::Margin)))
     });
 }
 
 /// Table 3: the full clock-gating energy table (pure arithmetic).
 fn artifact_table3(c: &mut Criterion) {
-    c.bench_function("table3_energy_model", |bench| {
-        bench.iter(|| black_box(table3::run()))
-    });
+    c.bench_function("table3_energy_model", |bench| bench.iter(|| black_box(table3::run())));
 }
 
 criterion_group!(

@@ -12,11 +12,9 @@ fn bench_static_configs(c: &mut Criterion) {
     let opts = InferenceOptions::new(0.0, 0.5);
     let b = model.baseline_ids();
     let mut group = c.benchmark_group("static_config");
-    for (name, id) in [
-        ("single_camera", b.camera_right),
-        ("early_fusion", b.early),
-        ("late_fusion", b.late),
-    ] {
+    for (name, id) in
+        [("single_camera", b.camera_right), ("early_fusion", b.early), ("late_fusion", b.late)]
+    {
         group.bench_function(name, |bench| {
             bench.iter(|| black_box(model.detect_static(frame, id, &opts)));
         });
@@ -49,5 +47,32 @@ fn bench_stems_and_gate_features(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_static_configs, bench_adaptive, bench_stems_and_gate_features);
+/// Batched vs. sequential adaptive inference over the same 8 frames: the
+/// amortization the `infer_batch` path buys (shared stems, one gate pass,
+/// grouped branch execution).
+fn bench_batched_inference(c: &mut Criterion) {
+    let (mut model, data) = bench_fixture(10);
+    let frames: Vec<_> = data.test().iter().take(8).cloned().collect();
+    let opts = InferenceOptions::new(0.01, 0.5).with_gate(GateKind::Attention);
+    let mut group = c.benchmark_group("adaptive_infer_8_frames");
+    group.bench_function("sequential", |bench| {
+        bench.iter(|| {
+            for f in &frames {
+                black_box(model.infer(f, &opts).unwrap());
+            }
+        });
+    });
+    group.bench_function("batched", |bench| {
+        bench.iter(|| black_box(model.infer_batch(&frames, &opts).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_static_configs,
+    bench_adaptive,
+    bench_stems_and_gate_features,
+    bench_batched_inference
+);
 criterion_main!(benches);

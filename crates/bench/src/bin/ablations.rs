@@ -1,7 +1,10 @@
 //! Runs the DESIGN.md ablation studies: `gamma`, `rule`, `fusion`, or
 //! `all` (default).
 
-use ecofusion_eval::experiments::{ablations, common::{Scale, Setup}};
+use ecofusion_eval::experiments::{
+    ablations,
+    common::{Scale, Setup},
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

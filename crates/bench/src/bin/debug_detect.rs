@@ -8,15 +8,16 @@ use ecofusion_scene::Context;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let grid: usize = args.iter().position(|a| a == "--grid").map_or(48, |i| {
-        args[i + 1].parse().expect("grid")
-    });
-    let epochs: usize = args.iter().position(|a| a == "--epochs").map_or(10, |i| {
-        args[i + 1].parse().expect("epochs")
-    });
-    let scenes: usize = args.iter().position(|a| a == "--scenes").map_or(100, |i| {
-        args[i + 1].parse().expect("scenes")
-    });
+    let grid: usize =
+        args.iter().position(|a| a == "--grid").map_or(48, |i| args[i + 1].parse().expect("grid"));
+    let epochs: usize = args
+        .iter()
+        .position(|a| a == "--epochs")
+        .map_or(10, |i| args[i + 1].parse().expect("epochs"));
+    let scenes: usize = args
+        .iter()
+        .position(|a| a == "--scenes")
+        .map_or(100, |i| args[i + 1].parse().expect("scenes"));
     let spec = DatasetSpec {
         seed: 5,
         grid,
@@ -25,47 +26,50 @@ fn main() {
         mix: DatasetMix::Single(Context::City),
     };
     let data = Dataset::generate(&spec);
-    let mut config = TrainConfig { grid, branch_epochs: epochs, gate_epochs: 1, verbose: true, ..TrainConfig::fast_demo() };
+    let mut config = TrainConfig {
+        grid,
+        branch_epochs: epochs,
+        gate_epochs: 1,
+        verbose: true,
+        ..TrainConfig::fast_demo()
+    };
     config.num_classes = 8;
     let mut trainer = Trainer::new(config, 6);
     let mut model = trainer.train(&data).expect("train");
     let opts = InferenceOptions::new(0.0, 0.5);
 
     // Per-branch diagnostics over train and test splits.
-    let branch_labels: Vec<String> =
-        model.space().branches().iter().map(|b| b.label()).collect();
+    let branch_labels: Vec<String> = model.space().branches().iter().map(|b| b.label()).collect();
     for (split, frames) in [("train", data.train()), ("test", data.test())] {
-    println!("--- split: {split} ---");
-    for b in 0..model.space().num_branches() {
-        let mut n_dets = 0usize;
-        let mut n_gts = 0usize;
-        let mut iou_sum = 0.0f32;
-        let mut matched = 0usize;
-        let mut dets_per_frame = Vec::new();
-        let mut gt_frames = Vec::new();
-        for f in frames {
-            let feats = model.stem_features(&f.obs, false);
-            let dets = model.run_branch(b, &feats, opts.score_thresh, opts.nms_iou);
-            let gts = f.gt_boxes();
-            n_dets += dets.len();
-            n_gts += gts.len();
-            for gt in &gts {
-                let gb: BBox = (*gt).into();
-                let best = dets
-                    .iter()
-                    .map(|d| d.bbox.iou(&gb))
-                    .fold(0.0f32, f32::max);
-                if best > 0.0 {
-                    iou_sum += best;
-                    matched += 1;
+        println!("--- split: {split} ---");
+        #[allow(clippy::needless_range_loop)] // b indexes the model and labels alike
+        for b in 0..model.space().num_branches() {
+            let mut n_dets = 0usize;
+            let mut n_gts = 0usize;
+            let mut iou_sum = 0.0f32;
+            let mut matched = 0usize;
+            let mut dets_per_frame = Vec::new();
+            let mut gt_frames = Vec::new();
+            for f in frames {
+                let feats = model.stem_features(&f.obs, false);
+                let dets = model.run_branch(b, &feats, opts.score_thresh, opts.nms_iou);
+                let gts = f.gt_boxes();
+                n_dets += dets.len();
+                n_gts += gts.len();
+                for gt in &gts {
+                    let gb: BBox = (*gt).into();
+                    let best = dets.iter().map(|d| d.bbox.iou(&gb)).fold(0.0f32, f32::max);
+                    if best > 0.0 {
+                        iou_sum += best;
+                        matched += 1;
+                    }
                 }
+                dets_per_frame.push(dets);
+                gt_frames.push(GtFrame { boxes: gts });
             }
-            dets_per_frame.push(dets);
-            gt_frames.push(GtFrame { boxes: gts });
-        }
-        let ap = map_voc(&dets_per_frame, &gt_frames, 8, 0.5) * 100.0;
-        let ap35 = map_voc(&dets_per_frame, &gt_frames, 8, 0.35) * 100.0;
-        println!(
+            let ap = map_voc(&dets_per_frame, &gt_frames, 8, 0.5) * 100.0;
+            let ap35 = map_voc(&dets_per_frame, &gt_frames, 8, 0.35) * 100.0;
+            println!(
             "branch {:<16} dets {:>4} vs gts {:>4} | mean best IoU {:.3} ({} matched) | mAP@.5 {:>6.2}% mAP@.35 {:>6.2}%",
             branch_labels[b],
             n_dets,
@@ -75,7 +79,7 @@ fn main() {
             ap,
             ap35,
         );
-    }
+        }
     }
 
     // Late fusion mAP.

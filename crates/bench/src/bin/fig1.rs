@@ -1,6 +1,9 @@
 //! Regenerates paper Figure 1 (City vs Rain loss/energy comparison).
 
-use ecofusion_eval::experiments::{common::{Scale, Setup}, fig1};
+use ecofusion_eval::experiments::{
+    common::{Scale, Setup},
+    fig1,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

@@ -1,6 +1,9 @@
 //! Regenerates paper Figure 4 (energy–loss trade-off, λ_E sweep per gate).
 
-use ecofusion_eval::experiments::{common::{Scale, Setup}, fig4};
+use ecofusion_eval::experiments::{
+    common::{Scale, Setup},
+    fig4,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

@@ -1,6 +1,9 @@
 //! Regenerates paper Figure 5 (per-scenario loss and energy).
 
-use ecofusion_eval::experiments::{common::{Scale, Setup}, fig5};
+use ecofusion_eval::experiments::{
+    common::{Scale, Setup},
+    fig5,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

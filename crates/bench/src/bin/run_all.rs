@@ -8,7 +8,9 @@
 //! ```
 
 use ecofusion_eval::experiments::{
-    ablations, common::{Scale, Setup}, fig1, fig4, fig5, table1, table2, table3,
+    ablations,
+    common::{Scale, Setup},
+    fig1, fig4, fig5, table1, table2, table3,
 };
 
 fn main() {

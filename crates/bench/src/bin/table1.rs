@@ -2,7 +2,10 @@
 //! evaluation). `--full` runs the full-scale harness; `--json` also writes
 //! `results/table1.json`.
 
-use ecofusion_eval::experiments::{common::{Scale, Setup}, table1};
+use ecofusion_eval::experiments::{
+    common::{Scale, Setup},
+    table1,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

@@ -1,6 +1,9 @@
 //! Regenerates paper Table 2 (gating method evaluation).
 
-use ecofusion_eval::experiments::{common::{Scale, Setup}, table2};
+use ecofusion_eval::experiments::{
+    common::{Scale, Setup},
+    table2,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

@@ -53,7 +53,13 @@ impl DatasetSpec {
     /// Small, fast configuration for tests and the quickstart example
     /// (32-pixel grids, 72 scenes).
     pub fn small(seed: u64) -> Self {
-        DatasetSpec { seed, grid: 32, num_scenes: 72, train_fraction: 0.7, mix: DatasetMix::Radiate }
+        DatasetSpec {
+            seed,
+            grid: 32,
+            num_scenes: 72,
+            train_fraction: 0.7,
+            mix: DatasetMix::Radiate,
+        }
     }
 
     /// The configuration used by the experiment harness (48-pixel grids,
@@ -104,8 +110,7 @@ impl Dataset {
         let mut split_rng = Rng::new(spec.seed ^ 0x5117);
         let scenes_only: Vec<Scene> = frames.iter().map(|f| f.scene.clone()).collect();
         let (train_scenes, _) = split_scenes(scenes_only, spec.train_fraction, &mut split_rng);
-        let train_ids: std::collections::HashSet<u64> =
-            train_scenes.iter().map(|s| s.id).collect();
+        let train_ids: std::collections::HashSet<u64> = train_scenes.iter().map(|s| s.id).collect();
         let (mut train, mut test) = (Vec::new(), Vec::new());
         for f in frames {
             if train_ids.contains(&f.scene.id) {
@@ -155,11 +160,11 @@ fn render_scenes(suite: &SensorSuite, scenes: Vec<Scene>, seed: u64) -> Vec<Fram
     let chunk = scenes.len().div_ceil(n_threads);
     let chunks: Vec<Vec<Scene>> = scenes.chunks(chunk).map(|c| c.to_vec()).collect();
     let mut out: Vec<Frame> = Vec::new();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|chunk| {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     chunk
                         .into_iter()
                         .map(|scene| {
@@ -174,8 +179,7 @@ fn render_scenes(suite: &SensorSuite, scenes: Vec<Scene>, seed: u64) -> Vec<Fram
         for h in handles {
             out.extend(h.join().expect("render worker panicked"));
         }
-    })
-    .expect("render scope");
+    });
     out
 }
 

@@ -15,7 +15,7 @@
 //! | Rain | `{C_L, C_R, L, R}` (full late fusion) | 13.27 |
 //! | Rural | `{C_R, E(C_L+C_R)}` | 3.81 |
 
-use crate::config::{ConfigSpace, ConfigId};
+use crate::config::{ConfigId, ConfigSpace};
 use ecofusion_scene::Context;
 use std::collections::BTreeMap;
 
@@ -32,18 +32,12 @@ pub fn default_knowledge_rules(space: &ConfigSpace) -> BTreeMap<Context, usize> 
     let cameras_only = space.config_of(&[S::EARLY_CAMERAS]);
     rules.insert(Context::Junction, cameras_only);
     rules.insert(Context::Motorway, cameras_only);
-    rules.insert(
-        Context::Night,
-        space.config_of(&[S::CAMERA_RIGHT, S::LIDAR, S::RADAR]),
-    );
+    rules.insert(Context::Night, space.config_of(&[S::CAMERA_RIGHT, S::LIDAR, S::RADAR]));
     rules.insert(
         Context::Rain,
         space.config_of(&[S::CAMERA_LEFT, S::CAMERA_RIGHT, S::LIDAR, S::RADAR]),
     );
-    rules.insert(
-        Context::Rural,
-        space.config_of(&[S::CAMERA_RIGHT, S::EARLY_CAMERAS]),
-    );
+    rules.insert(Context::Rural, space.config_of(&[S::CAMERA_RIGHT, S::EARLY_CAMERAS]));
     rules.into_iter().map(|(c, id)| (c, id.0)).collect()
 }
 
@@ -98,8 +92,8 @@ mod tests {
         for ctx in [Context::Fog, Context::Snow, Context::Night, Context::Rain] {
             let id = ConfigId(rules[&ctx]);
             let specs = space.branch_specs(id);
-            let uses_radar = Px2Model::sensors_used(&specs)
-                .contains(&ecofusion_sensors::SensorKind::Radar);
+            let uses_radar =
+                Px2Model::sensors_used(&specs).contains(&ecofusion_sensors::SensorKind::Radar);
             assert!(uses_radar, "{ctx:?} should keep radar on");
         }
     }

@@ -37,4 +37,4 @@ pub use model::{EcoFusionModel, GateSet, InferenceOptions, InferenceOutput};
 pub use optimizer::{joint_loss, select_candidates, select_config, CandidateRule};
 pub use snapshot::{ModelSnapshot, RestoreModelError};
 pub use temporal::{ClockGatingController, EpisodeEnergyReport, SensorSchedule};
-pub use trainer::{TrainConfig, Trainer, TrainError};
+pub use trainer::{TrainConfig, TrainError, Trainer};

@@ -2,8 +2,8 @@
 
 use crate::config::{BaselineIds, ConfigId, ConfigSpace};
 use crate::optimizer::{select_config, CandidateRule};
-use ecofusion_detect::{fusion_loss, BranchConfig, BranchDetector, Detection, Stem, WbfParams};
 use ecofusion_detect::weighted_boxes_fusion;
+use ecofusion_detect::{fusion_loss, BranchConfig, BranchDetector, Detection, Stem, WbfParams};
 use ecofusion_energy::{EnergyBreakdown, Joules, Px2Model, SensorPowerModel, StemPolicy};
 use ecofusion_gating::{
     AttentionGate, DeepGate, Gate, GateInput, GateKind, KnowledgeGate, LossBasedGate,
@@ -146,7 +146,10 @@ impl EcoFusionModel {
     /// Panics if `grid` is not a multiple of 16 (stems halve the
     /// resolution and branches need a multiple of 8).
     pub fn new(grid: usize, num_classes: usize, rng: &mut Rng) -> Self {
-        assert!(grid % 16 == 0 && grid >= 32, "grid must be a multiple of 16, at least 32");
+        assert!(
+            grid.is_multiple_of(16) && grid >= 32,
+            "grid must be a multiple of 16, at least 32"
+        );
         let space = ConfigSpace::canonical();
         let stems: Vec<Stem> = (0..SensorKind::COUNT).map(|_| Stem::new(1, rng)).collect();
         let branches: Vec<BranchDetector> = space
@@ -231,9 +234,24 @@ impl EcoFusionModel {
     /// Runs every stem over an observation. `train` controls batch-norm
     /// statistics and activation caching.
     pub fn stem_features(&mut self, obs: &Observation, train: bool) -> Vec<Tensor> {
+        SensorKind::ALL.iter().map(|k| self.stems[k.index()].forward(obs.grid(*k), train)).collect()
+    }
+
+    /// Runs every stem once over a whole batch of observations: each
+    /// sensor's grids are stacked along the batch axis, so the stem's
+    /// convolution lowering and GEMM amortize across frames. Returns one
+    /// `(N, 8, g/2, g/2)` tensor per sensor.
+    ///
+    /// Only meaningful in eval mode (`train = false` semantics): batched
+    /// batch-norm statistics would couple the frames during training.
+    pub fn stem_features_batch(&mut self, observations: &[&Observation]) -> Vec<Tensor> {
         SensorKind::ALL
             .iter()
-            .map(|k| self.stems[k.index()].forward(obs.grid(*k), train))
+            .map(|k| {
+                let grids: Vec<&Tensor> = observations.iter().map(|o| o.grid(*k)).collect();
+                let stacked = Tensor::stack_batch(&grids);
+                self.stems[k.index()].forward(&stacked, false)
+            })
             .collect()
     }
 
@@ -247,8 +265,7 @@ impl EcoFusionModel {
     /// the sensors the branch consumes, in spec order).
     pub fn branch_input(&self, branch: usize, stem_feats: &[Tensor]) -> Tensor {
         let spec = &self.space.branches()[branch];
-        let parts: Vec<&Tensor> =
-            spec.sensors().iter().map(|k| &stem_feats[k.index()]).collect();
+        let parts: Vec<&Tensor> = spec.sensors().iter().map(|k| &stem_feats[k.index()]).collect();
         Tensor::concat_channels(&parts)
     }
 
@@ -276,6 +293,41 @@ impl EcoFusionModel {
             .collect()
     }
 
+    /// Runs one branch over batched per-sensor stem features (from
+    /// [`EcoFusionModel::stem_features_batch`]), returning detections for
+    /// every frame in the batch.
+    pub fn run_branch_batch(
+        &mut self,
+        branch: usize,
+        batch_feats: &[Tensor],
+        score_thresh: f32,
+        nms_iou: f32,
+    ) -> Vec<Vec<Detection>> {
+        let input = self.branch_input(branch, batch_feats);
+        self.branches[branch].detect_batch(&input, score_thresh, nms_iou)
+    }
+
+    /// Runs all branches over batched stem features, returning detections
+    /// indexed `[frame][branch]` (the shape `config_losses_from` expects
+    /// per frame).
+    pub fn all_branch_detections_batch(
+        &mut self,
+        batch_feats: &[Tensor],
+        score_thresh: f32,
+        nms_iou: f32,
+    ) -> Vec<Vec<Vec<Detection>>> {
+        let n = batch_feats[0].shape()[0];
+        let mut per_frame: Vec<Vec<Vec<Detection>>> =
+            (0..n).map(|_| Vec::with_capacity(self.branches.len())).collect();
+        for b in 0..self.branches.len() {
+            let dets = self.run_branch_batch(b, batch_feats, score_thresh, nms_iou);
+            for (frame_dets, d) in per_frame.iter_mut().zip(dets) {
+                frame_dets.push(d);
+            }
+        }
+        per_frame
+    }
+
     /// Late-fuses branch outputs with weighted boxes fusion (§4.4). A
     /// single branch passes through unfused.
     pub fn fuse(&self, outputs: &[Vec<Detection>]) -> Vec<Detection> {
@@ -288,11 +340,7 @@ impl EcoFusionModel {
     /// True fusion loss of every configuration for one frame given the
     /// per-branch detections (the gate-training target and the oracle
     /// input).
-    pub fn config_losses_from(
-        &self,
-        branch_dets: &[Vec<Detection>],
-        gts: &[GtBox],
-    ) -> Vec<f32> {
+    pub fn config_losses_from(&self, branch_dets: &[Vec<Detection>], gts: &[GtBox]) -> Vec<f32> {
         (0..self.space.num_configs())
             .map(|i| {
                 let ids = self.space.branch_ids(ConfigId(i));
@@ -329,12 +377,8 @@ impl EcoFusionModel {
             .collect();
         let fused = self.fuse(&outputs);
         let specs = self.space.branch_specs(config);
-        let breakdown = EnergyBreakdown::compute(
-            &self.px2,
-            &self.sensor_power,
-            &specs,
-            StemPolicy::Static,
-        );
+        let breakdown =
+            EnergyBreakdown::compute(&self.px2, &self.sensor_power, &specs, StemPolicy::Static);
         (fused, breakdown)
     }
 
@@ -395,12 +439,8 @@ impl EcoFusionModel {
         // 6. Fusion block.
         let detections = self.fuse(&outputs);
         let specs = self.space.branch_specs(selected);
-        let energy = EnergyBreakdown::compute(
-            &self.px2,
-            &self.sensor_power,
-            &specs,
-            StemPolicy::Adaptive,
-        );
+        let energy =
+            EnergyBreakdown::compute(&self.px2, &self.sensor_power, &specs, StemPolicy::Adaptive);
         Ok(InferenceOutput {
             detections,
             selected_config: selected,
@@ -408,6 +448,154 @@ impl EcoFusionModel {
             predicted_losses: predicted,
             energy,
         })
+    }
+
+    /// Algorithm 1 over a whole batch of frames, amortizing shared
+    /// compute: all four stems run once per sensor over the stacked batch,
+    /// learned gates score every frame in one network pass, and each
+    /// branch demanded by at least one frame executes once over exactly
+    /// the frames that selected it. Per-frame results are identical to
+    /// calling [`EcoFusionModel::infer`] sequentially.
+    ///
+    /// # Errors
+    /// Returns [`InferError::GridMismatch`] if any frame was rendered at a
+    /// different grid size than the model.
+    pub fn infer_batch(
+        &mut self,
+        frames: &[Frame],
+        opts: &InferenceOptions,
+    ) -> Result<Vec<InferenceOutput>, InferError> {
+        if frames.is_empty() {
+            return Ok(Vec::new());
+        }
+        for frame in frames {
+            if frame.obs.grid_size() != self.grid {
+                return Err(InferError::GridMismatch {
+                    expected: self.grid,
+                    found: frame.obs.grid_size(),
+                });
+            }
+        }
+        let n = frames.len();
+        // 1. Stems: one batched pass per sensor.
+        let observations: Vec<&Observation> = frames.iter().map(|f| &f.obs).collect();
+        let batch_feats = self.stem_features_batch(&observations);
+        let gate_batch = Self::gate_features(&batch_feats);
+        // 2. Oracle detections + losses if the loss-based gate is active
+        //    (kept: step 5 reuses them instead of re-running branches).
+        let oracle_dets: Option<Vec<Vec<Vec<Detection>>>> = (opts.gate == GateKind::LossBased)
+            .then(|| {
+                self.all_branch_detections_batch(&batch_feats, opts.score_thresh, opts.nms_iou)
+            });
+        let oracle: Option<Vec<Vec<f32>>> = oracle_dets.as_ref().map(|per_frame| {
+            frames
+                .iter()
+                .zip(per_frame)
+                .map(|(f, dets)| self.config_losses_from(dets, &f.gt_boxes()))
+                .collect()
+        });
+        // 3. Gate. None of the four built-in gates reads
+        //    `GateInput::features` on this path — learned gates run one
+        //    batched network pass over `gate_batch`, the knowledge gate
+        //    reads only `context`, the oracle only `oracle_losses` — so
+        //    the batch tensor serves as every frame's features view and no
+        //    per-frame copies are made.
+        let inputs: Vec<GateInput<'_>> = frames
+            .iter()
+            .enumerate()
+            .map(|(i, f)| GateInput {
+                features: &gate_batch,
+                context: Some(f.scene.context),
+                oracle_losses: oracle.as_ref().map(|o| o[i].as_slice()),
+            })
+            .collect();
+        let predicted: Vec<Vec<f32>> = match opts.gate {
+            GateKind::Knowledge => self.gates.knowledge.predict_batch(&gate_batch, &inputs),
+            GateKind::Deep => self.gates.deep.predict_batch(&gate_batch, &inputs),
+            GateKind::Attention => self.gates.attention.predict_batch(&gate_batch, &inputs),
+            GateKind::LossBased => self.gates.loss_based.predict_batch(&gate_batch, &inputs),
+        };
+        drop(inputs);
+        // 4. Joint optimization per frame, then group frames by branch so
+        //    every branch the batch needs executes exactly once.
+        let selected: Vec<ConfigId> = predicted
+            .iter()
+            .map(|p| {
+                ConfigId(select_config(
+                    p,
+                    &self.adaptive_energies,
+                    opts.lambda_e,
+                    opts.gamma,
+                    opts.rule,
+                ))
+            })
+            .collect();
+        let n_branches = self.branches.len();
+        let mut demand: Vec<Vec<usize>> = vec![Vec::new(); n_branches];
+        for (i, sel) in selected.iter().enumerate() {
+            for b in self.space.branch_ids(*sel) {
+                demand[b.0].push(i);
+            }
+        }
+        // 5. Execute each demanded branch over the frames that need it —
+        //    unless the oracle already ran every branch on every frame.
+        let mut branch_dets: Vec<Vec<Option<Vec<Detection>>>> = vec![vec![None; n]; n_branches];
+        if let Some(per_frame) = oracle_dets {
+            for (i, frame_dets) in per_frame.into_iter().enumerate() {
+                for (b, dets) in frame_dets.into_iter().enumerate() {
+                    branch_dets[b][i] = Some(dets);
+                }
+            }
+        }
+        for (b, idxs) in demand.iter().enumerate() {
+            if idxs.is_empty() || branch_dets[b].iter().all(|d| d.is_some()) {
+                continue;
+            }
+            let dets = if idxs.len() == n {
+                self.run_branch_batch(b, &batch_feats, opts.score_thresh, opts.nms_iou)
+            } else {
+                let sub_feats: Vec<Tensor> = batch_feats
+                    .iter()
+                    .map(|f| {
+                        let rows: Vec<Tensor> = idxs.iter().map(|&i| f.select_batch(i)).collect();
+                        let refs: Vec<&Tensor> = rows.iter().collect();
+                        Tensor::stack_batch(&refs)
+                    })
+                    .collect();
+                self.run_branch_batch(b, &sub_feats, opts.score_thresh, opts.nms_iou)
+            };
+            for (slot, d) in idxs.iter().zip(dets) {
+                branch_dets[b][*slot] = Some(d);
+            }
+        }
+        // 6. Fusion block + energy accounting per frame.
+        let outputs = frames
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let ids = self.space.branch_ids(selected[i]);
+                let outs: Vec<Vec<Detection>> = ids
+                    .iter()
+                    .map(|b| branch_dets[b.0][i].clone().expect("demanded branch executed"))
+                    .collect();
+                let detections = self.fuse(&outs);
+                let specs = self.space.branch_specs(selected[i]);
+                let energy = EnergyBreakdown::compute(
+                    &self.px2,
+                    &self.sensor_power,
+                    &specs,
+                    StemPolicy::Adaptive,
+                );
+                InferenceOutput {
+                    detections,
+                    selected_config: selected[i],
+                    selected_label: self.space.label(selected[i]),
+                    predicted_losses: predicted[i].clone(),
+                    energy,
+                }
+            })
+            .collect();
+        Ok(outputs)
     }
 
     /// Applies `f` to every trainable parameter of stems and branches
@@ -494,11 +682,8 @@ mod tests {
         let data = Dataset::generate(&DatasetSpec::small(6));
         // Huge gamma: all configs candidates; λ=1 must pick the global
         // energy minimum = a single-branch config.
-        let opts = InferenceOptions {
-            lambda_e: 1.0,
-            gamma: 1e9,
-            ..InferenceOptions::new(1.0, 0.5)
-        };
+        let opts =
+            InferenceOptions { lambda_e: 1.0, gamma: 1e9, ..InferenceOptions::new(1.0, 0.5) };
         let out = m.infer(&data.test()[0], &opts).unwrap();
         assert_eq!(m.space().branch_ids(out.selected_config).len(), 1);
     }
@@ -516,13 +701,57 @@ mod tests {
     #[test]
     fn fuse_single_branch_passthrough() {
         let m = tiny_model();
-        let dets = vec![vec![Detection::new(
-            ecofusion_detect::BBox::new(0.0, 0.0, 4.0, 4.0),
-            0,
-            0.9,
-        )]];
+        let dets =
+            vec![vec![Detection::new(ecofusion_detect::BBox::new(0.0, 0.0, 4.0, 4.0), 0, 0.9)]];
         let fused = m.fuse(&dets);
         assert_eq!(fused, dets[0]);
+    }
+
+    #[test]
+    fn infer_batch_matches_sequential_infer() {
+        let data = Dataset::generate(&DatasetSpec::small(9));
+        let frames: Vec<Frame> = data.test().iter().take(5).cloned().collect();
+        for gate in [GateKind::Deep, GateKind::Attention, GateKind::Knowledge, GateKind::LossBased]
+        {
+            // Fresh model per gate so layer caches cannot leak between the
+            // two code paths.
+            let mut m = tiny_model();
+            let opts = InferenceOptions::new(0.01, 0.5).with_gate(gate);
+            let batched = m.infer_batch(&frames, &opts).unwrap();
+            let sequential: Vec<InferenceOutput> =
+                frames.iter().map(|f| m.infer(f, &opts).unwrap()).collect();
+            assert_eq!(batched.len(), sequential.len());
+            for (i, (b, s)) in batched.iter().zip(&sequential).enumerate() {
+                assert_eq!(b.selected_config, s.selected_config, "{gate:?} frame {i}");
+                assert_eq!(b.selected_label, s.selected_label, "{gate:?} frame {i}");
+                assert_eq!(b.detections, s.detections, "{gate:?} frame {i}");
+                assert_eq!(
+                    b.energy.platform.joules(),
+                    s.energy.platform.joules(),
+                    "{gate:?} frame {i}"
+                );
+                assert_eq!(b.predicted_losses.len(), s.predicted_losses.len());
+                for (x, y) in b.predicted_losses.iter().zip(&s.predicted_losses) {
+                    assert!(
+                        (x - y).abs() <= 1e-5 * (1.0 + x.abs()),
+                        "{gate:?} frame {i}: {x} vs {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn infer_batch_empty_and_mismatch() {
+        let mut m = tiny_model();
+        let opts = InferenceOptions::new(0.01, 0.5);
+        assert!(m.infer_batch(&[], &opts).unwrap().is_empty());
+        let mut spec = DatasetSpec::small(10);
+        spec.grid = 48;
+        let data = Dataset::generate(&spec);
+        let frames: Vec<Frame> = data.test().iter().take(2).cloned().collect();
+        let err = m.infer_batch(&frames, &opts).unwrap_err();
+        assert!(matches!(err, InferError::GridMismatch { expected: 32, found: 48 }));
     }
 
     #[test]

@@ -31,8 +31,7 @@ pub fn select_candidates(losses: &[f32], gamma: f32, rule: CandidateRule) -> Vec
         CandidateRule::Margin => best + gamma,
         CandidateRule::PaperEq7 => 2.0 * best + gamma,
     };
-    let mut out: Vec<usize> =
-        (0..losses.len()).filter(|&i| losses[i] <= bound + 1e-9).collect();
+    let mut out: Vec<usize> = (0..losses.len()).filter(|&i| losses[i] <= bound + 1e-9).collect();
     if out.is_empty() {
         // Guard against NaN-contaminated predictions: fall back to argmin.
         let arg = losses

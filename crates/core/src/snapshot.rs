@@ -31,16 +31,8 @@ impl ModelSnapshot {
     pub fn capture(model: &mut EcoFusionModel) -> Self {
         let grid = model.grid();
         let num_classes = model.num_classes();
-        let stems = model
-            .stems_mut()
-            .iter_mut()
-            .map(|s| ParamSnapshot::capture(s))
-            .collect();
-        let branches = model
-            .branches_mut()
-            .iter_mut()
-            .map(|b| ParamSnapshot::capture(b))
-            .collect();
+        let stems = model.stems_mut().iter_mut().map(|s| ParamSnapshot::capture(s)).collect();
+        let branches = model.branches_mut().iter_mut().map(|b| ParamSnapshot::capture(b)).collect();
         let gates = model.gates_mut();
         let deep_gate = ParamSnapshot::capture(&mut gates.deep);
         let attention_gate = ParamSnapshot::capture(&mut gates.attention);
@@ -80,9 +72,7 @@ impl ModelSnapshot {
                 found: model.branches_mut().len(),
             });
         }
-        for (i, (snap, stem)) in
-            self.stems.iter().zip(model.stems_mut().iter_mut()).enumerate()
-        {
+        for (i, (snap, stem)) in self.stems.iter().zip(model.stems_mut().iter_mut()).enumerate() {
             snap.restore(stem).map_err(|source| RestoreModelError::Component {
                 component: "stem",
                 index: i,
@@ -99,8 +89,10 @@ impl ModelSnapshot {
             })?;
         }
         let gates = model.gates_mut();
-        self.deep_gate.restore(&mut gates.deep).map_err(|source| {
-            RestoreModelError::Component { component: "deep gate", index: 0, source }
+        self.deep_gate.restore(&mut gates.deep).map_err(|source| RestoreModelError::Component {
+            component: "deep gate",
+            index: 0,
+            source,
         })?;
         self.attention_gate.restore(&mut gates.attention).map_err(|source| {
             RestoreModelError::Component { component: "attention gate", index: 0, source }

@@ -262,9 +262,8 @@ mod tests {
         // Rapidly alternating demand with long hold: nothing gets gated.
         let mut ctl = ClockGatingController::new(5, 2);
         let power = SensorPowerModel::default();
-        let demands: Vec<Vec<SensorKind>> = (0..20)
-            .map(|i| if i % 2 == 0 { vec![CL, CR, L, R] } else { vec![R, L] })
-            .collect();
+        let demands: Vec<Vec<SensorKind>> =
+            (0..20).map(|i| if i % 2 == 0 { vec![CL, CR, L, R] } else { vec![R, L] }).collect();
         let report = EpisodeEnergyReport::simulate(&mut ctl, &power, &demands);
         assert!(report.savings_pct() < 1e-9, "{:.2}%", report.savings_pct());
     }

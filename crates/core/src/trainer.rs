@@ -172,13 +172,13 @@ impl Trainer {
                 let feats = model.stem_features(&frame.obs, true);
                 let mut stem_grads: Vec<Tensor> =
                     feats.iter().map(|f| Tensor::zeros(f.shape())).collect();
+                #[allow(clippy::needless_range_loop)] // b indexes model internals too
                 for b in 0..n_branches {
                     let input = model.branch_input(b, &feats);
                     let (loss, grad_in) = model.branches_mut()[b].train_step(&input, &gts);
                     epoch_loss += loss.total() as f64;
                     let sensors = &sensors_per_branch[b];
-                    let split =
-                        grad_in.split_channels(&vec![STEM_CHANNELS; sensors.len()]);
+                    let split = grad_in.split_channels(&vec![STEM_CHANNELS; sensors.len()]);
                     for (s, g) in sensors.iter().zip(split) {
                         stem_grads[*s].add_assign(&g);
                     }
@@ -210,15 +210,21 @@ impl Trainer {
             nms_iou: self.config.nms_iou,
             ..InferenceOptions::new(0.0, 0.5)
         };
-        // Precompute (gate features, target losses) for every train frame.
+        // Precompute (gate features, target losses) for every train frame,
+        // in batches: stems and branches are frozen here, so frames share
+        // one batched forward per chunk instead of a pass per frame.
+        const PRECOMPUTE_BATCH: usize = 16;
         let mut samples: Vec<(Tensor, Vec<f32>)> = Vec::with_capacity(dataset.train().len());
-        for frame in dataset.train() {
-            let feats = model.stem_features(&frame.obs, false);
-            let gate_feats = EcoFusionModel::gate_features(&feats);
+        for chunk in dataset.train().chunks(PRECOMPUTE_BATCH) {
+            let observations: Vec<_> = chunk.iter().map(|f| &f.obs).collect();
+            let batch_feats = model.stem_features_batch(&observations);
+            let gate_feats = EcoFusionModel::gate_features(&batch_feats);
             let dets =
-                model.all_branch_detections(&feats, opts.score_thresh, opts.nms_iou);
-            let losses = model.config_losses_from(&dets, &frame.gt_boxes());
-            samples.push((gate_feats, losses));
+                model.all_branch_detections_batch(&batch_feats, opts.score_thresh, opts.nms_iou);
+            for (i, frame) in chunk.iter().enumerate() {
+                let losses = model.config_losses_from(&dets[i], &frame.gt_boxes());
+                samples.push((gate_feats.select_batch(i), losses));
+            }
         }
         let mut opt_deep = Adam::new(self.config.gate_lr, 0.0);
         let mut opt_attn = Adam::new(self.config.gate_lr, 0.0);
@@ -326,10 +332,7 @@ mod tests {
         };
         let before = avg(&mut untrained);
         let after = avg(&mut trained);
-        assert!(
-            after < before,
-            "training should reduce late-fusion loss: {before} -> {after}"
-        );
+        assert!(after < before, "training should reduce late-fusion loss: {before} -> {after}");
     }
 
     /// Helper for the late-fusion config id without a model instance.

@@ -56,7 +56,10 @@ impl BranchDetector {
     /// Panics if the raster is not divisible by 8 or `num_sensors == 0`.
     pub fn new(config: BranchConfig, rng: &mut Rng) -> Self {
         assert!(config.num_sensors > 0, "branch needs at least one sensor");
-        assert!(config.raster % 8 == 0 && config.raster >= 16, "raster must be a multiple of 8");
+        assert!(
+            config.raster.is_multiple_of(8) && config.raster >= 16,
+            "raster must be a multiple of 8"
+        );
         let c_in = config.in_channels();
         let backbone = Sequential::new(vec![
             // Block 2: downsample to the detection stride.
@@ -83,7 +86,8 @@ impl BranchDetector {
     }
 
     /// Runs the backbone + head over stem features of shape
-    /// `(1, 8·m, raster/2, raster/2)`.
+    /// `(N, 8·m, raster/2, raster/2)`. Every layer is batch-aware, so one
+    /// call amortizes the backbone GEMMs across all `N` frames.
     pub fn forward(&mut self, stem_features: &Tensor, train: bool) -> HeadOutput {
         assert_eq!(
             stem_features.shape()[1],
@@ -94,9 +98,20 @@ impl BranchDetector {
         self.head.forward(&feats, train)
     }
 
-    /// Decodes detections from a head output.
+    /// Decodes detections from a head output (sample 0).
     pub fn decode(&self, out: &HeadOutput, score_thresh: f32, nms_iou: f32) -> Vec<Detection> {
         self.head.decode(out, score_thresh, nms_iou)
+    }
+
+    /// Decodes one sample of a batched head output.
+    pub fn decode_sample(
+        &self,
+        out: &HeadOutput,
+        sample: usize,
+        score_thresh: f32,
+        nms_iou: f32,
+    ) -> Vec<Detection> {
+        self.head.decode_sample(out, sample, score_thresh, nms_iou)
     }
 
     /// Convenience: forward + decode in eval mode.
@@ -108,6 +123,20 @@ impl BranchDetector {
     ) -> Vec<Detection> {
         let out = self.forward(stem_features, false);
         self.decode(&out, score_thresh, nms_iou)
+    }
+
+    /// Batched forward + decode in eval mode: one backbone/head pass over
+    /// `(N, 8·m, S, S)` stem features, returning per-frame detections.
+    pub fn detect_batch(
+        &mut self,
+        stem_features: &Tensor,
+        score_thresh: f32,
+        nms_iou: f32,
+    ) -> Vec<Vec<Detection>> {
+        let out = self.forward(stem_features, false);
+        (0..stem_features.shape()[0])
+            .map(|i| self.decode_sample(&out, i, score_thresh, nms_iou))
+            .collect()
     }
 
     /// Computes the loss of a head output against ground truth.

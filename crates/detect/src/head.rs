@@ -96,15 +96,30 @@ impl DenseHead {
     }
 
     /// Decodes detections above `score_thresh`, applying per-class NMS at
-    /// `nms_iou`.
+    /// `nms_iou`. Equivalent to [`DenseHead::decode_sample`] on sample 0.
     pub fn decode(&self, out: &HeadOutput, score_thresh: f32, nms_iou: f32) -> Vec<Detection> {
+        self.decode_sample(out, 0, score_thresh, nms_iou)
+    }
+
+    /// Decodes one sample of a (possibly batched) head output.
+    ///
+    /// # Panics
+    /// Panics if `sample` is outside the output's batch dimension.
+    pub fn decode_sample(
+        &self,
+        out: &HeadOutput,
+        sample: usize,
+        score_thresh: f32,
+        nms_iou: f32,
+    ) -> Vec<Detection> {
+        assert!(sample < out.map.shape()[0], "decode_sample batch index out of range");
         let s = self.grid.cells;
         let k = self.num_classes;
         let raster = self.grid.stride * s as f32;
         let mut dets = Vec::new();
         for row in 0..s {
             for col in 0..s {
-                let obj = sigmoid(out.map.get4(0, 0, row, col));
+                let obj = sigmoid(out.map.get4(sample, 0, row, col));
                 if obj < score_thresh {
                     continue;
                 }
@@ -114,10 +129,10 @@ impl DenseHead {
                 let mut denom = 0.0;
                 let mut max_l = f32::NEG_INFINITY;
                 for c in 0..k {
-                    max_l = max_l.max(out.map.get4(0, 1 + c, row, col));
+                    max_l = max_l.max(out.map.get4(sample, 1 + c, row, col));
                 }
                 for c in 0..k {
-                    let l = out.map.get4(0, 1 + c, row, col);
+                    let l = out.map.get4(sample, 1 + c, row, col);
                     denom += (l - max_l).exp();
                     if l > best_l {
                         best_l = l;
@@ -126,10 +141,10 @@ impl DenseHead {
                 }
                 let class_prob = (best_l - max_l).exp() / denom.max(1e-12);
                 let t = [
-                    out.map.get4(0, 1 + k, row, col),
-                    out.map.get4(0, 2 + k, row, col),
-                    out.map.get4(0, 3 + k, row, col),
-                    out.map.get4(0, 4 + k, row, col),
+                    out.map.get4(sample, 1 + k, row, col),
+                    out.map.get4(sample, 2 + k, row, col),
+                    out.map.get4(sample, 3 + k, row, col),
+                    out.map.get4(sample, 4 + k, row, col),
                 ];
                 let bbox = self.grid.decode(row, col, t).clamped(raster);
                 dets.push(Detection::new(bbox, best_c, obj * class_prob));
@@ -173,8 +188,7 @@ impl DenseHead {
                         denom += (out.map.get4(0, 1 + c, row, col) - max_l).exp();
                     }
                     for c in 0..k {
-                        let p = (out.map.get4(0, 1 + c, row, col) - max_l).exp()
-                            / denom.max(1e-12);
+                        let p = (out.map.get4(0, 1 + c, row, col) - max_l).exp() / denom.max(1e-12);
                         let y = if c == t.class_id { 1.0 } else { 0.0 };
                         grad.set4(0, 1 + c, row, col, (p - y) / n_pos);
                         if c == t.class_id {
@@ -197,14 +211,7 @@ impl DenseHead {
                 }
             }
         }
-        (
-            DetectionLoss {
-                objectness: l_obj as f32,
-                class: l_cls as f32,
-                bbox: l_box as f32,
-            },
-            grad,
-        )
+        (DetectionLoss { objectness: l_obj as f32, class: l_cls as f32, bbox: l_box as f32 }, grad)
     }
 }
 

@@ -76,7 +76,7 @@ pub fn fusion_loss(dets: &[Detection], gts: &[GtBox]) -> FusionLoss {
             }
             let gb: BBox = (*gt).into();
             let iou = d.bbox.iou(&gb);
-            if iou >= MATCH_IOU && best.map_or(true, |(_, b)| iou > b) {
+            if iou >= MATCH_IOU && best.is_none_or(|(_, b)| iou > b) {
                 best = Some((gi, iou));
             }
         }
@@ -88,7 +88,8 @@ pub fn fusion_loss(dets: &[Detection], gts: &[GtBox]) -> FusionLoss {
             // Confidence cross-entropy: reward confident correct class,
             // punish confident wrong class.
             let p = d.score.clamp(1e-4, 1.0 - 1e-4);
-            loss.classification += if d.class_id == gt.class_id { -p.ln() } else { -(1.0 - p).ln() };
+            loss.classification +=
+                if d.class_id == gt.class_id { -p.ln() } else { -(1.0 - p).ln() };
             // Size-normalized corner regression.
             let sw = gb.width().max(1.0);
             let sh = gb.height().max(1.0);
@@ -190,10 +191,7 @@ mod tests {
         let gts = [gt(0, 10.0, 10.0, 20.0, 20.0)];
         // Two candidates for one GT: the confident one should match, the
         // other becomes a false positive.
-        let dets = [
-            det(0, 10.0, 10.0, 20.0, 20.0, 0.95),
-            det(0, 11.0, 11.0, 21.0, 21.0, 0.3),
-        ];
+        let dets = [det(0, 10.0, 10.0, 20.0, 20.0, 0.95), det(0, 11.0, 11.0, 21.0, 21.0, 0.3)];
         let l = fusion_loss(&dets, &gts);
         assert!((l.false_positives - 0.3).abs() < 1e-6);
         assert!(l.classification < 0.1);

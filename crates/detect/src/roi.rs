@@ -201,9 +201,10 @@ impl RoiHead {
             if *label >= k {
                 continue;
             }
-            for j in 0..4 {
-                let d = reg.get2(row, j) - reg_targets[row][j];
-                let (l, g) = if d.abs() < 1.0 { (0.5 * d * d, d) } else { (d.abs() - 0.5, d.signum()) };
+            for (j, target) in reg_targets[row].iter().enumerate() {
+                let d = reg.get2(row, j) - target;
+                let (l, g) =
+                    if d.abs() < 1.0 { (0.5 * d * d, d) } else { (d.abs() - 0.5, d.signum()) };
                 reg_loss += l / (4.0 * n_pos);
                 reg_grad.set2(row, j, g / (4.0 * n_pos));
             }

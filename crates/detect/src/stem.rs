@@ -16,6 +16,12 @@ pub const STEM_CHANNELS: usize = 8;
 /// One stem per sensor runs on *every* frame (the gate needs all stem
 /// features to identify the context), which is why the energy model charges
 /// all four stems to every adaptive configuration.
+///
+/// Every layer in the stem is batch-aware: `forward` accepts `(N, C, g,
+/// g)` and processes all `N` frames in one convolution lowering, which is
+/// what `EcoFusionModel::infer_batch` uses to amortize stem compute across
+/// frames (in eval mode, batched output equals the stacked per-frame
+/// outputs exactly).
 #[derive(Debug)]
 pub struct Stem {
     net: Sequential,
@@ -97,5 +103,17 @@ mod tests {
         let y = stem.forward(&x, true);
         let dx = stem.backward(&y);
         assert_eq!(dx.shape(), x.shape());
+    }
+
+    #[test]
+    fn batched_eval_forward_matches_per_sample() {
+        let mut rng = Rng::new(4);
+        let mut stem = Stem::new(1, &mut rng);
+        let batch = Tensor::randn(&[3, 1, 16, 16], 1.0, &mut rng);
+        let batched = stem.forward(&batch, false);
+        for i in 0..3 {
+            let single = stem.forward(&batch.select_batch(i), false);
+            assert_eq!(batched.select_batch(i), single, "sample {i}");
+        }
     }
 }

@@ -84,7 +84,7 @@ pub fn weighted_boxes_fusion(
                 continue;
             }
             let iou = c.fused.bbox.iou(&det.bbox);
-            if iou > params.iou_thresh && best.map_or(true, |(_, b)| iou > b) {
+            if iou > params.iou_thresh && best.is_none_or(|(_, b)| iou > b) {
                 best = Some((ci, iou));
             }
         }
@@ -94,11 +94,7 @@ pub fn weighted_boxes_fusion(
                 clusters[ci].refresh();
             }
             None => {
-                clusters.push(Cluster {
-                    class_id: det.class_id,
-                    members: vec![det],
-                    fused: det,
-                });
+                clusters.push(Cluster { class_id: det.class_id, members: vec![det], fused: det });
             }
         }
     }
@@ -174,8 +170,7 @@ mod tests {
     fn higher_score_dominates_fused_position() {
         let a = vec![det(0.0, 0.0, 4.0, 4.0, 0, 0.9)];
         let b = vec![det(2.0, 0.0, 6.0, 4.0, 0, 0.1)];
-        let mut p = WbfParams::default();
-        p.iou_thresh = 0.2;
+        let p = WbfParams { iou_thresh: 0.2, ..Default::default() };
         let fused = weighted_boxes_fusion(&[a, b], &p, 2);
         assert_eq!(fused.len(), 1);
         // Weighted centre x should sit much closer to the 0.9-score box.
@@ -185,10 +180,7 @@ mod tests {
 
     #[test]
     fn output_sorted_by_score() {
-        let a = vec![
-            det(0.0, 0.0, 4.0, 4.0, 0, 0.3),
-            det(20.0, 20.0, 24.0, 24.0, 1, 0.9),
-        ];
+        let a = vec![det(0.0, 0.0, 4.0, 4.0, 0, 0.3), det(20.0, 20.0, 24.0, 24.0, 1, 0.9)];
         let fused = weighted_boxes_fusion(&[a], &WbfParams::default(), 1);
         assert!(fused[0].score >= fused[1].score);
     }

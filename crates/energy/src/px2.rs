@@ -198,11 +198,8 @@ impl Px2Model {
             StemPolicy::Adaptive => self.gate.1,
         };
         let branch_sum: Millis = branches.iter().map(|b| self.branch_cost(b).1).sum();
-        let branch_lat = if branches.len() >= 2 {
-            branch_sum * self.ensemble_overlap
-        } else {
-            branch_sum
-        };
+        let branch_lat =
+            if branches.len() >= 2 { branch_sum * self.ensemble_overlap } else { branch_sum };
         let fusion = if branches.len() >= 2 { self.fusion_block.1 } else { Millis::zero() };
         stem_lat + gate_lat + branch_lat + fusion
     }
@@ -281,10 +278,8 @@ mod tests {
 
     #[test]
     fn energy_additivity_over_branches() {
-        let single: f64 = [BranchSpec::Single(CL)]
-            .iter()
-            .map(|b| m().branch_cost(b).0.joules())
-            .sum();
+        let single: f64 =
+            [BranchSpec::Single(CL)].iter().map(|b| m().branch_cost(b).0.joules()).sum();
         let ens = [BranchSpec::Single(CL), BranchSpec::Single(CL)];
         let both: f64 = ens.iter().map(|b| m().branch_cost(b).0.joules()).sum();
         assert!((both - 2.0 * single).abs() < 1e-12);

@@ -105,11 +105,8 @@ impl SensorPowerModel {
         SensorKind::ALL
             .iter()
             .map(|&k| {
-                let state = if active.contains(&k) {
-                    SensorState::Active
-                } else {
-                    SensorState::Gated
-                };
+                let state =
+                    if active.contains(&k) { SensorState::Active } else { SensorState::Gated };
                 self.frame_energy(k, state)
             })
             .sum()
@@ -140,10 +137,7 @@ mod tests {
         let m = SensorPowerModel::default();
         assert_eq!(m.frame_energy(SensorKind::Radar, SensorState::Active).joules(), 6.0);
         assert_eq!(m.frame_energy(SensorKind::Lidar, SensorState::Active).joules(), 3.0);
-        assert_eq!(
-            m.frame_energy(SensorKind::CameraLeft, SensorState::Active).joules(),
-            1.9 / 8.0
-        );
+        assert_eq!(m.frame_energy(SensorKind::CameraLeft, SensorState::Active).joules(), 1.9 / 8.0);
     }
 
     #[test]

@@ -54,7 +54,14 @@ pub fn gamma_sweep(setup: &mut Setup) -> AblationResult {
     let frames: Vec<&ecofusion_core::Frame> = setup.dataset.test().iter().collect();
     let mut rows = Vec::new();
     for gamma in [0.0f32, 0.25, 0.5, 1.0, 2.0] {
-        let s = adaptive_summary(&mut setup.model, setup.num_classes, &frames, GateKind::Attention, 0.05, gamma);
+        let s = adaptive_summary(
+            &mut setup.model,
+            setup.num_classes,
+            &frames,
+            GateKind::Attention,
+            0.05,
+            gamma,
+        );
         rows.push(AblationRow {
             variant: format!("gamma = {gamma}"),
             map_pct: s.map_pct,
@@ -113,9 +120,7 @@ pub fn fusion_block(setup: &mut Setup) -> AblationResult {
         ),
         (
             "Greedy NMS",
-            Box::new(|outs: &[Vec<Detection>]| {
-                nms(outs.iter().flatten().copied().collect(), 0.5)
-            }),
+            Box::new(|outs: &[Vec<Detection>]| nms(outs.iter().flatten().copied().collect(), 0.5)),
         ),
         (
             "Soft-NMS",

@@ -58,10 +58,9 @@ impl Fig1Result {
     /// Renders the figure data as two tables (loss and energy), matching
     /// the two bar charts of Figure 1.
     pub fn print(&self) {
-        let metrics: [(&str, fn(&Fig1Row) -> f64); 2] = [
-            ("Avg. Loss", |r| r.avg_loss),
-            ("Avg. Energy Consumption (J)", |r| r.avg_energy_j),
-        ];
+        #[allow(clippy::type_complexity)]
+        let metrics: [(&str, fn(&Fig1Row) -> f64); 2] =
+            [("Avg. Loss", |r| r.avg_loss), ("Avg. Energy Consumption (J)", |r| r.avg_energy_j)];
         for (title, pick) in metrics {
             println!("Figure 1 — {title}");
             let mut t = Table::new(&["Method", "City", "Rain"]);

@@ -7,8 +7,7 @@ use ecofusion_gating::GateKind;
 use serde::Serialize;
 
 /// The λ_E sweep used for the scatter (0 → 1 as in the paper's colour bar).
-pub const LAMBDA_SWEEP: [f64; 11] =
-    [0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.85, 1.0];
+pub const LAMBDA_SWEEP: [f64; 11] = [0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.85, 1.0];
 
 /// One scatter point of Figure 4.
 #[derive(Debug, Clone, Serialize)]
@@ -36,7 +35,8 @@ pub fn run(setup: &mut Setup) -> Fig4Result {
     let mut points = Vec::new();
     for gate in GateKind::ALL {
         for &lambda in &LAMBDA_SWEEP {
-            let s = adaptive_summary(&mut setup.model, setup.num_classes, &frames, gate, lambda, 0.5);
+            let s =
+                adaptive_summary(&mut setup.model, setup.num_classes, &frames, gate, lambda, 0.5);
             points.push(Fig4Point {
                 gate: gate.to_string(),
                 lambda_e: lambda,

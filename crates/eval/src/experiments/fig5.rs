@@ -95,10 +95,9 @@ impl Fig5Result {
             }
             seen
         };
-        let metrics: [(&str, fn(&Fig5Cell) -> f64); 2] = [
-            ("Avg. Loss", |c| c.avg_loss),
-            ("Avg. Energy Usage (J)", |c| c.avg_energy_j),
-        ];
+        #[allow(clippy::type_complexity)]
+        let metrics: [(&str, fn(&Fig5Cell) -> f64); 2] =
+            [("Avg. Loss", |c| c.avg_loss), ("Avg. Energy Usage (J)", |c| c.avg_energy_j)];
         for (title, pick) in metrics {
             println!("Figure 5 — {title} per scene type");
             let mut header: Vec<&str> = vec!["Method"];

@@ -55,7 +55,14 @@ pub fn run(setup: &mut Setup) -> Table1Result {
     let s = static_summary(&mut setup.model, setup.num_classes, &frames, b.late);
     push("Late", "C_L + C_R + L + R", &s);
     for lambda in [0.0, 0.01, 0.05] {
-        let s = adaptive_summary(&mut setup.model, setup.num_classes, &frames, GateKind::Attention, lambda, 0.5);
+        let s = adaptive_summary(
+            &mut setup.model,
+            setup.num_classes,
+            &frames,
+            GateKind::Attention,
+            lambda,
+            0.5,
+        );
         push("EcoFusion", &format!("lambda_E = {lambda}"), &s);
     }
     Table1Result { rows }

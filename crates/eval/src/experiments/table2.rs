@@ -33,7 +33,8 @@ pub fn run(setup: &mut Setup) -> Table2Result {
     let mut rows = Vec::new();
     for lambda in [0.0, 0.01, 0.1] {
         for gate in GateKind::ALL {
-            let s = adaptive_summary(&mut setup.model, setup.num_classes, &frames, gate, lambda, 0.5);
+            let s =
+                adaptive_summary(&mut setup.model, setup.num_classes, &frames, gate, lambda, 0.5);
             rows.push(Table2Row {
                 lambda_e: lambda,
                 gating_method: gate.to_string(),
@@ -50,7 +51,8 @@ impl Table2Result {
     /// Renders the table in the paper's layout.
     pub fn print(&self) {
         println!("Table 2 — Gating Method Evaluation (gamma = 0.5)");
-        let mut t = Table::new(&["lambda_E", "Gating Method", "mAP (%)", "Avg. Loss", "Energy (J)"]);
+        let mut t =
+            Table::new(&["lambda_E", "Gating Method", "mAP (%)", "Avg. Loss", "Energy (J)"]);
         for r in &self.rows {
             t.row(&[
                 format!("{}", r.lambda_e),
@@ -65,8 +67,6 @@ impl Table2Result {
 
     /// Finds a row by gate name and λ_E.
     pub fn row(&self, gate: &str, lambda_e: f64) -> Option<&Table2Row> {
-        self.rows
-            .iter()
-            .find(|r| r.gating_method == gate && (r.lambda_e - lambda_e).abs() < 1e-12)
+        self.rows.iter().find(|r| r.gating_method == gate && (r.lambda_e - lambda_e).abs() < 1e-12)
     }
 }

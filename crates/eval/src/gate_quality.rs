@@ -6,7 +6,9 @@
 //! losses, and how much joint-objective regret its selections incur
 //! against the oracle.
 
-use ecofusion_core::{joint_loss, select_config, CandidateRule, EcoFusionModel, Frame, InferenceOptions};
+use ecofusion_core::{
+    joint_loss, select_config, CandidateRule, EcoFusionModel, Frame, InferenceOptions,
+};
 use ecofusion_energy::Joules;
 use ecofusion_gating::{Gate, GateInput, GateKind};
 use serde::Serialize;
@@ -98,9 +100,8 @@ pub fn assess_gate(
         "assess_gate expects a learned gate"
     );
     let opts = InferenceOptions::new(lambda_e, gamma);
-    let energies: Vec<Joules> = model
-        .space()
-        .energies(model.px2(), ecofusion_energy::StemPolicy::Adaptive);
+    let energies: Vec<Joules> =
+        model.space().energies(model.px2(), ecofusion_energy::StemPolicy::Adaptive);
     let mut sum_rho = 0.0;
     let mut top1 = 0usize;
     let mut sum_regret = 0.0;
@@ -120,10 +121,8 @@ pub fn assess_gate(
         if pred_argmin == true_argmin {
             top1 += 1;
         }
-        let chosen =
-            select_config(&predicted, &energies, lambda_e, gamma, CandidateRule::Margin);
-        let oracle =
-            select_config(&true_losses, &energies, lambda_e, gamma, CandidateRule::Margin);
+        let chosen = select_config(&predicted, &energies, lambda_e, gamma, CandidateRule::Margin);
+        let oracle = select_config(&true_losses, &energies, lambda_e, gamma, CandidateRule::Margin);
         let regret = joint_loss(true_losses[chosen], energies[chosen], lambda_e)
             - joint_loss(true_losses[oracle], energies[oracle], lambda_e);
         sum_regret += regret;
@@ -179,8 +178,7 @@ mod tests {
     fn regret_of_oracle_is_zero() {
         // When predictions equal truth, regret must be zero and top-1 match.
         let losses = [0.5f32, 0.9, 2.0];
-        let energies: Vec<Joules> =
-            [1.0, 2.0, 3.0].iter().map(|&e| Joules::new(e)).collect();
+        let energies: Vec<Joules> = [1.0, 2.0, 3.0].iter().map(|&e| Joules::new(e)).collect();
         let chosen = select_config(&losses, &energies, 0.05, 0.5, CandidateRule::Margin);
         let r = joint_loss(losses[chosen], energies[chosen], 0.05)
             - joint_loss(losses[chosen], energies[chosen], 0.05);

@@ -23,10 +23,8 @@ pub fn average_precision(
     class_id: usize,
     iou_thresh: f32,
 ) -> Option<f32> {
-    let n_gt: usize = gt_frames
-        .iter()
-        .map(|f| f.boxes.iter().filter(|b| b.class_id == class_id).count())
-        .sum();
+    let n_gt: usize =
+        gt_frames.iter().map(|f| f.boxes.iter().filter(|b| b.class_id == class_id).count()).sum();
     if n_gt == 0 {
         return None;
     }
@@ -49,7 +47,7 @@ pub fn average_precision(
             }
             let gb: BBox = (*gt).into();
             let iou = det.bbox.iou(&gb);
-            if iou >= iou_thresh && best.map_or(true, |(_, b)| iou > b) {
+            if iou >= iou_thresh && best.is_none_or(|(_, b)| iou > b) {
                 best = Some((gi, iou));
             }
         }
@@ -230,10 +228,7 @@ mod tests {
 
     #[test]
     fn multi_frame_aggregation() {
-        let gts = vec![
-            GtFrame { boxes: vec![gt(0, 0.0)] },
-            GtFrame { boxes: vec![gt(0, 0.0)] },
-        ];
+        let gts = vec![GtFrame { boxes: vec![gt(0, 0.0)] }, GtFrame { boxes: vec![gt(0, 0.0)] }];
         // Found in frame 0, missed in frame 1.
         let dets = vec![vec![det(0, 0.0, 0.9)], vec![]];
         let m = map_voc(&dets, &gts, 8, 0.5);

@@ -44,11 +44,8 @@ impl Table {
         }
         let mut out = String::new();
         let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-            let parts: Vec<String> = cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:<width$}", width = w))
-                .collect();
+            let parts: Vec<String> =
+                cells.iter().zip(widths).map(|(c, w)| format!("{c:<width$}", width = w)).collect();
             format!("| {} |", parts.join(" | "))
         };
         out.push_str(&fmt_row(&self.header, &widths));

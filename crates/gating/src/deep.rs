@@ -2,9 +2,7 @@
 
 use crate::input::GateInput;
 use crate::{Gate, GateKind};
-use ecofusion_tensor::layer::{
-    Conv2d, Flatten, Layer, Linear, ReLU, SelfAttention2d, Sequential,
-};
+use ecofusion_tensor::layer::{Conv2d, Flatten, Layer, Linear, ReLU, SelfAttention2d, Sequential};
 use ecofusion_tensor::loss;
 use ecofusion_tensor::param::Param;
 use ecofusion_tensor::rng::Rng;
@@ -20,14 +18,15 @@ fn build_net(
     with_attention: bool,
     rng: &mut Rng,
 ) -> Sequential {
-    assert!(spatial % 8 == 0 && spatial >= 8, "gate input spatial size must be a multiple of 8");
+    assert!(
+        spatial.is_multiple_of(8) && spatial >= 8,
+        "gate input spatial size must be a multiple of 8"
+    );
     // No normalization layers: the gate must see absolute signal levels
     // (a fog frame is globally dimmer than a clear one), and batch-size-1
     // batch norm would erase exactly that context cue.
-    let mut layers: Vec<Box<dyn Layer>> = vec![
-        Box::new(Conv2d::new(in_channels, 16, 3, 2, 1, rng)),
-        Box::new(ReLU::new()),
-    ];
+    let mut layers: Vec<Box<dyn Layer>> =
+        vec![Box::new(Conv2d::new(in_channels, 16, 3, 2, 1, rng)), Box::new(ReLU::new())];
     if with_attention {
         // The attention gate adds one self-attention layer so the gate can
         // focus on informative regions of the feature map (§4.2.3).
@@ -109,6 +108,26 @@ macro_rules! learned_gate {
                 // Inverse of the log1p squash used in training, clamped so
                 // a slightly-negative regression output stays a valid loss.
                 out.into_vec().into_iter().map(|v| v.exp_m1().max(0.0)).collect()
+            }
+
+            fn predict_batch(
+                &mut self,
+                features: &Tensor,
+                inputs: &[GateInput<'_>],
+            ) -> Vec<Vec<f32>> {
+                assert_eq!(
+                    features.shape()[0],
+                    inputs.len(),
+                    "predict_batch length mismatch"
+                );
+                // One batched pass through the gate network: the stem
+                // features of every frame share the convolution lowering
+                // and the final linear GEMM.
+                let out = self.net.forward(features, false); // (N, configs)
+                out.data()
+                    .chunks(self.num_configs)
+                    .map(|row| row.iter().map(|v| v.exp_m1().max(0.0)).collect())
+                    .collect()
             }
         }
 
@@ -254,5 +273,25 @@ mod tests {
     fn bad_spatial_panics() {
         let mut rng = Rng::new(7);
         let _ = DeepGate::new(4, 12, 3, &mut rng);
+    }
+
+    #[test]
+    fn predict_batch_matches_per_frame() {
+        let mut rng = Rng::new(8);
+        let mut deep = DeepGate::new(4, 16, 5, &mut rng);
+        let mut attn = AttentionGate::new(4, 16, 5, &mut rng);
+        let batch = Tensor::randn(&[3, 4, 16, 16], 1.0, &mut rng);
+        let frames: Vec<Tensor> = (0..3).map(|i| batch.select_batch(i)).collect();
+        let inputs: Vec<GateInput<'_>> = frames.iter().map(GateInput::features_only).collect();
+        for gate in [&mut deep as &mut dyn Gate, &mut attn as &mut dyn Gate] {
+            let batched = gate.predict_batch(&batch, &inputs);
+            assert_eq!(batched.len(), 3);
+            for (i, input) in inputs.iter().enumerate() {
+                let single = gate.predict(input);
+                for (a, b) in batched[i].iter().zip(&single) {
+                    assert!((a - b).abs() <= 1e-5 * (1.0 + a.abs()), "frame {i}: {a} vs {b}");
+                }
+            }
+        }
     }
 }

@@ -57,9 +57,8 @@ impl Gate for KnowledgeGate {
     }
 
     fn predict(&mut self, input: &GateInput<'_>) -> Vec<f32> {
-        let context = input
-            .context
-            .expect("knowledge gating requires an externally identified context");
+        let context =
+            input.context.expect("knowledge gating requires an externally identified context");
         let mut out = vec![KNOWLEDGE_REJECT_LOSS; self.num_configs];
         out[self.rules[&context]] = 0.0;
         out

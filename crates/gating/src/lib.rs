@@ -77,6 +77,25 @@ pub trait Gate: Send {
     /// (context for [`KnowledgeGate`], oracle losses for
     /// [`LossBasedGate`]).
     fn predict(&mut self, input: &GateInput<'_>) -> Vec<f32>;
+
+    /// Estimates losses for a batch of frames in one call.
+    ///
+    /// `features` stacks the per-frame stem features along the batch axis
+    /// (`(N, C, H, W)`); `inputs` carries the per-frame context and oracle
+    /// data (and per-frame feature views for the default path). Learned
+    /// gates override this with a single batched network pass; the default
+    /// simply predicts frame by frame.
+    ///
+    /// # Panics
+    /// Panics if `features`'s batch dimension differs from `inputs.len()`.
+    fn predict_batch(
+        &mut self,
+        features: &ecofusion_tensor::Tensor,
+        inputs: &[GateInput<'_>],
+    ) -> Vec<Vec<f32>> {
+        assert_eq!(features.shape()[0], inputs.len(), "predict_batch length mismatch");
+        inputs.iter().map(|input| self.predict(input)).collect()
+    }
 }
 
 #[cfg(test)]

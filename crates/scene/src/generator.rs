@@ -171,8 +171,7 @@ mod tests {
     fn city_denser_than_rural() {
         let mut gen = ScenarioGenerator::new(3);
         let city: usize = gen.scenes(Context::City, 200).iter().map(|s| s.objects.len()).sum();
-        let rural: usize =
-            gen.scenes(Context::Rural, 200).iter().map(|s| s.objects.len()).sum();
+        let rural: usize = gen.scenes(Context::Rural, 200).iter().map(|s| s.objects.len()).sum();
         assert!(city > rural, "city {city} vs rural {rural}");
     }
 

@@ -8,11 +8,12 @@ use ecofusion_tensor::rng::Rng;
 ///
 /// # Panics
 /// Panics if `train_fraction` is outside `(0, 1)`.
-pub fn split_scenes(mut scenes: Vec<Scene>, train_fraction: f64, rng: &mut Rng) -> (Vec<Scene>, Vec<Scene>) {
-    assert!(
-        train_fraction > 0.0 && train_fraction < 1.0,
-        "train fraction must be in (0, 1)"
-    );
+pub fn split_scenes(
+    mut scenes: Vec<Scene>,
+    train_fraction: f64,
+    rng: &mut Rng,
+) -> (Vec<Scene>, Vec<Scene>) {
+    assert!(train_fraction > 0.0 && train_fraction < 1.0, "train fraction must be in (0, 1)");
     rng.shuffle(&mut scenes);
     let n_train = ((scenes.len() as f64) * train_fraction).round() as usize;
     let n_train = n_train.min(scenes.len());

@@ -108,7 +108,9 @@ mod tests {
         for y in 0..grid {
             for x in 0..grid {
                 let v = t.get4(0, 0, y, x);
-                let in_box = (x as f32) >= b.x1 && (x as f32) < b.x2 && (y as f32) >= b.y1
+                let in_box = (x as f32) >= b.x1
+                    && (x as f32) < b.x2
+                    && (y as f32) >= b.y1
                     && (y as f32) < b.y2;
                 if in_box {
                     inside += v;

@@ -123,10 +123,7 @@ pub fn occlusion_factors(scene: &Scene, occluded_gain: f32) -> Vec<f32> {
     // Index objects sorted by increasing range (y).
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
-        scene.objects[a]
-            .y
-            .partial_cmp(&scene.objects[b].y)
-            .unwrap_or(std::cmp::Ordering::Equal)
+        scene.objects[a].y.partial_cmp(&scene.objects[b].y).unwrap_or(std::cmp::Ordering::Equal)
     });
     for (rank, &i) in order.iter().enumerate() {
         let oi = &scene.objects[i];

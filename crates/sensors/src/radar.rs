@@ -37,8 +37,8 @@ impl SensorModel for RadarModel {
         let occ = grid::occlusion_factors(scene, 0.75);
         for (obj, (b, occ_f)) in scene.objects.iter().zip(boxes.iter().zip(&occ)) {
             // Minimal range/weather attenuation.
-            let atten = 0.97f32.powf(obj.y as f32 / 10.0)
-                * (1.0 - 0.1 * profile.precipitation as f32);
+            let atten =
+                0.97f32.powf(obj.y as f32 / 10.0) * (1.0 - 0.1 * profile.precipitation as f32);
             let intensity = 0.85 * obj.class.radar_reflectivity() as f32 * atten * occ_f;
             grid::splat_box(&mut t, b, intensity, 0.2, rng);
         }

@@ -130,11 +130,8 @@ mod tests {
         let scene = gen.scene(Context::City);
         let suite = SensorSuite::new(16);
         let obs = suite.observe(&scene, &mut Rng::new(7));
-        let stacked = obs.stacked(&[
-            SensorKind::CameraLeft,
-            SensorKind::CameraRight,
-            SensorKind::Lidar,
-        ]);
+        let stacked =
+            obs.stacked(&[SensorKind::CameraLeft, SensorKind::CameraRight, SensorKind::Lidar]);
         assert_eq!(stacked.shape(), &[1, 3, 16, 16]);
     }
 

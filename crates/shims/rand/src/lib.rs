@@ -1,0 +1,343 @@
+//! Offline shim for the `rand` crate (see `crates/shims/README.md`).
+//!
+//! Unlike the other shims, this one is **stream-compatible** with
+//! `rand 0.8` + `rand_chacha 0.3` for the API it covers: `rngs::StdRng`
+//! is a faithful ChaCha12 implementation seeded with `rand_core`'s
+//! `seed_from_u64` PCG32 expansion, `gen::<f64>` uses the same 53-bit
+//! conversion, and `gen_range` uses the same widening-multiply rejection
+//! sampling. Every stochastic fixture in this workspace (weight init,
+//! scene generation, statistical test thresholds) was produced against the
+//! real `StdRng` stream, so the shim must reproduce it bit for bit. The
+//! block function is validated against the RFC 8439 ChaCha20 test vector
+//! in this crate's tests.
+
+/// Sampling support for `Rng::gen` (mirrors rand's `Standard`
+/// distribution).
+pub trait Standard: Sized {
+    /// Draws one value from the generator.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        // rand 0.8: 53 mantissa bits, multiply into [0, 1).
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+#[inline]
+fn wmul64(a: u64, b: u64) -> (u64, u64) {
+    let wide = (a as u128) * (b as u128);
+    ((wide >> 64) as u64, wide as u64)
+}
+
+/// Ranges usable with `Rng::gen_range` (rand's `SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one value inside the range.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// rand 0.8 `UniformInt::sample_single` for 64-bit types: Lemire
+/// widening-multiply with rejection zone `(range << lz) - 1`.
+#[inline]
+fn sample_single_u64<R: RngCore>(range: u64, rng: &mut R) -> u64 {
+    debug_assert!(range > 0);
+    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u64();
+        let (hi, lo) = wmul64(v, range);
+        if lo <= zone {
+            return hi;
+        }
+    }
+}
+
+macro_rules! impl_u64_like_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let range = (self.end - self.start) as u64;
+                self.start + sample_single_u64(range, rng) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on empty range");
+                let range = ((hi - lo) as u64).wrapping_add(1);
+                if range == 0 {
+                    // Full-width inclusive range.
+                    return rng.next_u64() as $t;
+                }
+                lo + sample_single_u64(range, rng) as $t
+            }
+        }
+    )*};
+}
+
+impl_u64_like_range!(usize, u64);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// Raw generator core (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    /// Next raw 32-bit draw.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next raw 64-bit draw (little-endian composition of two 32-bit
+    /// draws, as `rand_core` does for 32-bit generators).
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+/// User-facing sampling methods (blanket-implemented over [`RngCore`]).
+pub trait Rng: RngCore {
+    /// Draws a value of an inferred type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from a range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Generators constructible from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed using `rand_core`'s PCG32
+    /// seed-expansion routine.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// ChaCha quarter round.
+    #[inline(always)]
+    fn quarter(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(16);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(12);
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(8);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(7);
+    }
+
+    /// One ChaCha block: `rounds` must be even.
+    pub(super) fn chacha_block(input: &[u32; 16], rounds: usize) -> [u32; 16] {
+        let mut x = *input;
+        for _ in 0..rounds / 2 {
+            // Column round.
+            quarter(&mut x, 0, 4, 8, 12);
+            quarter(&mut x, 1, 5, 9, 13);
+            quarter(&mut x, 2, 6, 10, 14);
+            quarter(&mut x, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter(&mut x, 0, 5, 10, 15);
+            quarter(&mut x, 1, 6, 11, 12);
+            quarter(&mut x, 2, 7, 8, 13);
+            quarter(&mut x, 3, 4, 9, 14);
+        }
+        for (o, i) in x.iter_mut().zip(input.iter()) {
+            *o = o.wrapping_add(*i);
+        }
+        x
+    }
+
+    /// `"expand 32-byte k"` as little-endian words.
+    const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+    /// ChaCha12 generator, stream-compatible with `rand 0.8`'s `StdRng`
+    /// (`rand_chacha::ChaCha12Rng` with stream id 0): 64-bit block
+    /// counter in words 12–13, stream id in words 14–15, output consumed
+    /// as sequential little-endian 32-bit words.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        key: [u32; 8],
+        counter: u64,
+        buffer: [u32; 16],
+        index: usize,
+    }
+
+    impl StdRng {
+        fn refill(&mut self) {
+            let mut state = [0u32; 16];
+            state[..4].copy_from_slice(&SIGMA);
+            state[4..12].copy_from_slice(&self.key);
+            state[12] = self.counter as u32;
+            state[13] = (self.counter >> 32) as u32;
+            state[14] = 0;
+            state[15] = 0;
+            self.buffer = chacha_block(&state, 12);
+            self.counter = self.counter.wrapping_add(1);
+            self.index = 0;
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(mut state: u64) -> Self {
+            // rand_core 0.6's default seed_from_u64: PCG32 output fills
+            // the 32-byte seed as little-endian u32 chunks.
+            const MUL: u64 = 6_364_136_223_846_793_005;
+            const INC: u64 = 11_634_580_027_462_260_723;
+            let mut key = [0u32; 8];
+            for word in &mut key {
+                state = state.wrapping_mul(MUL).wrapping_add(INC);
+                let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+                let rot = (state >> 59) as u32;
+                // Seed bytes are little-endian; the key words are read
+                // back little-endian, so the rotated word passes through.
+                *word = xorshifted.rotate_right(rot);
+            }
+            StdRng { key, counter: 0, buffer: [0; 16], index: 16 }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            if self.index >= 16 {
+                self.refill();
+            }
+            let w = self.buffer[self.index];
+            self.index += 1;
+            w
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            // rand_chacha composes u64s from two sequential words
+            // (low word first) and refills block-at-a-time; a u64 never
+            // straddles blocks because 16 words divide evenly.
+            let lo = self.next_u32() as u64;
+            let hi = self.next_u32() as u64;
+            lo | (hi << 32)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::{chacha_block, StdRng};
+    use super::*;
+
+    /// RFC 8439 §2.3.2: ChaCha20 block function test vector. Validates the
+    /// quarter-round network and the final state addition; ChaCha12 runs
+    /// the same network for fewer rounds.
+    #[test]
+    fn chacha20_block_matches_rfc8439() {
+        let mut state = [0u32; 16];
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        // Key 00 01 02 .. 1f as little-endian words.
+        for i in 0..8 {
+            let b = (4 * i) as u32;
+            state[4 + i] = b | (b + 1) << 8 | (b + 2) << 16 | (b + 3) << 24;
+        }
+        state[12] = 1; // counter
+        state[13] = 0x0900_0000; // nonce words from the RFC
+        state[14] = 0x4a00_0000;
+        state[15] = 0;
+        let out = chacha_block(&state, 20);
+        let expect: [u32; 16] = [
+            0xe4e7_f110,
+            0x1559_3bd1,
+            0x1fdd_0f50,
+            0xc471_20a3,
+            0xc7f4_d1c7,
+            0x0368_c033,
+            0x9aaa_2204,
+            0x4e6c_d4c3,
+            0x4664_82d2,
+            0x09aa_9f07,
+            0x05d7_c214,
+            0xa202_8bd9,
+            0xd19c_12b5,
+            0xb94e_16de,
+            0xe883_d0cb,
+            0x4e3c_50a2,
+        ];
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            let g: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..9);
+            assert!((3..9).contains(&v));
+            let w = rng.gen_range(0usize..=4);
+            assert!(w <= 4);
+        }
+    }
+
+    #[test]
+    fn mean_is_centred() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let mean = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

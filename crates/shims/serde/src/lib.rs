@@ -1,0 +1,440 @@
+//! Offline shim for the `serde` crate (see `crates/shims/README.md`).
+//!
+//! Instead of serde's zero-copy serializer/deserializer traits, this shim
+//! round-trips every value through a JSON-oriented [`Value`] tree. That is
+//! dramatically simpler, fast enough for model snapshots, and keeps the
+//! `#[derive(Serialize, Deserialize)]` + `serde_json::{to_string, from_str}`
+//! surface of the real crate source-compatible.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON-shaped value tree: the serialization data model of the shim.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object (insertion-ordered).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The entries of an object, if this value is one.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array, if this value is one.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string content, if this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Short human-readable kind name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        }
+    }
+}
+
+/// Error produced while mapping a [`Value`] back into a Rust type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    /// Standard "expected X, found Y" error.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        DeError::custom(format!("expected {what}, found {}", found.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types convertible into the shim's [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from the shim's [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Looks up a field in an object by name (derive-macro helper).
+pub fn find_field<'a>(map: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+    map.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n: i64 = match v {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n)
+                        .map_err(|_| DeError::custom("integer out of range"))?,
+                    Value::F64(f) if f.fract() == 0.0 => *f as i64,
+                    other => return Err(DeError::expected("integer", other)),
+                };
+                <$t>::try_from(n).map_err(|_| DeError::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n: u64 = match v {
+                    Value::U64(n) => *n,
+                    Value::I64(n) => u64::try_from(*n)
+                        .map_err(|_| DeError::custom("negative integer for unsigned type"))?,
+                    Value::F64(f) if f.fract() == 0.0 && *f >= 0.0 => *f as u64,
+                    other => return Err(DeError::expected("unsigned integer", other)),
+                };
+                <$t>::try_from(n).map_err(|_| DeError::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::F64(f) => Ok(*f as $t),
+                    Value::I64(n) => Ok(*n as $t),
+                    Value::U64(n) => Ok(*n as $t),
+                    other => Err(DeError::expected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::expected("single-character string", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (*self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let seq = v.as_seq().ok_or_else(|| DeError::expected("array", v))?;
+        seq.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let seq = v.as_seq().ok_or_else(|| DeError::expected("array", v))?;
+        if seq.len() != N {
+            return Err(DeError::custom(format!(
+                "expected array of length {N}, found {}",
+                seq.len()
+            )));
+        }
+        let items: Vec<T> = seq.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        items.try_into().map_err(|_| DeError::custom("array length conversion failed"))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $i:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$i.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let seq = v.as_seq().ok_or_else(|| DeError::expected("array", v))?;
+                let want = [$(stringify!($i)),+].len();
+                if seq.len() != want {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of length {want}, found {}", seq.len()
+                    )));
+                }
+                Ok(($($t::from_value(&seq[$i])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Renders a map key: JSON objects require string keys, so non-string
+/// serializable keys (unit enum variants, integers) are stringified the
+/// same way `serde_json`'s map-key serializer does.
+fn key_string(v: Value) -> Result<String, DeError> {
+    match v {
+        Value::Str(s) => Ok(s),
+        Value::I64(n) => Ok(n.to_string()),
+        Value::U64(n) => Ok(n.to_string()),
+        Value::Bool(b) => Ok(b.to_string()),
+        other => Err(DeError::custom(format!("map key must be a string, got {}", other.kind()))),
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = key_string(k.to_value())
+                        .expect("BTreeMap key does not serialize to a string");
+                    (key, v.to_value())
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let map = v.as_map().ok_or_else(|| DeError::expected("object", v))?;
+        map.iter()
+            .map(|(k, v)| {
+                // Keys arrive as JSON strings; non-string key types
+                // (integers, bools) parse back from the stringified form.
+                let key = K::from_value(&Value::Str(k.clone())).or_else(|e| {
+                    if let Ok(n) = k.parse::<u64>() {
+                        K::from_value(&Value::U64(n))
+                    } else if let Ok(n) = k.parse::<i64>() {
+                        K::from_value(&Value::I64(n))
+                    } else if let Ok(b) = k.parse::<bool>() {
+                        K::from_value(&Value::Bool(b))
+                    } else {
+                        Err(e)
+                    }
+                })?;
+                Ok((key, V::from_value(v)?))
+            })
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(f32::from_value(&1.5f32.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(String::from_value(&"hi".to_string().to_value()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()).unwrap(), v);
+        let o: Option<f64> = Some(2.5);
+        assert_eq!(Option::<f64>::from_value(&o.to_value()).unwrap(), o);
+        let n: Option<f64> = None;
+        assert_eq!(Option::<f64>::from_value(&n.to_value()).unwrap(), n);
+        let t = (1u8, -2i64, 0.5f32);
+        assert_eq!(<(u8, i64, f32)>::from_value(&t.to_value()).unwrap(), t);
+        let a = [1usize, 2, 3, 4];
+        assert_eq!(<[usize; 4]>::from_value(&a.to_value()).unwrap(), a);
+    }
+
+    #[test]
+    fn map_with_integer_keys() {
+        let mut m = BTreeMap::new();
+        m.insert(3u32, "three".to_string());
+        let back = BTreeMap::<u32, String>::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn type_mismatch_errors() {
+        assert!(bool::from_value(&Value::I64(1)).is_err());
+        assert!(u8::from_value(&Value::I64(300)).is_err());
+        assert!(u64::from_value(&Value::I64(-1)).is_err());
+    }
+}

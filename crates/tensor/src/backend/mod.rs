@@ -1,0 +1,359 @@
+//! Pluggable compute backends for the hot linear-algebra kernels.
+//!
+//! Every GEMM and convolution in the workspace dispatches through a
+//! [`Backend`]: [`Reference`] keeps the original straightforward loops as a
+//! correctness oracle, while [`Blocked`] provides register-tiled,
+//! cache-aware kernels with scoped-thread data parallelism over output
+//! rows and the batch dimension. Layers call [`active`], so swapping the
+//! whole model's compute substrate is one call to [`set_backend`] (or the
+//! `ECOFUSION_BACKEND` environment variable — `reference` or `blocked`).
+//!
+//! # Numerical contract
+//!
+//! Both backends accumulate every output element over the shared dimension
+//! in the same (increasing) order and never split a single reduction
+//! across threads, so each backend is individually deterministic on every
+//! machine and thread count. They differ only in rounding: the blocked
+//! kernels use fused multiply-adds (one rounding per multiply-add instead
+//! of two). The parity suite in `crates/tensor/tests/prop_backend.rs`
+//! bounds the divergence at `1e-4` across randomized shapes for matmul and
+//! convolution forward + backward.
+
+mod blocked;
+mod reference;
+
+pub use blocked::Blocked;
+pub use reference::Reference;
+
+use crate::tensor::Tensor;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Selects one of the built-in backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Original scalar loops: the correctness oracle.
+    Reference,
+    /// Register-tiled, parallel kernels (the default).
+    Blocked,
+}
+
+/// Shape parameters of a 2-D convolution (NCHW, square kernel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvSpec {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Square kernel side.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding on every side.
+    pub padding: usize,
+}
+
+impl ConvSpec {
+    /// Output spatial size for an `h × w` input.
+    pub fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
+        let ho = (h + 2 * self.padding - self.kernel) / self.stride + 1;
+        let wo = (w + 2 * self.padding - self.kernel) / self.stride + 1;
+        (ho, wo)
+    }
+
+    /// Width of one im2col row: `C_in · k · k`.
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+}
+
+/// Gradients of one convolution backward pass.
+#[derive(Debug)]
+pub struct ConvGrads {
+    /// Weight gradient, shape `(C_out, C_in·k·k)`.
+    pub dw: Tensor,
+    /// Bias gradient, shape `(C_out)`.
+    pub db: Tensor,
+    /// Input gradient, shape of the forward input.
+    pub dx: Tensor,
+}
+
+/// A compute backend: the GEMM and convolution kernels everything above
+/// the tensor layer runs on.
+///
+/// GEMM methods write into a caller-zeroed `c` buffer. Slices are
+/// row-major; dimension names follow `C (m×n) = A · B` with shared
+/// dimension `k`.
+pub trait Backend: Send + Sync {
+    /// Backend name for diagnostics and bench labels.
+    fn name(&self) -> &'static str;
+
+    /// `C (m×n) = A (m×k) · B (k×n)`.
+    fn gemm(&self, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]);
+
+    /// `C (m×n) = Aᵀ · B` where `A` is stored `(k×m)`.
+    fn gemm_tn(&self, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]);
+
+    /// `C (m×n) = A · Bᵀ` where `B` is stored `(n×k)`.
+    fn gemm_nt(&self, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]);
+
+    /// Convolution forward over NCHW input `x` with weight `(C_out,
+    /// C_in·k·k)` and bias `(C_out)`. `scratch` is a caller-owned buffer
+    /// backends may use to avoid per-call allocation (im2col columns).
+    fn conv2d_forward(
+        &self,
+        x: &Tensor,
+        weight: &Tensor,
+        bias: &[f32],
+        spec: &ConvSpec,
+        scratch: &mut Vec<f32>,
+    ) -> Tensor;
+
+    /// Convolution backward: gradients of weight, bias, and input given
+    /// the forward input `x` and `grad_out` in NCHW layout.
+    ///
+    /// `cols_valid` promises that `scratch` still holds exactly what this
+    /// backend's `conv2d_forward` left there for the same `x` — backends
+    /// that lower to columns may then skip recomputing the lowering.
+    fn conv2d_backward(
+        &self,
+        x: &Tensor,
+        weight: &Tensor,
+        grad_out: &Tensor,
+        spec: &ConvSpec,
+        scratch: &mut Vec<f32>,
+        cols_valid: bool,
+    ) -> ConvGrads;
+}
+
+static REFERENCE: Reference = Reference;
+static BLOCKED: Blocked = Blocked;
+
+/// The backend instance for a kind (useful for benches and parity tests
+/// that must pin a backend regardless of the global selection).
+pub fn get(kind: BackendKind) -> &'static dyn Backend {
+    match kind {
+        BackendKind::Reference => &REFERENCE,
+        BackendKind::Blocked => &BLOCKED,
+    }
+}
+
+const KIND_UNSET: u8 = 0;
+const KIND_REFERENCE: u8 = 1;
+const KIND_BLOCKED: u8 = 2;
+
+static OVERRIDE: AtomicU8 = AtomicU8::new(KIND_UNSET);
+static ENV_DEFAULT: OnceLock<BackendKind> = OnceLock::new();
+
+fn env_default() -> BackendKind {
+    *ENV_DEFAULT.get_or_init(|| match std::env::var("ECOFUSION_BACKEND").as_deref() {
+        Ok("reference") | Ok("ref") => BackendKind::Reference,
+        Ok("blocked") | Err(_) => BackendKind::Blocked,
+        Ok(other) => {
+            eprintln!("warning: unknown ECOFUSION_BACKEND `{other}`, using blocked");
+            BackendKind::Blocked
+        }
+    })
+}
+
+/// The globally selected backend kind: [`set_backend`] if called,
+/// otherwise `ECOFUSION_BACKEND`, otherwise [`BackendKind::Blocked`].
+pub fn backend_kind() -> BackendKind {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        KIND_REFERENCE => BackendKind::Reference,
+        KIND_BLOCKED => BackendKind::Blocked,
+        _ => env_default(),
+    }
+}
+
+/// Selects the process-wide backend. Affects every subsequent tensor and
+/// layer operation; typically called once at startup.
+pub fn set_backend(kind: BackendKind) {
+    let v = match kind {
+        BackendKind::Reference => KIND_REFERENCE,
+        BackendKind::Blocked => KIND_BLOCKED,
+    };
+    OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// The active backend instance.
+pub fn active() -> &'static dyn Backend {
+    get(backend_kind())
+}
+
+// ---------------------------------------------------------------------------
+// Shared lowering helpers (used by the GEMM-based backend; the reference
+// backend convolves directly and never materializes columns)
+// ---------------------------------------------------------------------------
+
+/// Lowers NCHW input to a `(N·Ho·Wo, C_in·k·k)` column matrix in `cols`
+/// (resized and fully overwritten; padding positions become zeros).
+pub(crate) fn im2col(x: &Tensor, spec: &ConvSpec, cols: &mut Vec<f32>) {
+    let (n, c, h, w) = dims4(x);
+    let (ho, wo) = spec.out_size(h, w);
+    let k = spec.kernel;
+    let cols_w = spec.patch_len();
+    cols.clear();
+    cols.resize(n * ho * wo * cols_w, 0.0);
+    let xdata = x.data();
+    for b in 0..n {
+        for oy in 0..ho {
+            let iy0 = (oy * spec.stride) as isize - spec.padding as isize;
+            for ox in 0..wo {
+                let ix0 = (ox * spec.stride) as isize - spec.padding as isize;
+                let row = ((b * ho + oy) * wo + ox) * cols_w;
+                for ci in 0..c {
+                    let ch_base = (b * c + ci) * h * w;
+                    let col_base = row + ci * k * k;
+                    for ky in 0..k {
+                        let iy = iy0 + ky as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let src_row = ch_base + iy as usize * w;
+                        let dst_row = col_base + ky * k;
+                        // Contiguous kx span: clip against [0, w).
+                        let kx_lo = (-ix0).clamp(0, k as isize) as usize;
+                        let kx_hi = (w as isize - ix0).clamp(0, k as isize) as usize;
+                        for kx in kx_lo..kx_hi {
+                            cols[dst_row + kx] = xdata[src_row + (ix0 + kx as isize) as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scatters column-matrix gradients back to NCHW input layout (inverse of
+/// [`im2col`], accumulating where patches overlap).
+pub(crate) fn col2im(cols_grad: &[f32], spec: &ConvSpec, in_shape: [usize; 4]) -> Tensor {
+    let [n, c, h, w] = in_shape;
+    let (ho, wo) = spec.out_size(h, w);
+    let k = spec.kernel;
+    let cols_w = spec.patch_len();
+    let mut dx = Tensor::zeros(&[n, c, h, w]);
+    let dxd = dx.data_mut();
+    for b in 0..n {
+        for oy in 0..ho {
+            let iy0 = (oy * spec.stride) as isize - spec.padding as isize;
+            for ox in 0..wo {
+                let ix0 = (ox * spec.stride) as isize - spec.padding as isize;
+                let row = ((b * ho + oy) * wo + ox) * cols_w;
+                for ci in 0..c {
+                    let ch_base = (b * c + ci) * h * w;
+                    let col_base = row + ci * k * k;
+                    for ky in 0..k {
+                        let iy = iy0 + ky as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let dst_row = ch_base + iy as usize * w;
+                        let src_row = col_base + ky * k;
+                        let kx_lo = (-ix0).clamp(0, k as isize) as usize;
+                        let kx_hi = (w as isize - ix0).clamp(0, k as isize) as usize;
+                        for kx in kx_lo..kx_hi {
+                            dxd[dst_row + (ix0 + kx as isize) as usize] += cols_grad[src_row + kx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    dx
+}
+
+/// Rearranges GEMM row layout `(N·Ho·Wo, C_out)` into NCHW, adding bias.
+pub(crate) fn rows_to_nchw(
+    rows: &[f32],
+    bias: &[f32],
+    n: usize,
+    co: usize,
+    ho: usize,
+    wo: usize,
+) -> Tensor {
+    let mut y = Tensor::zeros(&[n, co, ho, wo]);
+    let yd = y.data_mut();
+    for b in 0..n {
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let r = ((b * ho + oy) * wo + ox) * co;
+                for c in 0..co {
+                    yd[((b * co + c) * ho + oy) * wo + ox] = rows[r + c] + bias[c];
+                }
+            }
+        }
+    }
+    y
+}
+
+/// Rearranges an NCHW gradient into GEMM row layout `(N·Ho·Wo, C_out)`.
+pub(crate) fn nchw_to_rows(
+    grad_out: &Tensor,
+    n: usize,
+    co: usize,
+    ho: usize,
+    wo: usize,
+) -> Vec<f32> {
+    let mut rows = vec![0.0f32; n * ho * wo * co];
+    let od = grad_out.data();
+    for b in 0..n {
+        for c in 0..co {
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    rows[((b * ho + oy) * wo + ox) * co + c] =
+                        od[((b * co + c) * ho + oy) * wo + ox];
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// The `[N, C, H, W]` dimensions of a 4-D tensor.
+pub(crate) fn dims4(x: &Tensor) -> (usize, usize, usize, usize) {
+    let s = x.shape();
+    debug_assert_eq!(s.len(), 4, "expected NCHW tensor");
+    (s[0], s[1], s[2], s[3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn backend_selection_roundtrip() {
+        let before = backend_kind();
+        set_backend(BackendKind::Reference);
+        assert_eq!(backend_kind(), BackendKind::Reference);
+        assert_eq!(active().name(), "reference");
+        set_backend(BackendKind::Blocked);
+        assert_eq!(backend_kind(), BackendKind::Blocked);
+        assert_eq!(active().name(), "blocked");
+        set_backend(before);
+    }
+
+    #[test]
+    fn conv_spec_geometry() {
+        let spec = ConvSpec { in_channels: 3, out_channels: 8, kernel: 3, stride: 2, padding: 1 };
+        assert_eq!(spec.out_size(8, 8), (4, 4));
+        assert_eq!(spec.patch_len(), 27);
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint() {
+        // <im2col(x), g> == <x, col2im(g)>: the two lowerings must be
+        // adjoint linear maps for conv backward to be the true gradient.
+        let mut rng = Rng::new(5);
+        let spec = ConvSpec { in_channels: 2, out_channels: 1, kernel: 3, stride: 2, padding: 1 };
+        let x = Tensor::randn(&[2, 2, 5, 5], 1.0, &mut rng);
+        let mut cols = Vec::new();
+        im2col(&x, &spec, &mut cols);
+        let g: Vec<f32> = (0..cols.len()).map(|i| ((i * 37) % 11) as f32 - 5.0).collect();
+        let gx = col2im(&g, &spec, [2, 2, 5, 5]);
+        let lhs: f64 = cols.iter().zip(&g).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let rhs: f64 = x.data().iter().zip(gx.data()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+}

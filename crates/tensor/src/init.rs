@@ -26,8 +26,7 @@ mod tests {
         let mut rng = Rng::new(1);
         let w = kaiming_normal(&[10_000], 50, &mut rng);
         let mean = w.mean();
-        let var = w.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
-            / w.len() as f32;
+        let var = w.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / w.len() as f32;
         let want = 2.0 / 50.0;
         assert!((var - want).abs() < want * 0.2, "var {var}, want {want}");
     }

@@ -28,12 +28,8 @@ impl Layer for ReLU {
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let mask = self.mask.as_ref().expect("ReLU::backward before forward(train)");
         assert_eq!(mask.len(), grad_out.len(), "ReLU grad shape mismatch");
-        let data = grad_out
-            .data()
-            .iter()
-            .zip(mask)
-            .map(|(&g, &m)| if m { g } else { 0.0 })
-            .collect();
+        let data =
+            grad_out.data().iter().zip(mask).map(|(&g, &m)| if m { g } else { 0.0 }).collect();
         Tensor::from_vec(grad_out.shape(), data)
     }
 
@@ -70,12 +66,8 @@ impl Layer for LeakyReLU {
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let mask = self.mask.as_ref().expect("LeakyReLU::backward before forward(train)");
         let s = self.slope;
-        let data = grad_out
-            .data()
-            .iter()
-            .zip(mask)
-            .map(|(&g, &m)| if m { g } else { s * g })
-            .collect();
+        let data =
+            grad_out.data().iter().zip(mask).map(|(&g, &m)| if m { g } else { s * g }).collect();
         Tensor::from_vec(grad_out.shape(), data)
     }
 
@@ -120,12 +112,7 @@ impl Layer for Sigmoid {
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let y = self.cached_out.as_ref().expect("Sigmoid::backward before forward(train)");
-        let data = grad_out
-            .data()
-            .iter()
-            .zip(y.data())
-            .map(|(&g, &o)| g * o * (1.0 - o))
-            .collect();
+        let data = grad_out.data().iter().zip(y.data()).map(|(&g, &o)| g * o * (1.0 - o)).collect();
         Tensor::from_vec(grad_out.shape(), data)
     }
 

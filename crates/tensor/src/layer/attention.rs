@@ -60,10 +60,11 @@ impl SelfAttention2d {
         let [_, c, h, w] = [x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]];
         let t = h * w;
         let mut m = Tensor::zeros(&[t, c]);
+        let md = m.data_mut();
         for ci in 0..c {
-            for i in 0..t {
-                let v = x.data()[((b * c + ci) * t) + i];
-                m.data_mut()[i * c + ci] = v;
+            let src = &x.data()[(b * c + ci) * t..(b * c + ci + 1) * t];
+            for (i, &v) in src.iter().enumerate() {
+                md[i * c + ci] = v;
             }
         }
         m
@@ -73,9 +74,12 @@ impl SelfAttention2d {
     fn untokens(m: &Tensor, out: &mut Tensor, b: usize) {
         let c = m.shape()[1];
         let t = m.shape()[0];
+        let md = m.data();
+        let od = out.data_mut();
         for ci in 0..c {
-            for i in 0..t {
-                out.data_mut()[(b * c + ci) * t + i] = m.data()[i * c + ci];
+            let dst = &mut od[(b * c + ci) * t..(b * c + ci + 1) * t];
+            for (i, v) in dst.iter_mut().enumerate() {
+                *v = md[i * c + ci];
             }
         }
     }
@@ -125,8 +129,7 @@ impl Layer for SelfAttention2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache =
-            self.cache.as_ref().expect("SelfAttention2d::backward before forward(train)");
+        let cache = self.cache.as_ref().expect("SelfAttention2d::backward before forward(train)");
         let [n, c, _h, _w] = cache.shape;
         let scale = 1.0 / (c as f32).sqrt();
         let mut dx_all = Tensor::zeros(grad_out.shape());
@@ -165,7 +168,7 @@ impl Layer for SelfAttention2d {
             // s = q·kᵀ  =>  dq = ds·k, dk = dsᵀ·q.
             let dq = ds.matmul(k);
             let dk = ds.matmul_tn(q); // dsᵀ·q, shape (T, C)
-            // Projections: q = x·Wq etc.
+                                      // Projections: q = x·Wq etc.
             dwq.add_assign(&xt.matmul_tn(&dq));
             dwk.add_assign(&xt.matmul_tn(&dk));
             dwv.add_assign(&xt.matmul_tn(&dv));

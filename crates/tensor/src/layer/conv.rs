@@ -1,6 +1,7 @@
-//! 2-D convolution via im2col.
+//! 2-D convolution, dispatched through the compute backend.
 
 use super::Layer;
+use crate::backend::{self, ConvSpec};
 use crate::init;
 use crate::param::Param;
 use crate::rng::Rng;
@@ -8,20 +9,25 @@ use crate::tensor::Tensor;
 
 /// 2-D convolution over NCHW inputs.
 ///
-/// Weight layout is `(C_out, C_in·kh·kw)`; the forward pass lowers the input
-/// to column matrix form (im2col) and performs a single matmul, which is the
-/// standard CPU implementation strategy.
+/// Weight layout is `(C_out, C_in·kh·kw)`. The actual kernel runs on the
+/// active [`crate::backend::Backend`]: the blocked backend lowers the
+/// input to column-matrix form (im2col) and performs one GEMM — the
+/// standard CPU strategy — while the reference backend convolves directly
+/// from the definition. The layer owns a scratch buffer the backend reuses
+/// across calls, so steady-state inference does not allocate for the
+/// lowering.
 #[derive(Debug, Clone)]
 pub struct Conv2d {
     weight: Param,
     bias: Param,
-    in_channels: usize,
-    out_channels: usize,
-    kernel: usize,
-    stride: usize,
-    padding: usize,
-    cached_cols: Option<Tensor>,
-    cached_in_shape: Option<[usize; 4]>,
+    spec: ConvSpec,
+    cached_input: Option<Tensor>,
+    scratch: Vec<f32>,
+    /// Bumped on every forward; lets `backward` prove the scratch buffer
+    /// still holds the lowering of the cached training input.
+    scratch_epoch: u64,
+    cached_epoch: Option<u64>,
+    cached_backend: Option<&'static str>,
 }
 
 impl Conv2d {
@@ -44,176 +50,73 @@ impl Conv2d {
         Conv2d {
             weight,
             bias,
-            in_channels,
-            out_channels,
-            kernel,
-            stride,
-            padding,
-            cached_cols: None,
-            cached_in_shape: None,
+            spec: ConvSpec { in_channels, out_channels, kernel, stride, padding },
+            cached_input: None,
+            scratch: Vec::new(),
+            scratch_epoch: 0,
+            cached_epoch: None,
+            cached_backend: None,
         }
     }
 
     /// Output spatial size for a given input size.
     pub fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
-        let ho = (h + 2 * self.padding - self.kernel) / self.stride + 1;
-        let wo = (w + 2 * self.padding - self.kernel) / self.stride + 1;
-        (ho, wo)
+        self.spec.out_size(h, w)
     }
 
     /// Number of output channels.
     pub fn out_channels(&self) -> usize {
-        self.out_channels
+        self.spec.out_channels
     }
 
-    /// Lowers `x` to a `(N·Ho·Wo, C_in·k·k)` column matrix.
-    fn im2col(&self, x: &Tensor) -> Tensor {
-        let [n, c, h, w] = [x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]];
-        let (ho, wo) = self.out_size(h, w);
-        let k = self.kernel;
-        let cols_w = c * k * k;
-        let mut cols = Tensor::zeros(&[n * ho * wo, cols_w]);
-        let cdata = cols.data_mut();
-        let xdata = x.data();
-        for b in 0..n {
-            for oy in 0..ho {
-                let iy0 = (oy * self.stride) as isize - self.padding as isize;
-                for ox in 0..wo {
-                    let ix0 = (ox * self.stride) as isize - self.padding as isize;
-                    let row = ((b * ho + oy) * wo + ox) * cols_w;
-                    for ci in 0..c {
-                        let ch_base = (b * c + ci) * h * w;
-                        let col_base = row + ci * k * k;
-                        for ky in 0..k {
-                            let iy = iy0 + ky as isize;
-                            if iy < 0 || iy >= h as isize {
-                                continue;
-                            }
-                            let src_row = ch_base + iy as usize * w;
-                            let dst_row = col_base + ky * k;
-                            for kx in 0..k {
-                                let ix = ix0 + kx as isize;
-                                if ix < 0 || ix >= w as isize {
-                                    continue;
-                                }
-                                cdata[dst_row + kx] = xdata[src_row + ix as usize];
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        cols
-    }
-
-    /// Scatters column-matrix gradients back to input layout (inverse of
-    /// [`Conv2d::im2col`], accumulating where patches overlap).
-    fn col2im(&self, cols_grad: &Tensor, in_shape: [usize; 4]) -> Tensor {
-        let [n, c, h, w] = in_shape;
-        let (ho, wo) = self.out_size(h, w);
-        let k = self.kernel;
-        let cols_w = c * k * k;
-        let mut dx = Tensor::zeros(&[n, c, h, w]);
-        let dxd = dx.data_mut();
-        let cd = cols_grad.data();
-        for b in 0..n {
-            for oy in 0..ho {
-                let iy0 = (oy * self.stride) as isize - self.padding as isize;
-                for ox in 0..wo {
-                    let ix0 = (ox * self.stride) as isize - self.padding as isize;
-                    let row = ((b * ho + oy) * wo + ox) * cols_w;
-                    for ci in 0..c {
-                        let ch_base = (b * c + ci) * h * w;
-                        let col_base = row + ci * k * k;
-                        for ky in 0..k {
-                            let iy = iy0 + ky as isize;
-                            if iy < 0 || iy >= h as isize {
-                                continue;
-                            }
-                            let dst_row = ch_base + iy as usize * w;
-                            let src_row = col_base + ky * k;
-                            for kx in 0..k {
-                                let ix = ix0 + kx as isize;
-                                if ix < 0 || ix >= w as isize {
-                                    continue;
-                                }
-                                dxd[dst_row + ix as usize] += cd[src_row + kx];
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        dx
+    /// The convolution geometry.
+    pub fn spec(&self) -> ConvSpec {
+        self.spec
     }
 }
 
 impl Layer for Conv2d {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         assert_eq!(x.ndim(), 4, "Conv2d expects NCHW input");
-        assert_eq!(x.shape()[1], self.in_channels, "Conv2d channel mismatch");
-        let [n, _, h, w] = [x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]];
-        let (ho, wo) = self.out_size(h, w);
-        let cols = self.im2col(x); // (N·Ho·Wo, Cin·k·k)
-        let rows = cols.matmul_nt(&self.weight.value); // (N·Ho·Wo, Cout)
-        // Rearrange rows -> NCHW and add bias.
-        let mut y = Tensor::zeros(&[n, self.out_channels, ho, wo]);
-        let yd = y.data_mut();
-        let rd = rows.data();
-        let bias = self.bias.value.data();
-        for b in 0..n {
-            for oy in 0..ho {
-                for ox in 0..wo {
-                    let r = ((b * ho + oy) * wo + ox) * self.out_channels;
-                    for co in 0..self.out_channels {
-                        yd[((b * self.out_channels + co) * ho + oy) * wo + ox] =
-                            rd[r + co] + bias[co];
-                    }
-                }
-            }
-        }
+        assert_eq!(x.shape()[1], self.spec.in_channels, "Conv2d channel mismatch");
+        let backend = backend::active();
+        let y = backend.conv2d_forward(
+            x,
+            &self.weight.value,
+            self.bias.value.data(),
+            &self.spec,
+            &mut self.scratch,
+        );
+        self.scratch_epoch += 1;
         if train {
-            self.cached_cols = Some(cols);
-            self.cached_in_shape = Some([n, self.in_channels, h, w]);
+            self.cached_input = Some(x.clone());
+            self.cached_epoch = Some(self.scratch_epoch);
+            self.cached_backend = Some(backend.name());
         }
         y
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cols = self.cached_cols.as_ref().expect("Conv2d::backward before forward(train)");
-        let in_shape = self.cached_in_shape.expect("Conv2d::backward before forward(train)");
-        let [n, _, h, w] = in_shape;
-        let (ho, wo) = self.out_size(h, w);
-        // Rearrange grad_out NCHW -> row layout (N·Ho·Wo, Cout).
-        let mut grows = Tensor::zeros(&[n * ho * wo, self.out_channels]);
-        {
-            let gd = grows.data_mut();
-            let od = grad_out.data();
-            for b in 0..n {
-                for co in 0..self.out_channels {
-                    for oy in 0..ho {
-                        for ox in 0..wo {
-                            gd[((b * ho + oy) * wo + ox) * self.out_channels + co] =
-                                od[((b * self.out_channels + co) * ho + oy) * wo + ox];
-                        }
-                    }
-                }
-            }
-        }
-        // dW = growsᵀ × cols.
-        let dw = grows.matmul_tn(cols);
-        self.weight.grad.add_assign(&dw);
-        // db = column sums of grows.
-        for j in 0..self.out_channels {
-            let mut s = 0.0;
-            for i in 0..n * ho * wo {
-                s += grows.get2(i, j);
-            }
-            self.bias.grad.data_mut()[j] += s;
-        }
-        // dcols = grows × W.
-        let dcols = grows.matmul(&self.weight.value);
-        self.col2im(&dcols, in_shape)
+        let x = self.cached_input.take().expect("Conv2d::backward before forward(train)");
+        let backend = backend::active();
+        // If no forward ran since the training forward (the common
+        // train-step sequence) and the backend is unchanged, the scratch
+        // buffer still holds this input's im2col lowering and the backend
+        // may skip recomputing it.
+        let cols_valid = self.cached_epoch == Some(self.scratch_epoch)
+            && self.cached_backend == Some(backend.name());
+        let grads = backend.conv2d_backward(
+            &x,
+            &self.weight.value,
+            grad_out,
+            &self.spec,
+            &mut self.scratch,
+            cols_valid,
+        );
+        self.cached_input = Some(x);
+        self.weight.grad.add_assign(&grads.dw);
+        self.bias.grad.add_assign(&grads.db);
+        grads.dx
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -294,5 +197,58 @@ mod tests {
         let mut conv = Conv2d::new(3, 2, 3, 1, 1, &mut rng);
         let x = Tensor::zeros(&[1, 2, 4, 4]);
         let _ = conv.forward(&x, false);
+    }
+
+    #[test]
+    fn scratch_reused_across_eval_calls() {
+        // Pin the backend instance: the global selection is process-wide
+        // mutable state another test may be toggling concurrently.
+        let backend = crate::backend::Blocked;
+        let mut rng = Rng::new(6);
+        let conv = Conv2d::new(2, 4, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(&[1, 2, 8, 8], 1.0, &mut rng);
+        let mut scratch = Vec::new();
+        let _ = crate::backend::Backend::conv2d_forward(
+            &backend,
+            &x,
+            &conv.weight.value,
+            conv.bias.value.data(),
+            &conv.spec,
+            &mut scratch,
+        );
+        let cap = scratch.capacity();
+        assert!(cap > 0);
+        for _ in 0..3 {
+            let _ = crate::backend::Backend::conv2d_forward(
+                &backend,
+                &x,
+                &conv.weight.value,
+                conv.bias.value.data(),
+                &conv.spec,
+                &mut scratch,
+            );
+        }
+        // Steady-state eval must not regrow the lowering buffer.
+        assert_eq!(scratch.capacity(), cap);
+    }
+
+    #[test]
+    fn train_step_reuses_forward_lowering() {
+        // backward immediately after forward(train) must take the
+        // cols_valid fast path and still produce the true gradient (the
+        // gradcheck above covers correctness; this guards the epoch
+        // bookkeeping against regressions that would silently recompute).
+        let mut rng = Rng::new(7);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(&[1, 2, 6, 6], 1.0, &mut rng);
+        let y = conv.forward(&x, true);
+        assert_eq!(conv.cached_epoch, Some(conv.scratch_epoch));
+        let _ = conv.backward(&y);
+        // An eval forward invalidates the cached lowering for a later
+        // backward.
+        let y2 = conv.forward(&x, true);
+        let _ = conv.forward(&x, false);
+        assert_ne!(conv.cached_epoch, Some(conv.scratch_epoch));
+        let _ = conv.backward(&y2); // falls back to recompute, still runs
     }
 }

@@ -41,11 +41,10 @@ impl Layer for Linear {
         assert_eq!(x.ndim(), 2, "Linear expects (N, F) input");
         assert_eq!(x.shape()[1], self.in_features, "Linear input width mismatch");
         let mut y = x.matmul_nt(&self.weight.value); // (N, out)
-        let n = y.shape()[0];
-        for i in 0..n {
-            for j in 0..self.out_features {
-                let v = y.get2(i, j) + self.bias.value.data()[j];
-                y.set2(i, j, v);
+        let bias = self.bias.value.data();
+        for row in y.data_mut().chunks_exact_mut(self.out_features) {
+            for (v, b) in row.iter_mut().zip(bias) {
+                *v += b;
             }
         }
         if train {

@@ -15,11 +15,11 @@ mod norm;
 mod pool;
 mod sequential;
 
-pub use activation::{LeakyReLU, ReLU, Sigmoid};
 pub(crate) use activation::sigmoid as sigmoid_scalar;
-pub use flatten::Flatten;
+pub use activation::{LeakyReLU, ReLU, Sigmoid};
 pub use attention::SelfAttention2d;
 pub use conv::Conv2d;
+pub use flatten::Flatten;
 pub use linear::Linear;
 pub use norm::BatchNorm2d;
 pub use pool::MaxPool2d;
@@ -129,6 +129,7 @@ pub(crate) mod testutil {
                 }
                 k += 1;
             });
+            #[allow(clippy::needless_range_loop)] // i also drives visit_params probes
             for i in 0..len {
                 let mut orig = 0.0;
                 let mut k = 0;

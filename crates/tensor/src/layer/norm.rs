@@ -70,6 +70,7 @@ impl Layer for BatchNorm2d {
         let mut y = Tensor::zeros(x.shape());
         let mut xhat = Tensor::zeros(x.shape());
         let mut inv_stds = vec![0.0f32; c];
+        #[allow(clippy::needless_range_loop)] // ci also strides the NCHW planes below
         for ci in 0..c {
             let (mean, var) = if train {
                 let mut s = 0.0f64;
@@ -118,19 +119,15 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let xhat =
-            self.cached_xhat.as_ref().expect("BatchNorm2d::backward before forward(train)");
+        let xhat = self.cached_xhat.as_ref().expect("BatchNorm2d::backward before forward(train)");
         let inv_std =
             self.cached_inv_std.as_ref().expect("BatchNorm2d::backward before forward(train)");
-        let [n, c, h, w] = [
-            grad_out.shape()[0],
-            grad_out.shape()[1],
-            grad_out.shape()[2],
-            grad_out.shape()[3],
-        ];
+        let [n, c, h, w] =
+            [grad_out.shape()[0], grad_out.shape()[1], grad_out.shape()[2], grad_out.shape()[3]];
         let plane = h * w;
         let count = (n * plane) as f32;
         let mut dx = Tensor::zeros(grad_out.shape());
+        #[allow(clippy::needless_range_loop)] // ci also strides the NCHW planes below
         for ci in 0..c {
             let g = self.gamma.value.data()[ci];
             // Reductions: sum(dy) and sum(dy * xhat).

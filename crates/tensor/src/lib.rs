@@ -46,6 +46,7 @@
 //! }
 //! ```
 
+pub mod backend;
 pub mod init;
 pub mod layer;
 pub mod loss;
@@ -55,6 +56,7 @@ pub mod rng;
 pub mod serialize;
 pub mod tensor;
 
+pub use backend::{Backend, BackendKind};
 pub use layer::{
     BatchNorm2d, Conv2d, Layer, LeakyReLU, Linear, MaxPool2d, ReLU, SelfAttention2d, Sequential,
     Sigmoid,

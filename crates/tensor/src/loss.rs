@@ -64,7 +64,11 @@ pub fn smooth_l1(pred: &Tensor, target: &Tensor, beta: f32) -> (f32, Tensor) {
 ///
 /// # Panics
 /// Panics if shapes differ (including the weights, when provided).
-pub fn bce_with_logits(logits: &Tensor, targets: &Tensor, weights: Option<&Tensor>) -> (f32, Tensor) {
+pub fn bce_with_logits(
+    logits: &Tensor,
+    targets: &Tensor,
+    weights: Option<&Tensor>,
+) -> (f32, Tensor) {
     assert_eq!(logits.shape(), targets.shape(), "bce shape mismatch");
     if let Some(w) = weights {
         assert_eq!(w.shape(), logits.shape(), "bce weight shape mismatch");
@@ -129,12 +133,7 @@ mod tests {
         let logits = Tensor::randn(&[3, 4], 1.0, &mut rng);
         let labels = vec![0, 2, 3];
         let (_, grad) = softmax_cross_entropy(&logits, &labels);
-        finite_diff_scalar(
-            |x| softmax_cross_entropy(x, &labels).0,
-            &logits,
-            &grad,
-            1e-2,
-        );
+        finite_diff_scalar(|x| softmax_cross_entropy(x, &labels).0, &logits, &grad, 1e-2);
     }
 
     #[test]

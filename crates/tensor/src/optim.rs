@@ -15,6 +15,7 @@ pub trait Optimizer {
     /// on every trainable parameter; this indirection lets one optimizer
     /// step models composed of many modules (stems + branches) that do not
     /// form a single [`Layer`].
+    #[allow(clippy::type_complexity)] // double-dyn visitor is the whole point
     fn step_visit(&mut self, visit: &mut dyn FnMut(&mut dyn FnMut(&mut Param)));
 
     /// Applies one update step to every parameter of `layer` using the

@@ -167,8 +167,7 @@ mod tests {
     fn poisson_mean_close_to_lambda() {
         let mut rng = Rng::new(7);
         let n = 20_000;
-        let mean =
-            (0..n).map(|_| rng.poisson(3.5) as f64).sum::<f64>() / n as f64;
+        let mean = (0..n).map(|_| rng.poisson(3.5) as f64).sum::<f64>() / n as f64;
         assert!((mean - 3.5).abs() < 0.1, "mean {mean}");
     }
 

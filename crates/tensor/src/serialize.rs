@@ -131,10 +131,7 @@ impl fmt::Display for RestoreSnapshotError {
                 write!(f, "snapshot has {expected} tensors but model has {found}")
             }
             RestoreSnapshotError::ShapeMismatch { index, expected, found } => {
-                write!(
-                    f,
-                    "tensor {index} shape mismatch: snapshot {expected:?}, model {found:?}"
-                )
+                write!(f, "tensor {index} shape mismatch: snapshot {expected:?}, model {found:?}")
             }
         }
     }

@@ -1,5 +1,6 @@
 //! Dense `f32` tensor in row-major (NCHW for 4-D) layout.
 
+use crate::backend::{self, Backend};
 use crate::rng::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -52,10 +53,13 @@ impl Tensor {
     }
 
     /// Creates a tensor filled with `value`.
+    ///
+    /// # Panics
+    /// Panics if `shape` is empty.
     pub fn full(shape: &[usize], value: f32) -> Self {
-        let mut t = Self::zeros(shape);
-        t.data.iter_mut().for_each(|v| *v = value);
-        t
+        assert!(!shape.is_empty(), "tensor shape must be non-empty");
+        let n: usize = shape.iter().product();
+        Tensor { shape: shape.to_vec(), data: vec![value; n] }
     }
 
     /// Creates a tensor filled with ones.
@@ -74,21 +78,25 @@ impl Tensor {
     }
 
     /// Samples i.i.d. N(0, std²) entries.
+    ///
+    /// # Panics
+    /// Panics if `shape` is empty.
     pub fn randn(shape: &[usize], std: f32, rng: &mut Rng) -> Self {
-        let mut t = Self::zeros(shape);
-        for v in &mut t.data {
-            *v = rng.normal(0.0, std as f64) as f32;
-        }
-        t
+        assert!(!shape.is_empty(), "tensor shape must be non-empty");
+        let n: usize = shape.iter().product();
+        let data = (0..n).map(|_| rng.normal(0.0, std as f64) as f32).collect();
+        Tensor { shape: shape.to_vec(), data }
     }
 
     /// Samples i.i.d. U(lo, hi) entries.
+    ///
+    /// # Panics
+    /// Panics if `shape` is empty.
     pub fn rand_uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut Rng) -> Self {
-        let mut t = Self::zeros(shape);
-        for v in &mut t.data {
-            *v = rng.uniform(lo as f64, hi as f64) as f32;
-        }
-        t
+        assert!(!shape.is_empty(), "tensor shape must be non-empty");
+        let n: usize = shape.iter().product();
+        let data = (0..n).map(|_| rng.uniform(lo as f64, hi as f64) as f32).collect();
+        Tensor { shape: shape.to_vec(), data }
     }
 
     /// The tensor shape.
@@ -264,77 +272,60 @@ impl Tensor {
         self.data.iter().map(|v| v * v).sum()
     }
 
-    /// Matrix multiplication `self (M,K) × other (K,N) → (M,N)`.
+    /// Matrix multiplication `self (M,K) × other (K,N) → (M,N)` on the
+    /// globally active [`Backend`].
     ///
     /// # Panics
     /// Panics if either tensor is not 2-D or the inner dimensions differ.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        self.matmul_with(other, backend::active())
+    }
+
+    /// [`Tensor::matmul`] on an explicit backend.
+    pub fn matmul_with(&self, other: &Tensor, backend: &dyn Backend) -> Tensor {
         assert_eq!(self.ndim(), 2, "matmul lhs must be 2-D");
         assert_eq!(other.ndim(), 2, "matmul rhs must be 2-D");
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dims {}x{} vs {}x{}", m, k, k2, n);
         let mut out = Tensor::zeros(&[m, n]);
-        // ikj loop order: stream over rhs rows for cache locality.
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out.data[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        backend.gemm(m, k, n, &self.data, &other.data, &mut out.data);
         out
     }
 
-    /// `selfᵀ (K,M)ᵀ × other (K,N) → (M,N)` without materializing the transpose.
+    /// `selfᵀ (K,M)ᵀ × other (K,N) → (M,N)` without materializing the
+    /// transpose, on the globally active [`Backend`].
     pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        self.matmul_tn_with(other, backend::active())
+    }
+
+    /// [`Tensor::matmul_tn`] on an explicit backend.
+    pub fn matmul_tn_with(&self, other: &Tensor, backend: &dyn Backend) -> Tensor {
         assert_eq!(self.ndim(), 2, "matmul_tn lhs must be 2-D");
         assert_eq!(other.ndim(), 2, "matmul_tn rhs must be 2-D");
         let (k, m) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul_tn inner dims mismatch");
         let mut out = Tensor::zeros(&[m, n]);
-        for p in 0..k {
-            let a_row = &self.data[p * m..(p + 1) * m];
-            let b_row = &other.data[p * n..(p + 1) * n];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let o_row = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        backend.gemm_tn(m, k, n, &self.data, &other.data, &mut out.data);
         out
     }
 
-    /// `self (M,K) × otherᵀ (N,K)ᵀ → (M,N)` without materializing the transpose.
+    /// `self (M,K) × otherᵀ (N,K)ᵀ → (M,N)` without materializing the
+    /// transpose, on the globally active [`Backend`].
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        self.matmul_nt_with(other, backend::active())
+    }
+
+    /// [`Tensor::matmul_nt`] on an explicit backend.
+    pub fn matmul_nt_with(&self, other: &Tensor, backend: &dyn Backend) -> Tensor {
         assert_eq!(self.ndim(), 2, "matmul_nt lhs must be 2-D");
         assert_eq!(other.ndim(), 2, "matmul_nt rhs must be 2-D");
         let (m, k) = (self.shape[0], self.shape[1]);
         let (n, k2) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul_nt inner dims mismatch");
         let mut out = Tensor::zeros(&[m, n]);
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            for j in 0..n {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0;
-                for (a, b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                out.data[i * n + j] = acc;
-            }
-        }
+        backend.gemm_nt(m, k, n, &self.data, &other.data, &mut out.data);
         out
     }
 
@@ -379,8 +370,8 @@ impl Tensor {
             for p in parts {
                 let c = p.shape[1];
                 let src = &p.data[b * c * plane..(b + 1) * c * plane];
-                let dst = &mut out.data
-                    [(b * c_total + c_off) * plane..(b * c_total + c_off + c) * plane];
+                let dst =
+                    &mut out.data[(b * c_total + c_off) * plane..(b * c_total + c_off + c) * plane];
                 dst.copy_from_slice(src);
                 c_off += c;
             }
@@ -398,8 +389,7 @@ impl Tensor {
         let (n, c_total, h, w) = (self.shape[0], self.shape[1], self.shape[2], self.shape[3]);
         assert_eq!(sizes.iter().sum::<usize>(), c_total, "split sizes must sum to channels");
         let plane = h * w;
-        let mut outs: Vec<Tensor> =
-            sizes.iter().map(|&c| Tensor::zeros(&[n, c, h, w])).collect();
+        let mut outs: Vec<Tensor> = sizes.iter().map(|&c| Tensor::zeros(&[n, c, h, w])).collect();
         for b in 0..n {
             let mut c_off = 0;
             for (out, &c) in outs.iter_mut().zip(sizes) {
@@ -612,8 +602,7 @@ mod tests {
         let mut rng = Rng::new(123);
         let t = Tensor::randn(&[10_000], 2.0, &mut rng);
         let mean = t.mean();
-        let var = t.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
-            / t.len() as f32;
+        let var = t.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / t.len() as f32;
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.3, "var {var}");
     }

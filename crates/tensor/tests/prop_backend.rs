@@ -1,0 +1,111 @@
+//! Property-based parity tests: the blocked backend must match the
+//! reference backend within `1e-4` on every kernel, across randomized
+//! shapes — matmul in all three transpose layouts, and convolution
+//! forward + backward (weight, bias, and input gradients).
+
+use ecofusion_tensor::backend::{Backend, Blocked, ConvSpec, Reference};
+use ecofusion_tensor::rng::Rng;
+use ecofusion_tensor::Tensor;
+use proptest::prelude::*;
+
+fn assert_close(a: &[f32], b: &[f32], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!((x - y).abs() <= 1e-4 * (1.0 + x.abs().max(y.abs())), "{what}[{i}]: {x} vs {y}");
+    }
+}
+
+fn random_tensor(shape: &[usize], rng: &mut Rng) -> Tensor {
+    Tensor::randn(shape, 1.0, rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_parity(m in 1usize..40, k in 1usize..40, n in 1usize..40, seed in 0u64..1000) {
+        let mut rng = Rng::new(seed);
+        let a = random_tensor(&[m, k], &mut rng);
+        let b = random_tensor(&[k, n], &mut rng);
+        let want = a.matmul_with(&b, &Reference);
+        let got = a.matmul_with(&b, &Blocked);
+        assert_close(want.data(), got.data(), "matmul");
+    }
+
+    #[test]
+    fn matmul_tn_parity(m in 1usize..32, k in 1usize..32, n in 1usize..32, seed in 0u64..1000) {
+        let mut rng = Rng::new(seed);
+        let a = random_tensor(&[k, m], &mut rng);
+        let b = random_tensor(&[k, n], &mut rng);
+        let want = a.matmul_tn_with(&b, &Reference);
+        let got = a.matmul_tn_with(&b, &Blocked);
+        assert_close(want.data(), got.data(), "matmul_tn");
+    }
+
+    #[test]
+    fn matmul_nt_parity(m in 1usize..32, k in 1usize..32, n in 1usize..32, seed in 0u64..1000) {
+        let mut rng = Rng::new(seed);
+        let a = random_tensor(&[m, k], &mut rng);
+        let b = random_tensor(&[n, k], &mut rng);
+        let want = a.matmul_nt_with(&b, &Reference);
+        let got = a.matmul_nt_with(&b, &Blocked);
+        assert_close(want.data(), got.data(), "matmul_nt");
+    }
+
+    #[test]
+    fn conv_forward_parity(
+        batch in 1usize..4,
+        cin in 1usize..4,
+        cout in 1usize..5,
+        hw in 3usize..10,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+        padding in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        // Geometry must stay valid: padded input at least one kernel.
+        if hw + 2 * padding >= kernel {
+            let spec =
+                ConvSpec { in_channels: cin, out_channels: cout, kernel, stride, padding };
+            let mut rng = Rng::new(seed);
+            let x = random_tensor(&[batch, cin, hw, hw], &mut rng);
+            let w = random_tensor(&[cout, spec.patch_len()], &mut rng);
+            let bias: Vec<f32> = (0..cout).map(|_| rng.normal(0.0, 0.5) as f32).collect();
+            let mut s1 = Vec::new();
+            let mut s2 = Vec::new();
+            let want = Reference.conv2d_forward(&x, &w, &bias, &spec, &mut s1);
+            let got = Blocked.conv2d_forward(&x, &w, &bias, &spec, &mut s2);
+            prop_assert_eq!(want.shape(), got.shape());
+            assert_close(want.data(), got.data(), "conv_forward");
+        }
+    }
+
+    #[test]
+    fn conv_backward_parity(
+        batch in 1usize..3,
+        cin in 1usize..4,
+        cout in 1usize..4,
+        hw in 3usize..8,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        if hw >= kernel {
+            let padding = kernel / 2;
+            let spec =
+                ConvSpec { in_channels: cin, out_channels: cout, kernel, stride, padding };
+            let mut rng = Rng::new(seed);
+            let x = random_tensor(&[batch, cin, hw, hw], &mut rng);
+            let w = random_tensor(&[cout, spec.patch_len()], &mut rng);
+            let (ho, wo) = spec.out_size(hw, hw);
+            let grad_out = random_tensor(&[batch, cout, ho, wo], &mut rng);
+            let mut s1 = Vec::new();
+            let mut s2 = Vec::new();
+            let want = Reference.conv2d_backward(&x, &w, &grad_out, &spec, &mut s1, false);
+            let got = Blocked.conv2d_backward(&x, &w, &grad_out, &spec, &mut s2, false);
+            assert_close(want.dw.data(), got.dw.data(), "conv_backward dw");
+            assert_close(want.db.data(), got.db.data(), "conv_backward db");
+            assert_close(want.dx.data(), got.dx.data(), "conv_backward dx");
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Batched inference and compute-backend selection.
+//!
+//! Demonstrates the two speed levers the compute layer exposes:
+//!
+//! * `EcoFusionModel::infer_batch` — amortizes the four stems, the gate
+//!   pass, and branch execution across a whole batch of frames;
+//! * `ecofusion_tensor::backend` — swaps every GEMM/conv kernel in the
+//!   process between the `Blocked` default and the `Reference` oracle.
+//!
+//! ```text
+//! cargo run --release --example batched_inference
+//! ```
+
+use ecofusion::prelude::*;
+use ecofusion::tensor::backend::{self, BackendKind};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = Dataset::generate(&DatasetSpec::small(42));
+    let mut trainer = Trainer::new(TrainConfig::fast_demo(), 42);
+    let mut model = trainer.train(&dataset)?;
+    let frames: Vec<Frame> = dataset.test().to_vec();
+    let opts = InferenceOptions::new(0.01, 0.5);
+
+    // Sequential vs batched over the same frames: identical outputs, one
+    // shared stem/gate/branch pass instead of one per frame.
+    let t = Instant::now();
+    let mut sequential = Vec::new();
+    for frame in &frames {
+        sequential.push(model.infer(frame, &opts)?);
+    }
+    let t_seq = t.elapsed();
+    let t = Instant::now();
+    let batched = model.infer_batch(&frames, &opts)?;
+    let t_batch = t.elapsed();
+    assert_eq!(sequential.len(), batched.len());
+    for (s, b) in sequential.iter().zip(&batched) {
+        assert_eq!(s.selected_config, b.selected_config);
+        assert_eq!(s.detections, b.detections);
+    }
+    println!(
+        "{} frames: sequential {:>7.1} ms, batched {:>7.1} ms ({:.2}x)",
+        frames.len(),
+        t_seq.as_secs_f64() * 1e3,
+        t_batch.as_secs_f64() * 1e3,
+        t_seq.as_secs_f64() / t_batch.as_secs_f64()
+    );
+
+    // Same model on the reference backend: the correctness oracle every
+    // optimized backend is validated against (expect a several-fold
+    // slowdown; see crates/bench/benches/tensor_ops.rs for exact ratios).
+    backend::set_backend(BackendKind::Reference);
+    let t = Instant::now();
+    let oracle = model.infer_batch(&frames, &opts)?;
+    let t_ref = t.elapsed();
+    backend::set_backend(BackendKind::Blocked);
+    println!(
+        "reference backend: {:>7.1} ms ({:.2}x slower than blocked)",
+        t_ref.as_secs_f64() * 1e3,
+        t_ref.as_secs_f64() / t_batch.as_secs_f64()
+    );
+    // Backends agree on what was selected (they differ only in rounding).
+    let agree =
+        oracle.iter().zip(&batched).filter(|(a, b)| a.selected_config == b.selected_config).count();
+    println!("backend agreement: {agree}/{} configs identical", batched.len());
+    Ok(())
+}

@@ -21,10 +21,14 @@ fn main() {
 
     // Reproduce Table 3 row by row.
     let late = space.baseline_ids().late;
-    let late_total = EnergyBreakdown::compute(&px2, &sensors, &space.branch_specs(late), StemPolicy::Static)
-        .total_ungated();
+    let late_total =
+        EnergyBreakdown::compute(&px2, &sensors, &space.branch_specs(late), StemPolicy::Static)
+            .total_ungated();
     println!("late fusion baseline: {late_total} per frame in every scenario\n");
-    println!("{:<8} {:<34} {:>10} {:>9}", "scene", "knowledge-gate configuration", "total (J)", "savings");
+    println!(
+        "{:<8} {:<34} {:>10} {:>9}",
+        "scene", "knowledge-gate configuration", "total (J)", "savings"
+    );
     for context in Context::ALL {
         let config = ConfigId(rules[&context]);
         let b = EnergyBreakdown::compute(

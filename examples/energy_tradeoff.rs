@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     config.verbose = true;
     let mut model = Trainer::new(config, 21).train(&dataset)?;
 
-    println!("{:>8} | {:>10} | {:>10} | {:>12}", "lambda_E", "avg loss", "energy (J)", "latency (ms)");
+    println!(
+        "{:>8} | {:>10} | {:>10} | {:>12}",
+        "lambda_E", "avg loss", "energy (J)", "latency (ms)"
+    );
     for lambda in [0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0] {
         let opts = InferenceOptions::new(lambda, 0.5).with_gate(GateKind::Attention);
         let mut loss = 0.0f64;
