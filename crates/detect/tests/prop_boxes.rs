@@ -124,6 +124,98 @@ proptest! {
     }
 
     #[test]
+    fn nms_scores_bounded_and_sorted(
+        dets in prop::collection::vec(arb_detection(), 0..40),
+        thresh in 0.1f32..0.9,
+    ) {
+        let kept = nms(dets, thresh);
+        for d in &kept {
+            prop_assert!((0.0..=1.0).contains(&d.score), "score {}", d.score);
+        }
+        for w in kept.windows(2) {
+            prop_assert!(w[0].score >= w[1].score, "output not sorted by score");
+        }
+    }
+
+    #[test]
+    fn nms_equal_scores_keep_input_order(
+        boxes in prop::collection::vec(arb_bbox(), 0..25),
+        thresh in 0.1f32..0.9,
+        score in 0.05f32..1.0,
+    ) {
+        // All detections share one score: the sort is stable, so the
+        // suppression scan must visit (and therefore keep) survivors in
+        // input order — equal-score inputs never get reordered.
+        let dets: Vec<Detection> =
+            boxes.into_iter().map(|b| Detection::new(b, 0, score)).collect();
+        let kept = nms(dets.clone(), thresh);
+        let mut cursor = 0usize;
+        for k in &kept {
+            let pos = dets[cursor..]
+                .iter()
+                .position(|d| d == k)
+                .expect("kept detection out of input order");
+            cursor += pos + 1;
+        }
+    }
+
+    #[test]
+    fn soft_nms_scores_stay_in_unit_interval(
+        dets in prop::collection::vec(arb_detection(), 0..25),
+        sigma in 0.05f32..1.0,
+    ) {
+        for d in soft_nms(dets, sigma, 0.01) {
+            prop_assert!((0.0..=1.0).contains(&d.score), "score {}", d.score);
+        }
+    }
+
+    #[test]
+    fn wbf_scores_in_unit_interval_and_sorted(
+        a in prop::collection::vec(arb_detection(), 0..12),
+        b in prop::collection::vec(arb_detection(), 0..12),
+    ) {
+        // Member scores are in (0, 1]; fused scores (member average times
+        // the model-agreement rescale) must stay in [0, 1].
+        let fused = weighted_boxes_fusion(&[a, b], &WbfParams::default(), 2);
+        for d in &fused {
+            prop_assert!((0.0..=1.0).contains(&d.score), "score {}", d.score);
+        }
+        for w in fused.windows(2) {
+            prop_assert!(w[0].score >= w[1].score, "output not sorted by score");
+        }
+    }
+
+    #[test]
+    fn wbf_preserves_classes_present_in_inputs(
+        a in prop::collection::vec(arb_detection(), 0..12),
+        b in prop::collection::vec(arb_detection(), 0..12),
+    ) {
+        let classes: std::collections::BTreeSet<usize> =
+            a.iter().chain(&b).map(|d| d.class_id).collect();
+        let fused = weighted_boxes_fusion(&[a, b], &WbfParams::default(), 2);
+        for d in &fused {
+            prop_assert!(classes.contains(&d.class_id), "class {} not in inputs", d.class_id);
+        }
+    }
+
+    #[test]
+    fn wbf_equal_scores_keep_input_order_when_disjoint(
+        n in 1usize..10,
+        score in 0.1f32..1.0,
+    ) {
+        // Disjoint same-score boxes: no clustering happens and the stable
+        // score sort must leave the flatten order (input order) intact.
+        let dets: Vec<Detection> = (0..n)
+            .map(|i| Detection::new(BBox::new(i as f32 * 40.0, 0.0, i as f32 * 40.0 + 8.0, 8.0), 0, score))
+            .collect();
+        let fused = weighted_boxes_fusion(std::slice::from_ref(&dets), &WbfParams::default(), 1);
+        prop_assert_eq!(fused.len(), dets.len());
+        for (f, d) in fused.iter().zip(&dets) {
+            prop_assert!((f.bbox.x1 - d.bbox.x1).abs() < 1e-6, "order changed");
+        }
+    }
+
+    #[test]
     fn fusion_loss_non_negative_and_zero_on_empty(
         dets in prop::collection::vec(arb_detection(), 0..15),
     ) {

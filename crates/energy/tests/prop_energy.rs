@@ -1,6 +1,8 @@
 //! Property-based tests of the energy models.
 
-use ecofusion_energy::{BranchSpec, Px2Model, SensorPowerModel, SensorState, StemPolicy};
+use ecofusion_energy::{
+    BranchSpec, EnergyBreakdown, Px2Model, SensorPowerModel, SensorState, StemPolicy,
+};
 use ecofusion_sensors::SensorKind;
 use proptest::prelude::*;
 
@@ -68,6 +70,53 @@ proptest! {
         let e = px2.config_energy(&branches, StemPolicy::Adaptive);
         let branch_only: f64 = branches.iter().map(|b| px2.branch_cost(b).0.joules()).sum();
         prop_assert!(e.joules() >= branch_only + 4.0 * px2.stem_energy.joules() - 1e-9);
+    }
+
+    #[test]
+    fn breakdown_totals_non_negative_and_consistent(
+        branches in prop::collection::vec(arb_branch(), 1..6),
+    ) {
+        let px2 = Px2Model::default();
+        let sensors = SensorPowerModel::default();
+        for policy in [StemPolicy::Static, StemPolicy::Adaptive] {
+            let b = EnergyBreakdown::compute(&px2, &sensors, &branches, policy);
+            prop_assert!(b.platform.joules() > 0.0);
+            prop_assert!(b.sensors_gated.joules() >= 0.0);
+            prop_assert!(b.latency.millis() > 0.0);
+            // Eq. 11 additivity: the totals are exactly platform + the
+            // matching sensor share.
+            prop_assert!(
+                (b.total_gated().joules() - (b.platform.joules() + b.sensors_gated.joules()))
+                    .abs() < 1e-12
+            );
+            prop_assert!(
+                (b.total_ungated().joules()
+                    - (b.platform.joules() + b.sensors_all_active.joules()))
+                .abs() < 1e-12
+            );
+            // Clock gating can only save sensor energy, never cost.
+            prop_assert!(b.total_gated().joules() <= b.total_ungated().joules() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn breakdown_monotone_in_executed_branches(
+        branches in prop::collection::vec(arb_branch(), 1..5),
+        extra in arb_branch(),
+    ) {
+        let px2 = Px2Model::default();
+        let sensors = SensorPowerModel::default();
+        for policy in [StemPolicy::Static, StemPolicy::Adaptive] {
+            let base = EnergyBreakdown::compute(&px2, &sensors, &branches, policy);
+            let mut bigger = branches.clone();
+            bigger.push(extra.clone());
+            let more = EnergyBreakdown::compute(&px2, &sensors, &bigger, policy);
+            // Executing one more branch never reduces platform energy,
+            // sensor energy, or the Eq. 11 total.
+            prop_assert!(more.platform.joules() > base.platform.joules(), "{policy:?}");
+            prop_assert!(more.sensors_gated.joules() >= base.sensors_gated.joules() - 1e-12);
+            prop_assert!(more.total_gated().joules() > base.total_gated().joules());
+        }
     }
 
     #[test]

@@ -1,0 +1,335 @@
+//! Per-stream energy budgeting: rolling spend vs. target, with a policy
+//! ladder that trades accuracy for energy when a stream runs hot.
+
+use ecofusion_core::InferenceOptions;
+use ecofusion_gating::GateKind;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A stream's energy target: rolling mean total (platform + clock-gated
+/// sensor) energy per frame must stay at or below `target_j`.
+///
+/// # Example
+///
+/// ```
+/// use ecofusion_runtime::EnergyBudget;
+/// let b = EnergyBudget::per_frame(6.0);
+/// assert_eq!(b.target_j, 6.0);
+/// assert!(EnergyBudget::unlimited().target_j.is_infinite());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBudget {
+    /// Target Joules per frame (platform + gated sensors, Eq. 11).
+    pub target_j: f64,
+    /// Frames in the rolling window the spend is averaged over.
+    pub window: usize,
+    /// De-escalation threshold as a fraction of `target_j`: the controller
+    /// relaxes one level only once the rolling mean falls below
+    /// `relax_margin * target_j` (hysteresis; must be `< 1`).
+    pub relax_margin: f64,
+}
+
+impl EnergyBudget {
+    /// A budget of `target_j` Joules/frame with the default window (16
+    /// frames) and relax margin (0.8).
+    pub fn per_frame(target_j: f64) -> Self {
+        EnergyBudget { target_j, window: 16, relax_margin: 0.8 }
+    }
+
+    /// No budget: the controller never escalates and the stream keeps its
+    /// base inference options.
+    pub fn unlimited() -> Self {
+        EnergyBudget::per_frame(f64::INFINITY)
+    }
+}
+
+/// Candidate margin `γ` of the wider mid-ladder rungs: configurations up
+/// to this much predicted loss above the best become tradeable for energy.
+pub const WIDE_GAMMA: f32 = 2.0;
+
+/// Candidate margin of the top "emergency" rung: wide enough that *every*
+/// configuration is a candidate (it exceeds the knowledge gate's reject
+/// loss), so `λ_E = 1` selects the globally cheapest branch.
+pub const EMERGENCY_GAMMA: f32 = 1.0e9;
+
+/// One rung of the adaptation ladder: the gate, energy weight, and
+/// candidate margin a stream runs with at that escalation level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PolicyStep {
+    /// Gating strategy at this level.
+    pub gate: GateKind,
+    /// Energy weight `λ_E` at this level.
+    pub lambda_e: f64,
+    /// Candidate margin `γ` at this level (wider = more energy headroom
+    /// for the joint optimizer, at some accuracy risk).
+    pub gamma: f32,
+}
+
+impl PolicyStep {
+    /// Applies this step to a stream's base options.
+    pub fn apply(&self, base: &InferenceOptions) -> InferenceOptions {
+        InferenceOptions { gate: self.gate, lambda_e: self.lambda_e, gamma: self.gamma, ..*base }
+    }
+}
+
+/// Default ladder for a stream whose base options are `base`: keep the
+/// base gate while raising `λ_E`, then widen the candidate margin so the
+/// energy weight has real choices, and finally drop to an emergency rung —
+/// knowledge gate (a static context lookup, the cheapest to evaluate) with
+/// every configuration a candidate and `λ_E = 1`, which executes the
+/// single cheapest branch.
+///
+/// Consecutive rungs that the `max` clamps make identical to their
+/// predecessor (a base `λ_E` already at 0.7, say) are dropped, so every
+/// escalation changes the actual policy instead of burning an observation
+/// window on a no-op.
+pub fn default_ladder(base: &InferenceOptions) -> Vec<PolicyStep> {
+    let candidates = [
+        PolicyStep { gate: base.gate, lambda_e: base.lambda_e, gamma: base.gamma },
+        PolicyStep { gate: base.gate, lambda_e: base.lambda_e.max(0.35), gamma: base.gamma },
+        PolicyStep {
+            gate: base.gate,
+            lambda_e: base.lambda_e.max(0.7),
+            gamma: base.gamma.max(WIDE_GAMMA),
+        },
+        PolicyStep { gate: GateKind::Knowledge, lambda_e: 1.0, gamma: EMERGENCY_GAMMA },
+    ];
+    let mut ladder: Vec<PolicyStep> = Vec::with_capacity(candidates.len());
+    for step in candidates {
+        if ladder.last() != Some(&step) {
+            ladder.push(step);
+        }
+    }
+    ladder
+}
+
+/// Hysteretic per-stream budget controller.
+///
+/// Feed it every processed frame's total energy via
+/// [`BudgetController::record`]; when the rolling mean exceeds the budget
+/// it climbs one rung of the ladder (cheaper policy), and when the mean
+/// drops below the relax margin it climbs back down. The window is cleared
+/// on every level change so one adaptation must prove itself over a full
+/// window before the next.
+#[derive(Debug, Clone)]
+pub struct BudgetController {
+    budget: EnergyBudget,
+    ladder: Vec<PolicyStep>,
+    level: usize,
+    window: VecDeque<f64>,
+    sum: f64,
+    escalations: u64,
+    relaxations: u64,
+}
+
+impl BudgetController {
+    /// Creates a controller over `ladder` (level 0 = base policy).
+    ///
+    /// # Panics
+    /// Panics if `ladder` is empty, or if the budget's window is zero or
+    /// its relax margin is not in `(0, 1)`.
+    pub fn new(budget: EnergyBudget, ladder: Vec<PolicyStep>) -> Self {
+        assert!(!ladder.is_empty(), "policy ladder must have at least one step");
+        assert!(budget.window > 0, "budget window must be positive");
+        assert!(
+            budget.relax_margin > 0.0 && budget.relax_margin < 1.0,
+            "relax_margin must be in (0, 1)"
+        );
+        BudgetController {
+            budget,
+            ladder,
+            level: 0,
+            window: VecDeque::new(),
+            sum: 0.0,
+            escalations: 0,
+            relaxations: 0,
+        }
+    }
+
+    /// Records one frame's total energy spend. Returns the new policy step
+    /// if the controller changed level, `None` otherwise.
+    pub fn record(&mut self, total_j: f64) -> Option<PolicyStep> {
+        self.window.push_back(total_j);
+        self.sum += total_j;
+        if self.window.len() > self.budget.window {
+            self.sum -= self.window.pop_front().expect("non-empty window");
+        }
+        // Adapt only on a full window: a single hot frame is noise.
+        if self.window.len() < self.budget.window {
+            return None;
+        }
+        let mean = self.sum / self.window.len() as f64;
+        if mean > self.budget.target_j && self.level + 1 < self.ladder.len() {
+            self.level += 1;
+            self.escalations += 1;
+            self.reset_window();
+            Some(self.ladder[self.level])
+        } else if mean < self.budget.target_j * self.budget.relax_margin && self.level > 0 {
+            self.level -= 1;
+            self.relaxations += 1;
+            self.reset_window();
+            Some(self.ladder[self.level])
+        } else {
+            None
+        }
+    }
+
+    fn reset_window(&mut self) {
+        self.window.clear();
+        self.sum = 0.0;
+    }
+
+    /// Rolling mean spend over the current window (0 when empty).
+    pub fn rolling_mean_j(&self) -> f64 {
+        if self.window.is_empty() {
+            0.0
+        } else {
+            self.sum / self.window.len() as f64
+        }
+    }
+
+    /// Current escalation level (0 = base policy).
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// The policy step currently in force.
+    pub fn current(&self) -> PolicyStep {
+        self.ladder[self.level]
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> EnergyBudget {
+        self.budget
+    }
+
+    /// Times the controller moved to a cheaper policy.
+    pub fn escalations(&self) -> u64 {
+        self.escalations
+    }
+
+    /// Times the controller moved back toward the base policy.
+    pub fn relaxations(&self) -> u64 {
+        self.relaxations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_opts() -> InferenceOptions {
+        InferenceOptions::new(0.01, 0.5)
+    }
+
+    fn controller(target: f64, window: usize) -> BudgetController {
+        let budget = EnergyBudget { target_j: target, window, relax_margin: 0.8 };
+        BudgetController::new(budget, default_ladder(&base_opts()))
+    }
+
+    #[test]
+    fn escalates_when_over_budget() {
+        let mut c = controller(2.0, 4);
+        let mut changed = None;
+        for _ in 0..4 {
+            changed = c.record(3.0);
+        }
+        let step = changed.expect("full hot window escalates");
+        assert_eq!(c.level(), 1);
+        assert!(step.lambda_e > base_opts().lambda_e);
+        assert_eq!(c.escalations(), 1);
+    }
+
+    #[test]
+    fn needs_full_window_before_acting() {
+        let mut c = controller(2.0, 8);
+        for _ in 0..7 {
+            assert!(c.record(100.0).is_none(), "partial window must not escalate");
+        }
+        assert_eq!(c.level(), 0);
+    }
+
+    #[test]
+    fn window_cleared_after_escalation() {
+        let mut c = controller(2.0, 4);
+        for _ in 0..4 {
+            c.record(3.0);
+        }
+        assert_eq!(c.level(), 1);
+        // Three more hot frames: window not yet refilled, no double jump.
+        for _ in 0..3 {
+            assert!(c.record(3.0).is_none());
+        }
+        c.record(3.0);
+        assert_eq!(c.level(), 2);
+    }
+
+    #[test]
+    fn relaxes_with_hysteresis() {
+        let mut c = controller(2.0, 4);
+        for _ in 0..4 {
+            c.record(3.0);
+        }
+        assert_eq!(c.level(), 1);
+        // Spend just under target but above the 0.8 margin: hold.
+        for _ in 0..8 {
+            assert!(c.record(1.9).is_none());
+        }
+        assert_eq!(c.level(), 1);
+        // Well under the margin: relax back to base.
+        for _ in 0..4 {
+            c.record(1.0);
+        }
+        assert_eq!(c.level(), 0);
+        assert_eq!(c.relaxations(), 1);
+    }
+
+    #[test]
+    fn tops_out_at_ladder_end() {
+        let mut c = controller(0.5, 2);
+        for _ in 0..40 {
+            c.record(10.0);
+        }
+        assert_eq!(c.level(), default_ladder(&base_opts()).len() - 1);
+        assert_eq!(c.current().gate, GateKind::Knowledge);
+    }
+
+    #[test]
+    fn ladder_dedupes_noop_rungs() {
+        // Base options already at the mid-ladder values: the clamped
+        // rungs collapse and only base + emergency remain.
+        let base = InferenceOptions::new(0.8, 3.0);
+        let ladder = default_ladder(&base);
+        assert_eq!(ladder.len(), 2, "{ladder:?}");
+        for w in ladder.windows(2) {
+            assert_ne!(w[0], w[1], "consecutive duplicate rung");
+        }
+        assert_eq!(ladder.last().unwrap().gate, GateKind::Knowledge);
+        // A low base keeps all four distinct rungs.
+        assert_eq!(default_ladder(&base_opts()).len(), 4);
+    }
+
+    #[test]
+    fn unlimited_budget_never_escalates() {
+        let budget = EnergyBudget::unlimited();
+        let mut c = BudgetController::new(budget, default_ladder(&base_opts()));
+        for _ in 0..100 {
+            assert!(c.record(1e9).is_none());
+        }
+        assert_eq!(c.level(), 0);
+    }
+
+    #[test]
+    fn rolling_mean_tracks_window() {
+        let mut c = controller(100.0, 4);
+        c.record(2.0);
+        c.record(4.0);
+        assert!((c.rolling_mean_j() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "ladder")]
+    fn empty_ladder_panics() {
+        let _ = BudgetController::new(EnergyBudget::per_frame(1.0), Vec::new());
+    }
+}

@@ -1,0 +1,63 @@
+//! Multi-stream perception runtime.
+//!
+//! The paper evaluates EcoFusion one vehicle at a time; the production
+//! target is a server that ingests **many concurrent vehicle streams** and
+//! keeps each within its energy budget while amortizing compute across
+//! them. This crate provides that layer on top of
+//! [`EcoFusionModel::infer_batch`](ecofusion_core::EcoFusionModel::infer_batch):
+//!
+//! ```text
+//!  VehicleStream 0 ──┐ (seeded SceneSequence + context drift)
+//!  VehicleStream 1 ──┤
+//!       ...          ├─▶ per-stream FrameQueue (bounded, backpressure)
+//!  VehicleStream N ──┘            │
+//!                                 ▼  round-robin coalescing
+//!                     cross-stream micro-batch (≤ max_batch,
+//!                     grouped by identical InferenceOptions)
+//!                                 │
+//!                                 ▼
+//!                     EcoFusionModel::infer_batch  (one stem pass,
+//!                     one gate pass, branches grouped over frames)
+//!                                 │
+//!              ┌──────────────────┼──────────────────┐
+//!              ▼                  ▼                  ▼
+//!      StreamTelemetry     BudgetController     RuntimeReport
+//!      (energy/latency/    (rolling energy vs   (per-stream
+//!       accuracy)           budget → policy      EvalSummary)
+//!                           ladder)
+//! ```
+//!
+//! * [`VehicleStream`] — a deterministic frame source: a seeded
+//!   [`ScenarioGenerator`](ecofusion_scene::ScenarioGenerator) whose
+//!   context drifts over time, rolled forward in
+//!   [`SceneSequence`](ecofusion_scene::SceneSequence) segments and
+//!   rendered through the sensor suite.
+//! * [`FrameQueue`] — a bounded per-stream queue. When full, the
+//!   [`BackpressurePolicy`] either drops the oldest queued frame
+//!   (freshness wins) or stalls the producer (completeness wins).
+//! * [`PerceptionServer`] — the scheduler: each processing step pops
+//!   ready frames round-robin across streams, groups them by their
+//!   stream's current [`InferenceOptions`](ecofusion_core::InferenceOptions),
+//!   and feeds each group through one `infer_batch` call. Results are
+//!   bit-identical to running per-stream sequential `infer` (guaranteed by
+//!   the batched path and asserted by this crate's tests).
+//! * [`BudgetController`] — per-stream rolling energy accounting. When the
+//!   rolling mean total (platform + clock-gated sensor) energy exceeds the
+//!   stream's [`EnergyBudget`], the controller escalates along a
+//!   [`PolicyStep`] ladder (raising `λ_E`, ultimately switching to the
+//!   knowledge gate); when spend falls well below budget it relaxes back.
+//! * [`StreamTelemetry`] / [`RuntimeReport`] — per-stream frames, energy,
+//!   latency, queue waits, drops, and detection accuracy, rolled into an
+//!   [`EvalSummary`](ecofusion_eval::EvalSummary) per stream.
+
+pub mod budget;
+pub mod queue;
+pub mod scheduler;
+pub mod stream;
+pub mod telemetry;
+
+pub use budget::{BudgetController, EnergyBudget, PolicyStep};
+pub use queue::{BackpressurePolicy, FrameQueue, IngestOutcome};
+pub use scheduler::{run_simulation, PerceptionServer, RuntimeConfig, RuntimeReport, StreamReport};
+pub use stream::{StreamSpec, VehicleStream};
+pub use telemetry::StreamTelemetry;

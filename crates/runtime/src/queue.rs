@@ -1,0 +1,214 @@
+//! Bounded per-stream frame queues with explicit backpressure.
+
+use ecofusion_core::Frame;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// What happens when a frame arrives at a full queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackpressurePolicy {
+    /// Evict the oldest queued frame to make room: the consumer always
+    /// sees the freshest data (the right default for perception, where a
+    /// stale frame is worthless).
+    DropOldest,
+    /// Reject the new frame: the producer must retry later, so no queued
+    /// frame is ever lost (the right choice for offline replay).
+    Stall,
+}
+
+/// Result of one [`FrameQueue::push`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// The frame was queued without displacing anything.
+    Enqueued,
+    /// The frame was queued and the oldest queued frame was evicted
+    /// ([`BackpressurePolicy::DropOldest`]).
+    DroppedOldest,
+    /// The queue is full and the frame was not accepted
+    /// ([`BackpressurePolicy::Stall`]).
+    Rejected,
+}
+
+/// A frame waiting to be scheduled, stamped with its arrival tick so the
+/// scheduler can account queueing delay.
+#[derive(Debug, Clone)]
+pub struct QueuedFrame {
+    /// The frame itself.
+    pub frame: Frame,
+    /// Scheduler tick at which the frame entered the queue.
+    pub enqueue_tick: u64,
+}
+
+/// A bounded FIFO of frames for one stream.
+///
+/// # Example
+///
+/// ```
+/// use ecofusion_runtime::{BackpressurePolicy, FrameQueue};
+/// let q = FrameQueue::new(4, BackpressurePolicy::DropOldest);
+/// assert_eq!(q.capacity(), 4);
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct FrameQueue {
+    buf: VecDeque<QueuedFrame>,
+    capacity: usize,
+    policy: BackpressurePolicy,
+    dropped: u64,
+    rejected: u64,
+    high_water: usize,
+}
+
+impl FrameQueue {
+    /// Creates a queue holding at most `capacity` frames.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, policy: BackpressurePolicy) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        FrameQueue {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            policy,
+            dropped: 0,
+            rejected: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Offers a frame to the queue at `tick`, applying the backpressure
+    /// policy when full.
+    pub fn push(&mut self, frame: Frame, tick: u64) -> IngestOutcome {
+        let outcome = if self.buf.len() < self.capacity {
+            IngestOutcome::Enqueued
+        } else {
+            match self.policy {
+                BackpressurePolicy::DropOldest => {
+                    self.buf.pop_front();
+                    self.dropped += 1;
+                    IngestOutcome::DroppedOldest
+                }
+                BackpressurePolicy::Stall => {
+                    self.rejected += 1;
+                    return IngestOutcome::Rejected;
+                }
+            }
+        };
+        self.buf.push_back(QueuedFrame { frame, enqueue_tick: tick });
+        self.high_water = self.high_water.max(self.buf.len());
+        outcome
+    }
+
+    /// Removes and returns the oldest queued frame.
+    pub fn pop(&mut self) -> Option<QueuedFrame> {
+        self.buf.pop_front()
+    }
+
+    /// Frames currently queued.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the queue holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Whether another push would trigger backpressure.
+    pub fn is_full(&self) -> bool {
+        self.buf.len() >= self.capacity
+    }
+
+    /// Maximum frames the queue holds.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The configured backpressure policy.
+    pub fn policy(&self) -> BackpressurePolicy {
+        self.policy
+    }
+
+    /// Frames evicted under [`BackpressurePolicy::DropOldest`].
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Pushes rejected under [`BackpressurePolicy::Stall`].
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Deepest the queue has ever been.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecofusion_core::{Dataset, DatasetSpec};
+
+    fn frames(n: usize) -> Vec<Frame> {
+        let data = Dataset::generate(&DatasetSpec::small(3));
+        data.test().iter().take(n).cloned().collect()
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = FrameQueue::new(8, BackpressurePolicy::DropOldest);
+        let fs = frames(3);
+        for (t, f) in fs.iter().enumerate() {
+            assert_eq!(q.push(f.clone(), t as u64), IngestOutcome::Enqueued);
+        }
+        for f in &fs {
+            assert_eq!(q.pop().unwrap().frame.scene.id, f.scene.id);
+        }
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn drop_oldest_evicts_front() {
+        let mut q = FrameQueue::new(2, BackpressurePolicy::DropOldest);
+        let fs = frames(3);
+        q.push(fs[0].clone(), 0);
+        q.push(fs[1].clone(), 1);
+        assert_eq!(q.push(fs[2].clone(), 2), IngestOutcome::DroppedOldest);
+        assert_eq!(q.dropped(), 1);
+        assert_eq!(q.len(), 2);
+        // The oldest (fs[0]) is gone; fs[1] is now the front.
+        assert_eq!(q.pop().unwrap().frame.scene.id, fs[1].scene.id);
+    }
+
+    #[test]
+    fn stall_rejects_and_keeps_queue() {
+        let mut q = FrameQueue::new(1, BackpressurePolicy::Stall);
+        let fs = frames(2);
+        q.push(fs[0].clone(), 0);
+        assert_eq!(q.push(fs[1].clone(), 1), IngestOutcome::Rejected);
+        assert_eq!(q.rejected(), 1);
+        assert_eq!(q.dropped(), 0);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().frame.scene.id, fs[0].scene.id);
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut q = FrameQueue::new(4, BackpressurePolicy::Stall);
+        let fs = frames(3);
+        for (t, f) in fs.iter().enumerate() {
+            q.push(f.clone(), t as u64);
+        }
+        q.pop();
+        q.pop();
+        assert_eq!(q.high_water(), 3);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = FrameQueue::new(0, BackpressurePolicy::Stall);
+    }
+}

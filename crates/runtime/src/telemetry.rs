@@ -1,0 +1,158 @@
+//! Per-stream runtime telemetry, aggregated into the same
+//! [`EvalSummary`] the offline experiment harness reports.
+
+use ecofusion_core::{ConfigId, InferenceOutput};
+use ecofusion_detect::{fusion_loss, Detection};
+use ecofusion_eval::{map_voc, EvalSummary, GtFrame};
+use ecofusion_scene::GtBox;
+use std::collections::BTreeMap;
+
+/// Upper bound on retained per-frame history (detections + ground truth
+/// for the mAP computation). Beyond it the oldest half is discarded, so a
+/// long-lived server stays bounded in memory: scalar counters (frames,
+/// energy, latency, loss, histogram) remain exact over the whole run,
+/// while the summary's mAP covers the most recent window.
+pub const HISTORY_CAP: usize = 65_536;
+
+/// Rolling per-stream counters plus the per-frame record needed to compute
+/// detection accuracy at report time.
+#[derive(Debug, Default)]
+pub struct StreamTelemetry {
+    frames: u64,
+    platform_j: f64,
+    total_gated_j: f64,
+    latency_ms: f64,
+    loss_sum: f64,
+    queue_wait_ticks: u64,
+    config_histogram: BTreeMap<String, usize>,
+    dets_per_frame: Vec<Vec<Detection>>,
+    selected_configs: Vec<ConfigId>,
+    gt_frames: Vec<GtFrame>,
+}
+
+impl StreamTelemetry {
+    /// Creates empty telemetry.
+    pub fn new() -> Self {
+        StreamTelemetry::default()
+    }
+
+    /// Records one processed frame: the inference output, the frame's
+    /// ground truth, and how many scheduler ticks it waited in queue.
+    pub fn record(&mut self, output: &InferenceOutput, gts: Vec<GtBox>, wait_ticks: u64) {
+        self.frames += 1;
+        self.platform_j += output.energy.platform.joules();
+        self.total_gated_j += output.energy.total_gated().joules();
+        self.latency_ms += output.energy.latency.millis();
+        self.loss_sum += fusion_loss(&output.detections, &gts).total() as f64;
+        self.queue_wait_ticks += wait_ticks;
+        *self.config_histogram.entry(output.selected_label.clone()).or_default() += 1;
+        if self.dets_per_frame.len() >= HISTORY_CAP {
+            // Drop the oldest half in one amortized move so unbounded
+            // serving cannot grow memory without limit.
+            let keep = HISTORY_CAP / 2;
+            self.dets_per_frame.drain(..self.dets_per_frame.len() - keep);
+            self.selected_configs.drain(..self.selected_configs.len() - keep);
+            self.gt_frames.drain(..self.gt_frames.len() - keep);
+        }
+        self.dets_per_frame.push(output.detections.clone());
+        self.selected_configs.push(output.selected_config);
+        self.gt_frames.push(GtFrame { boxes: gts });
+    }
+
+    /// Fused detections of the retained frames (the most recent
+    /// [`HISTORY_CAP`]-bounded window), in processing order.
+    pub fn detections(&self) -> &[Vec<Detection>] {
+        &self.dets_per_frame
+    }
+
+    /// Configuration selected for each retained frame, in processing
+    /// order (aligned with [`StreamTelemetry::detections`]).
+    pub fn selected_configs(&self) -> &[ConfigId] {
+        &self.selected_configs
+    }
+
+    /// Frames recorded.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Total platform (PX2) energy spent, Joules.
+    pub fn platform_j(&self) -> f64 {
+        self.platform_j
+    }
+
+    /// Total platform + clock-gated sensor energy spent, Joules (Eq. 11).
+    pub fn total_gated_j(&self) -> f64 {
+        self.total_gated_j
+    }
+
+    /// Mean queueing delay per frame, in scheduler ticks.
+    pub fn avg_queue_wait_ticks(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.queue_wait_ticks as f64 / self.frames as f64
+        }
+    }
+
+    /// Aggregates into the harness's [`EvalSummary`]: mAP over the
+    /// retained ([`HISTORY_CAP`]-bounded) frame window, exact
+    /// whole-run means for loss/energy/latency, and the full
+    /// configuration histogram. Returns a zeroed summary when no frames
+    /// were recorded.
+    pub fn summary(&self, num_classes: usize) -> EvalSummary {
+        let n = self.frames.max(1) as f64;
+        let map = if self.frames == 0 {
+            0.0
+        } else {
+            map_voc(&self.dets_per_frame, &self.gt_frames, num_classes, 0.5) as f64
+        };
+        EvalSummary {
+            map_pct: map * 100.0,
+            avg_loss: self.loss_sum / n,
+            avg_energy_j: self.platform_j / n,
+            avg_latency_ms: self.latency_ms / n,
+            avg_total_gated_j: self.total_gated_j / n,
+            frames: self.frames as usize,
+            config_histogram: self.config_histogram.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecofusion_core::{Dataset, DatasetSpec, EcoFusionModel, InferenceOptions};
+    use ecofusion_tensor::rng::Rng;
+
+    #[test]
+    fn empty_telemetry_zeroed() {
+        let t = StreamTelemetry::new();
+        let s = t.summary(8);
+        assert_eq!(s.frames, 0);
+        assert_eq!(s.map_pct, 0.0);
+        assert_eq!(t.avg_queue_wait_ticks(), 0.0);
+    }
+
+    #[test]
+    fn record_accumulates_and_matches_summary() {
+        let data = Dataset::generate(&DatasetSpec::small(21));
+        let mut model = EcoFusionModel::new(32, 8, &mut Rng::new(2));
+        let opts = InferenceOptions::new(0.01, 0.5);
+        let mut t = StreamTelemetry::new();
+        let mut manual_platform = 0.0;
+        for (i, f) in data.test().iter().take(3).enumerate() {
+            let out = model.infer(f, &opts).unwrap();
+            manual_platform += out.energy.platform.joules();
+            t.record(&out, f.gt_boxes(), i as u64);
+        }
+        assert_eq!(t.frames(), 3);
+        assert!((t.platform_j() - manual_platform).abs() < 1e-12);
+        assert!((t.avg_queue_wait_ticks() - 1.0).abs() < 1e-12);
+        let s = t.summary(8);
+        assert_eq!(s.frames, 3);
+        assert!((s.avg_energy_j - manual_platform / 3.0).abs() < 1e-12);
+        assert_eq!(s.config_histogram.values().sum::<usize>(), 3);
+        assert!(s.avg_total_gated_j >= s.avg_energy_j);
+    }
+}

@@ -94,6 +94,7 @@ impl Context {
                 clutter: 0.05,
                 pedestrian_bias: 0.35,
                 heavy_vehicle_bias: 0.15,
+                max_objects: ContextProfile::DEFAULT_MAX_OBJECTS,
             },
             Context::Fog => ContextProfile {
                 object_rate: 3.0,
@@ -105,6 +106,7 @@ impl Context {
                 clutter: 0.08,
                 pedestrian_bias: 0.10,
                 heavy_vehicle_bias: 0.20,
+                max_objects: ContextProfile::DEFAULT_MAX_OBJECTS,
             },
             Context::Junction => ContextProfile {
                 object_rate: 4.0,
@@ -116,6 +118,7 @@ impl Context {
                 clutter: 0.05,
                 pedestrian_bias: 0.20,
                 heavy_vehicle_bias: 0.15,
+                max_objects: ContextProfile::DEFAULT_MAX_OBJECTS,
             },
             Context::Motorway => ContextProfile {
                 object_rate: 2.5,
@@ -127,6 +130,7 @@ impl Context {
                 clutter: 0.03,
                 pedestrian_bias: 0.0,
                 heavy_vehicle_bias: 0.35,
+                max_objects: ContextProfile::DEFAULT_MAX_OBJECTS,
             },
             Context::Night => ContextProfile {
                 object_rate: 3.0,
@@ -138,6 +142,7 @@ impl Context {
                 clutter: 0.04,
                 pedestrian_bias: 0.10,
                 heavy_vehicle_bias: 0.15,
+                max_objects: ContextProfile::DEFAULT_MAX_OBJECTS,
             },
             Context::Rain => ContextProfile {
                 object_rate: 4.0,
@@ -149,6 +154,7 @@ impl Context {
                 clutter: 0.10,
                 pedestrian_bias: 0.15,
                 heavy_vehicle_bias: 0.15,
+                max_objects: ContextProfile::DEFAULT_MAX_OBJECTS,
             },
             Context::Rural => ContextProfile {
                 object_rate: 1.5,
@@ -160,6 +166,7 @@ impl Context {
                 clutter: 0.06,
                 pedestrian_bias: 0.05,
                 heavy_vehicle_bias: 0.25,
+                max_objects: ContextProfile::DEFAULT_MAX_OBJECTS,
             },
             Context::Snow => ContextProfile {
                 object_rate: 3.5,
@@ -171,6 +178,7 @@ impl Context {
                 clutter: 0.18,
                 pedestrian_bias: 0.10,
                 heavy_vehicle_bias: 0.15,
+                max_objects: ContextProfile::DEFAULT_MAX_OBJECTS,
             },
         }
     }
@@ -186,6 +194,22 @@ impl fmt::Display for Context {
 ///
 /// Fields are consumed by [`crate::ScenarioGenerator`] (densities and
 /// speeds) and by the sensor models in `ecofusion-sensors` (weather).
+///
+/// The built-in profiles returned by [`Context::profile`] all cap scenes
+/// at [`ContextProfile::DEFAULT_MAX_OBJECTS`] objects; raise
+/// [`ContextProfile::max_objects`] on a copied profile (and feed it to
+/// [`crate::ScenarioGenerator::scene_with_profile`]) for dense stress
+/// scenarios:
+///
+/// ```
+/// use ecofusion_scene::{Context, ContextProfile, ScenarioGenerator};
+/// let mut dense = Context::City.profile();
+/// dense.object_rate = 30.0;
+/// dense.max_objects = 4 * ContextProfile::DEFAULT_MAX_OBJECTS;
+/// let mut gen = ScenarioGenerator::new(7);
+/// let scene = gen.scene_with_profile(Context::City, &dense);
+/// assert!(scene.objects.len() <= dense.max_objects);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ContextProfile {
     /// Poisson rate for the number of objects per scene.
@@ -210,6 +234,19 @@ pub struct ContextProfile {
     pub pedestrian_bias: f64,
     /// Probability mass shifted toward trucks/buses.
     pub heavy_vehicle_bias: f64,
+    /// Hard cap on objects per scene. Poisson draws above this are
+    /// truncated, so raise it for dense stress scenarios; the default
+    /// [`ContextProfile::DEFAULT_MAX_OBJECTS`] keeps seeded fixtures
+    /// stable.
+    pub max_objects: usize,
+}
+
+impl ContextProfile {
+    /// Object cap of every built-in profile. Chosen so the densest
+    /// context (City, rate 6.0) is essentially never truncated
+    /// (`P[Poisson(6) > 12] < 1 %`) while a pathological draw cannot blow
+    /// up render time.
+    pub const DEFAULT_MAX_OBJECTS: usize = 12;
 }
 
 #[cfg(test)]
@@ -250,6 +287,7 @@ mod tests {
             assert!((0.0..=1.0).contains(&p.precipitation));
             assert!((0.0..=1.0).contains(&p.clutter));
             assert!(p.speed_range_mps.0 <= p.speed_range_mps.1);
+            assert_eq!(p.max_objects, ContextProfile::DEFAULT_MAX_OBJECTS, "{c:?}");
         }
     }
 

@@ -1,6 +1,6 @@
 //! Context-conditioned scene sampling.
 
-use crate::context::Context;
+use crate::context::{Context, ContextProfile};
 use crate::object::{ObjectClass, SceneObject};
 use crate::scene::{Scene, WORLD_DEPTH_M, WORLD_HALF_WIDTH_M};
 use ecofusion_tensor::rng::Rng;
@@ -31,15 +31,25 @@ impl ScenarioGenerator {
         ScenarioGenerator { rng: Rng::new(seed), next_id: 0 }
     }
 
-    /// Samples one scene from `context`.
+    /// Samples one scene from `context` with the context's built-in
+    /// profile (object count capped at
+    /// [`ContextProfile::DEFAULT_MAX_OBJECTS`]).
     pub fn scene(&mut self, context: Context) -> Scene {
-        let profile = context.profile();
+        self.scene_with_profile(context, &context.profile())
+    }
+
+    /// Samples one scene from `context` under an explicit `profile`,
+    /// letting stress scenarios override densities, speeds, and the
+    /// [`ContextProfile::max_objects`] cap without touching the built-in
+    /// presets. With `context.profile()` this is exactly [`Self::scene`]
+    /// (same RNG stream), so seeded fixtures are unaffected.
+    pub fn scene_with_profile(&mut self, context: Context, profile: &ContextProfile) -> Scene {
         let mut scene = Scene::empty(context, self.next_id);
         self.next_id += 1;
         scene.ego_speed = profile.ego_speed_mps * self.rng.uniform(0.8, 1.2);
-        let count = self.rng.poisson(profile.object_rate).min(12);
+        let count = self.rng.poisson(profile.object_rate).min(profile.max_objects);
         for _ in 0..count {
-            if let Some(obj) = self.place_object(context, &scene) {
+            if let Some(obj) = self.place_object(profile, &scene) {
                 scene.objects.push(obj);
             }
         }
@@ -73,9 +83,8 @@ impl ScenarioGenerator {
         (0..n).map(|_| self.scene_mixed()).collect()
     }
 
-    /// Picks a class according to the context's bias parameters.
-    fn sample_class(&mut self, context: Context) -> ObjectClass {
-        let p = context.profile();
+    /// Picks a class according to the profile's bias parameters.
+    fn sample_class(&mut self, p: &ContextProfile) -> ObjectClass {
         let r = self.rng.uniform(0.0, 1.0);
         if r < p.pedestrian_bias {
             if self.rng.chance(0.6) {
@@ -106,9 +115,8 @@ impl ScenarioGenerator {
     /// Places an object without excessive overlap with existing objects.
     /// Returns `None` if a free spot is not found in a bounded number of
     /// rejection-sampling attempts.
-    fn place_object(&mut self, context: Context, scene: &Scene) -> Option<SceneObject> {
-        let profile = context.profile();
-        let class = self.sample_class(context);
+    fn place_object(&mut self, profile: &ContextProfile, scene: &Scene) -> Option<SceneObject> {
+        let class = self.sample_class(profile);
         for _ in 0..24 {
             let (w, l) = class.footprint_m();
             let margin = (w.max(l)) / 2.0 + 0.5;
@@ -226,6 +234,44 @@ mod tests {
         let scenes = gen.scenes_mixed(10);
         for w in scenes.windows(2) {
             assert!(w[1].id > w[0].id);
+        }
+    }
+
+    #[test]
+    fn default_profile_path_matches_scene() {
+        let mut a = ScenarioGenerator::new(11);
+        let mut b = ScenarioGenerator::new(11);
+        for c in Context::ALL {
+            assert_eq!(a.scene(c), b.scene_with_profile(c, &c.profile()));
+        }
+    }
+
+    #[test]
+    fn dense_profile_exceeds_default_cap() {
+        let mut dense = Context::City.profile();
+        dense.object_rate = 40.0;
+        dense.max_objects = 64;
+        let mut gen = ScenarioGenerator::new(12);
+        let max_seen = (0..20)
+            .map(|_| gen.scene_with_profile(Context::City, &dense).objects.len())
+            .max()
+            .unwrap();
+        // Placement rejection can drop a few, but the scene must clear the
+        // old hard-coded cap of 12 comfortably.
+        assert!(
+            max_seen > crate::ContextProfile::DEFAULT_MAX_OBJECTS,
+            "dense scenes truncated at {max_seen}"
+        );
+    }
+
+    #[test]
+    fn default_cap_still_truncates() {
+        let mut hot = Context::City.profile();
+        hot.object_rate = 40.0;
+        let mut gen = ScenarioGenerator::new(13);
+        for _ in 0..20 {
+            let s = gen.scene_with_profile(Context::City, &hot);
+            assert!(s.objects.len() <= crate::ContextProfile::DEFAULT_MAX_OBJECTS);
         }
     }
 

@@ -29,6 +29,11 @@ const MR: usize = 8;
 /// Columns per microtile: one AVX-512 vector / two AVX2 vectors, so the
 /// `MR × NR` accumulator block stays in registers.
 const NR: usize = 16;
+/// Narrow column microtile for output widths with `8 ≤ width % NR`: one
+/// AVX2 vector. Without it, n = 8 shapes — every 8-channel stem
+/// convolution lowers to one — would take the scalar remainder path for
+/// their entire output.
+const NR8: usize = 8;
 /// Minimum multiply-adds before a GEMM fans out across threads: below
 /// this, thread spawn overhead exceeds the kernel time.
 const PAR_FLOP_THRESHOLD: usize = 1 << 22;
@@ -192,38 +197,21 @@ fn gemm_parallel(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f3
 /// Single-threaded register-tiled GEMM: C (m×n) = A (m×k) · B (k×n).
 fn gemm_serial(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     let full_rows = m - m % MR;
-    let full_cols = n - n % NR;
-    if full_rows > 0 && full_cols > 0 {
-        PANEL.with(|buf| {
-            let mut panel = buf.borrow_mut();
-            panel.clear();
-            panel.resize(k * NR, 0.0);
-            let mut j0 = 0;
-            while j0 < full_cols {
-                // Pack the B j-panel contiguous once; every row block
-                // streams it from L1/L2 without strided bounds checks.
-                for (dst, src) in panel.chunks_exact_mut(NR).zip(b.chunks_exact(n)) {
-                    dst.copy_from_slice(&src[j0..j0 + NR]);
-                }
-                let mut i0 = 0;
-                while i0 + MR <= m {
-                    microkernel(
-                        k,
-                        n,
-                        &a[i0 * k..(i0 + MR) * k],
-                        &panel,
-                        &mut c[i0 * n..(i0 + MR) * n],
-                        j0,
-                    );
-                    i0 += MR;
-                }
-                j0 += NR;
-            }
-        });
+    let full16 = n - n % NR;
+    // One narrow microtile column covers 8 of any remaining width; only a
+    // sub-8 sliver falls through to the scalar remainder path.
+    let full8 = if n - full16 >= NR8 { full16 + NR8 } else { full16 };
+    if full_rows > 0 {
+        if full16 > 0 {
+            panel_region::<NR>(k, n, full_rows, a, b, c, 0, full16);
+        }
+        if full8 > full16 {
+            panel_region::<NR8>(k, n, full_rows, a, b, c, full16, full8);
+        }
     }
     // Column tail for the full row blocks.
-    if full_cols < n {
-        axpy_block(full_rows, k, n, a, b, c, full_cols, n - full_cols);
+    if full8 < n {
+        axpy_block(full_rows, k, n, a, b, c, full8, n - full8);
     }
     // Row tail over all columns.
     if full_rows < m {
@@ -233,17 +221,66 @@ fn gemm_serial(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]
     }
 }
 
-/// Full `MR × NR` tile: FMA accumulators in registers, B from the packed
-/// panel.
+/// Runs `W`-wide microtile columns over `[j_start, j_end)` for all full
+/// `MR` row blocks, packing each B j-panel contiguous once so every row
+/// block streams it from L1/L2 without strided bounds checks.
+#[allow(clippy::too_many_arguments)] // kernel: dims + three operands + column range
+fn panel_region<const W: usize>(
+    k: usize,
+    n: usize,
+    full_rows: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    j_start: usize,
+    j_end: usize,
+) {
+    PANEL.with(|buf| {
+        let mut panel = buf.borrow_mut();
+        panel.clear();
+        panel.resize(k * W, 0.0);
+        let mut j0 = j_start;
+        while j0 + W <= j_end {
+            for (dst, src) in panel.chunks_exact_mut(W).zip(b.chunks_exact(n)) {
+                dst.copy_from_slice(&src[j0..j0 + W]);
+            }
+            let mut i0 = 0;
+            while i0 + MR <= full_rows {
+                microkernel::<W>(
+                    k,
+                    n,
+                    &a[i0 * k..(i0 + MR) * k],
+                    &panel,
+                    &mut c[i0 * n..(i0 + MR) * n],
+                    j0,
+                );
+                i0 += MR;
+            }
+            j0 += W;
+        }
+    });
+}
+
+/// Full `MR × W` tile: FMA accumulators in registers, B from the packed
+/// panel. Accumulation runs over `k` in increasing order — the same
+/// per-element chain as the scalar remainder path, so tile width never
+/// changes results.
 #[inline]
-fn microkernel(k: usize, n: usize, a_rows: &[f32], panel: &[f32], c_rows: &mut [f32], j0: usize) {
+fn microkernel<const W: usize>(
+    k: usize,
+    n: usize,
+    a_rows: &[f32],
+    panel: &[f32],
+    c_rows: &mut [f32],
+    j0: usize,
+) {
     let mut arows: [&[f32]; MR] = [&[]; MR];
     for (r, row) in arows.iter_mut().enumerate() {
         *row = &a_rows[r * k..(r + 1) * k];
     }
-    let mut acc = [[0.0f32; NR]; MR];
-    for (p, bc) in panel.chunks_exact(NR).enumerate() {
-        let bc: &[f32; NR] = bc.try_into().unwrap();
+    let mut acc = [[0.0f32; W]; MR];
+    for (p, bc) in panel.chunks_exact(W).enumerate() {
+        let bc: &[f32; W] = bc.try_into().unwrap();
         for r in 0..MR {
             let ar = arows[r][p];
             for (dst, &bv) in acc[r].iter_mut().zip(bc) {
@@ -252,7 +289,7 @@ fn microkernel(k: usize, n: usize, a_rows: &[f32], panel: &[f32], c_rows: &mut [
         }
     }
     for (r, row_acc) in acc.iter().enumerate() {
-        c_rows[r * n + j0..r * n + j0 + NR].copy_from_slice(row_acc);
+        c_rows[r * n + j0..r * n + j0 + W].copy_from_slice(row_acc);
     }
 }
 

@@ -66,13 +66,35 @@ impl Layer for BatchNorm2d {
         assert_eq!(x.shape()[1], self.channels, "BatchNorm2d channel mismatch");
         let [n, c, h, w] = [x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]];
         let plane = h * w;
+        if !train {
+            // Evaluation fast path: running statistics only — one fused
+            // slice pass per plane, no `xhat` side buffer (it exists only
+            // for backward). The arithmetic per element is identical to
+            // the training normalization below.
+            let mut y = Tensor::zeros(x.shape());
+            let xd = x.data();
+            let yd = y.data_mut();
+            for ci in 0..c {
+                let mean = self.running_mean.data()[ci];
+                let inv_std = 1.0 / (self.running_var.data()[ci] + self.eps).sqrt();
+                let g = self.gamma.value.data()[ci];
+                let bta = self.beta.value.data()[ci];
+                for b in 0..n {
+                    let base = (b * c + ci) * plane;
+                    for (yv, xv) in yd[base..base + plane].iter_mut().zip(&xd[base..base + plane]) {
+                        *yv = g * ((xv - mean) * inv_std) + bta;
+                    }
+                }
+            }
+            return y;
+        }
         let count = (n * plane) as f32;
         let mut y = Tensor::zeros(x.shape());
         let mut xhat = Tensor::zeros(x.shape());
         let mut inv_stds = vec![0.0f32; c];
         #[allow(clippy::needless_range_loop)] // ci also strides the NCHW planes below
         for ci in 0..c {
-            let (mean, var) = if train {
+            let (mean, var) = {
                 let mut s = 0.0f64;
                 for b in 0..n {
                     let base = (b * c + ci) * plane;
@@ -95,8 +117,6 @@ impl Layer for BatchNorm2d {
                 self.running_var.data_mut()[ci] =
                     (1.0 - self.momentum) * self.running_var.data()[ci] + self.momentum * var;
                 (mean, var)
-            } else {
-                (self.running_mean.data()[ci], self.running_var.data()[ci])
             };
             let inv_std = 1.0 / (var + self.eps).sqrt();
             inv_stds[ci] = inv_std;
@@ -111,10 +131,8 @@ impl Layer for BatchNorm2d {
                 }
             }
         }
-        if train {
-            self.cached_xhat = Some(xhat);
-            self.cached_inv_std = Some(inv_stds);
-        }
+        self.cached_xhat = Some(xhat);
+        self.cached_inv_std = Some(inv_stds);
         y
     }
 

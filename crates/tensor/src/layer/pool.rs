@@ -32,9 +32,32 @@ impl Layer for MaxPool2d {
         assert!(h >= k && w >= k, "input smaller than pooling kernel");
         let (ho, wo) = (h / k, w / k);
         let mut y = Tensor::zeros(&[n, c, ho, wo]);
-        let mut argmax = vec![0usize; n * c * ho * wo];
         let xd = x.data();
         let yd = y.data_mut();
+        if !train {
+            // Evaluation fast path: no argmax bookkeeping (it exists only
+            // for backward routing).
+            for plane in 0..n * c {
+                let base = plane * h * w;
+                for oy in 0..ho {
+                    let out_row = &mut yd[(plane * ho + oy) * wo..(plane * ho + oy + 1) * wo];
+                    for (ox, out) in out_row.iter_mut().enumerate() {
+                        let mut best = f32::NEG_INFINITY;
+                        for ky in 0..k {
+                            let row = base + (oy * k + ky) * w + ox * k;
+                            for &v in &xd[row..row + k] {
+                                if v > best {
+                                    best = v;
+                                }
+                            }
+                        }
+                        *out = best;
+                    }
+                }
+            }
+            return y;
+        }
+        let mut argmax = vec![0usize; n * c * ho * wo];
         for b in 0..n {
             for ci in 0..c {
                 let base = (b * c + ci) * h * w;
@@ -58,10 +81,8 @@ impl Layer for MaxPool2d {
                 }
             }
         }
-        if train {
-            self.argmax = Some(argmax);
-            self.in_shape = Some([n, c, h, w]);
-        }
+        self.argmax = Some(argmax);
+        self.in_shape = Some([n, c, h, w]);
         y
     }
 

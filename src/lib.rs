@@ -59,12 +59,39 @@
 //! stacked batch, learned gates score all frames in one pass, and each
 //! branch executes once over the frames that selected it, with per-frame
 //! results identical to the sequential path.
+//!
+//! ## Streaming runtime
+//!
+//! The [`runtime`] crate serves **many concurrent vehicle streams** from
+//! one model:
+//!
+//! ```text
+//! streams ─▶ bounded per-stream queues ─▶ round-robin coalescing
+//!         ─▶ cross-stream micro-batches ─▶ infer_batch ─▶ telemetry
+//! ```
+//!
+//! Each [`runtime::VehicleStream`] is a seeded scene sequence whose
+//! driving context drifts over time. Frames land in bounded per-stream
+//! queues whose [`runtime::BackpressurePolicy`] either drops the oldest
+//! frame (freshness wins) or stalls the producer (completeness wins) when
+//! full. The [`runtime::PerceptionServer`] coalesces ready frames across
+//! streams into micro-batches — results are bit-identical to per-stream
+//! sequential `infer`, so batching only changes throughput. Per-stream
+//! [`runtime::EnergyBudget`]s map rolling energy spend to gate policy: a
+//! stream over budget climbs a [`runtime::PolicyStep`] ladder that raises
+//! `λ_E`, widens the candidate margin `γ`, and ultimately runs the
+//! knowledge gate with every configuration a candidate (the single
+//! cheapest branch), relaxing back with hysteresis once spend falls. Each
+//! stream's accuracy/energy/latency telemetry aggregates into the same
+//! [`eval::EvalSummary`] the offline harness reports. See
+//! `examples/streaming_server.rs`.
 
 pub use ecofusion_core as core;
 pub use ecofusion_detect as detect;
 pub use ecofusion_energy as energy;
 pub use ecofusion_eval as eval;
 pub use ecofusion_gating as gating;
+pub use ecofusion_runtime as runtime;
 pub use ecofusion_scene as scene;
 pub use ecofusion_sensors as sensors;
 pub use ecofusion_tensor as tensor;
@@ -79,6 +106,10 @@ pub mod prelude {
     pub use ecofusion_energy::{EnergyBreakdown, Joules, Millis, Px2Model, SensorPowerModel};
     pub use ecofusion_eval::{map_voc, EvalSummary};
     pub use ecofusion_gating::{AttentionGate, DeepGate, GateKind, KnowledgeGate, LossBasedGate};
+    pub use ecofusion_runtime::{
+        run_simulation, BackpressurePolicy, EnergyBudget, PerceptionServer, RuntimeConfig,
+        RuntimeReport, StreamSpec, VehicleStream,
+    };
     pub use ecofusion_scene::{Context, ObjectClass, ScenarioGenerator, Scene};
     pub use ecofusion_sensors::{SensorKind, SensorSuite};
 }
