@@ -4,8 +4,10 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ecofusion_bench::bench_fixture;
 use ecofusion_core::{EcoFusionModel, Frame, InferenceOptions};
+use ecofusion_faults::{FaultInjector, FaultKind, FaultSchedule, SensorHealthMonitor};
 use ecofusion_gating::GateKind;
 use ecofusion_runtime::{PerceptionServer, RuntimeConfig, StreamSpec, VehicleStream};
+use ecofusion_sensors::SensorKind;
 use ecofusion_tensor::rng::Rng;
 
 fn bench_static_configs(c: &mut Criterion) {
@@ -125,12 +127,50 @@ fn bench_multistream_runtime(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-frame cost of the fault subsystem next to the inference it rides
+/// along with: injector passthrough (clean frame), injector with three
+/// active faults, and one health-monitor update. All three must be
+/// negligible vs. `adaptive_infer` — the subsystem's overhead budget.
+fn bench_fault_pipeline(c: &mut Criterion) {
+    let (_, data) = bench_fixture(11);
+    let frame = data.test()[0].clone();
+    let context = frame.scene.context;
+    let mut group = c.benchmark_group("fault_pipeline");
+
+    let mut clean_injector = FaultInjector::new(FaultSchedule::empty(), 3);
+    group.bench_function("injector_passthrough", |bench| {
+        bench.iter(|| black_box(clean_injector.apply(frame.obs.clone(), context)));
+    });
+
+    let schedule = FaultSchedule::empty().with_camera_dropout(0, u64::MAX).with_event(
+        SensorKind::Lidar,
+        FaultKind::NoiseBurst,
+        0,
+        u64::MAX,
+        1.0,
+    );
+    let mut active_injector = FaultInjector::new(schedule, 3);
+    group.bench_function("injector_three_active_faults", |bench| {
+        bench.iter(|| black_box(active_injector.apply(frame.obs.clone(), context)));
+    });
+
+    let mut monitor = SensorHealthMonitor::default();
+    group.bench_function("health_monitor_update", |bench| {
+        bench.iter(|| {
+            monitor.update(black_box(&frame.obs));
+            black_box(monitor.mask())
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_static_configs,
     bench_adaptive,
     bench_stems_and_gate_features,
     bench_batched_inference,
-    bench_multistream_runtime
+    bench_multistream_runtime,
+    bench_fault_pipeline
 );
 criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Runs the fault-matrix robustness sweep: trains the harness model, then
+//! evaluates every (fault, severity, context) cell clean vs. fault-blind
+//! vs. fault-aware. `--full` uses the full-scale harness configuration;
+//! `--json` writes the report next to the other experiment artifacts.
+
+use ecofusion_eval::experiments::robustness::{run_robustness, RobustnessSpec};
+use ecofusion_eval::experiments::{Scale, Setup};
+use ecofusion_faults::FaultKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args(&args);
+    let mut setup = Setup::prepare(scale, 97);
+    let mut spec = RobustnessSpec::quick(97, setup.model.grid());
+    if scale == Scale::Full {
+        spec.frames = 32;
+        spec.faults = FaultKind::ALL.to_vec();
+        spec.severities = vec![0.25, 0.5, 1.0];
+        spec.contexts = ecofusion_scene::Context::ALL.to_vec();
+    }
+    let report = run_robustness(&mut setup.model, setup.num_classes, &spec);
+    report.print();
+    ecofusion_bench::maybe_write_json(&args, "robustness", &report);
+}

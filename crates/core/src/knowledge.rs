@@ -19,6 +19,43 @@ use crate::config::{ConfigId, ConfigSpace};
 use ecofusion_scene::Context;
 use std::collections::BTreeMap;
 
+/// Builds the degraded-context fallback rules for the knowledge gate: per
+/// context, an ordered preference list of configurations to try when the
+/// primary Table 3 rule needs a sensor the health monitor has masked out.
+///
+/// The ordering encodes the same domain knowledge as the primary rules.
+/// In optically clear contexts the gate prefers to stay on cameras
+/// (cheap, accurate) and only then crosses to lidar/radar; in adverse
+/// weather and at night it prefers the weather-proof pair first. Every
+/// list ends with the four single-sensor configurations, so any single
+/// healthy sensor always yields a runnable choice.
+pub fn default_degraded_fallbacks(space: &ConfigSpace) -> BTreeMap<Context, Vec<usize>> {
+    use ConfigSpace as S;
+    let cameras_early = space.config_of(&[S::EARLY_CAMERAS]).0;
+    let lr_early = space.config_of(&[S::EARLY_LR]).0;
+    let lr_late = space.config_of(&[S::LIDAR, S::RADAR]).0;
+    let lr_full = space.config_of(&[S::LIDAR, S::RADAR, S::EARLY_LR]).0;
+    let cam_left = space.config_of(&[S::CAMERA_LEFT]).0;
+    let cam_right = space.config_of(&[S::CAMERA_RIGHT]).0;
+    let lidar = space.config_of(&[S::LIDAR]).0;
+    let radar = space.config_of(&[S::RADAR]).0;
+
+    let clear = vec![cameras_early, cam_right, cam_left, lr_early, lr_late, lidar, radar];
+    let adverse =
+        vec![lr_full, lr_early, lr_late, lidar, radar, cameras_early, cam_right, cam_left];
+    let night = vec![lr_late, lr_early, lidar, radar, cameras_early, cam_right, cam_left];
+
+    let mut fallbacks: BTreeMap<Context, Vec<usize>> = BTreeMap::new();
+    for c in [Context::City, Context::Junction, Context::Motorway, Context::Rural] {
+        fallbacks.insert(c, clear.clone());
+    }
+    for c in [Context::Fog, Context::Snow, Context::Rain] {
+        fallbacks.insert(c, adverse.clone());
+    }
+    fallbacks.insert(Context::Night, night);
+    fallbacks
+}
+
 /// Builds the Table 3 context → configuration map over a canonical
 /// [`ConfigSpace`], as configuration indices suitable for
 /// [`ecofusion_gating::KnowledgeGate`].
@@ -83,6 +120,35 @@ mod tests {
         for c in Context::ALL {
             assert!(rules.contains_key(&c));
         }
+    }
+
+    #[test]
+    fn degraded_fallbacks_cover_all_contexts_and_single_sensors() {
+        let space = ConfigSpace::canonical();
+        let fallbacks = default_degraded_fallbacks(&space);
+        for c in Context::ALL {
+            let list = &fallbacks[&c];
+            assert!(!list.is_empty(), "{c:?}");
+            // Every context's list contains every single-sensor config, so
+            // one healthy sensor always leaves a runnable fallback.
+            for single in [
+                ConfigSpace::CAMERA_LEFT,
+                ConfigSpace::CAMERA_RIGHT,
+                ConfigSpace::LIDAR,
+                ConfigSpace::RADAR,
+            ] {
+                let id = space.config_of(&[single]).0;
+                assert!(list.contains(&id), "{c:?} missing single-sensor fallback {single:?}");
+            }
+            for idx in list {
+                assert!(*idx < space.num_configs());
+            }
+        }
+        // Clear contexts prefer cameras, adverse contexts lidar/radar.
+        let city_first = fallbacks[&Context::City][0];
+        assert_eq!(space.label(ConfigId(city_first)), "{E(C_L+C_R)}");
+        let fog_first = fallbacks[&Context::Fog][0];
+        assert_eq!(space.label(ConfigId(fog_first)), "{L, R, E(L+R)}");
     }
 
     #[test]

@@ -32,8 +32,10 @@ pub mod trainer;
 
 pub use config::{BranchId, ConfigId, ConfigSpace};
 pub use dataset::{Dataset, DatasetMix, DatasetSpec, Frame};
-pub use knowledge::default_knowledge_rules;
-pub use model::{EcoFusionModel, GateSet, InferenceOptions, InferenceOutput};
+pub use knowledge::{default_degraded_fallbacks, default_knowledge_rules};
+pub use model::{
+    EcoFusionModel, GateSet, InferenceOptions, InferenceOutput, UNAVAILABLE_SENSOR_PENALTY,
+};
 pub use optimizer::{joint_loss, select_candidates, select_config, CandidateRule};
 pub use snapshot::{ModelSnapshot, RestoreModelError};
 pub use temporal::{ClockGatingController, EpisodeEnergyReport, SensorSchedule};

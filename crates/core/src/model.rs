@@ -9,7 +9,7 @@ use ecofusion_gating::{
     AttentionGate, DeepGate, Gate, GateInput, GateKind, KnowledgeGate, LossBasedGate,
 };
 use ecofusion_scene::GtBox;
-use ecofusion_sensors::{Observation, SensorKind};
+use ecofusion_sensors::{Observation, SensorKind, SensorMask};
 use ecofusion_tensor::layer::Layer;
 use ecofusion_tensor::rng::Rng;
 use ecofusion_tensor::tensor::Tensor;
@@ -18,7 +18,15 @@ use std::error::Error;
 use std::fmt;
 
 use crate::dataset::Frame;
-use crate::knowledge::default_knowledge_rules;
+use crate::knowledge::{default_degraded_fallbacks, default_knowledge_rules};
+
+/// Loss penalty added to every configuration that requires a sensor the
+/// health mask rules out. It exceeds [`KNOWLEDGE_REJECT_LOSS`], so under
+/// fault-aware gating a rejected-but-healthy configuration always beats a
+/// preferred-but-broken one.
+///
+/// [`KNOWLEDGE_REJECT_LOSS`]: ecofusion_gating::knowledge::KNOWLEDGE_REJECT_LOSS
+pub const UNAVAILABLE_SENSOR_PENALTY: f32 = 4.0e6;
 
 /// All four gating strategies over one configuration space.
 pub struct GateSet {
@@ -53,6 +61,13 @@ pub struct InferenceOptions {
     pub score_thresh: f32,
     /// Per-class NMS IoU for branch decoding.
     pub nms_iou: f32,
+    /// Sensor availability for fault-aware gating. With the default
+    /// all-available mask, inference is bit-identical to mask-less
+    /// operation; with sensors masked out, configurations that need them
+    /// are penalized by [`UNAVAILABLE_SENSOR_PENALTY`] before selection,
+    /// and the knowledge gate switches to its degraded-context fallbacks.
+    #[serde(default)]
+    pub health: SensorMask,
 }
 
 impl InferenceOptions {
@@ -66,12 +81,19 @@ impl InferenceOptions {
             rule: CandidateRule::Margin,
             score_thresh: 0.2,
             nms_iou: 0.5,
+            health: SensorMask::all_available(),
         }
     }
 
     /// Same options with a different gate.
     pub fn with_gate(mut self, gate: GateKind) -> Self {
         self.gate = gate;
+        self
+    }
+
+    /// Same options with a sensor availability mask (fault-aware gating).
+    pub fn with_health(mut self, health: SensorMask) -> Self {
+        self.health = health;
         self
     }
 }
@@ -134,6 +156,9 @@ pub struct EcoFusionModel {
     sensor_power: SensorPowerModel,
     wbf: WbfParams,
     adaptive_energies: Vec<Joules>,
+    /// Required-sensor bitmask per configuration (bit `i` = canonical
+    /// sensor `i`), for fault-aware selection.
+    config_sensors: Vec<u8>,
     grid: usize,
     num_classes: usize,
 }
@@ -165,9 +190,19 @@ impl EcoFusionModel {
         let px2 = Px2Model::default();
         let adaptive_energies = space.energies(&px2, StemPolicy::Adaptive);
         let n = space.num_configs();
+        let config_sensors: Vec<u8> = (0..n)
+            .map(|i| {
+                space
+                    .branch_specs(ConfigId(i))
+                    .iter()
+                    .flat_map(|spec| spec.sensors())
+                    .fold(0u8, |mask, k| mask | (1 << k.index()))
+            })
+            .collect();
         let stem_c = ecofusion_detect::stem::STEM_CHANNELS * SensorKind::COUNT;
         let gates = GateSet {
-            knowledge: KnowledgeGate::new(default_knowledge_rules(&space), n),
+            knowledge: KnowledgeGate::new(default_knowledge_rules(&space), n)
+                .with_degraded_rules(default_degraded_fallbacks(&space), config_sensors.clone()),
             deep: DeepGate::new(stem_c, grid / 2, n, rng),
             attention: AttentionGate::new(stem_c, grid / 2, n, rng),
             loss_based: LossBasedGate::new(n),
@@ -181,6 +216,7 @@ impl EcoFusionModel {
             sensor_power: SensorPowerModel::default(),
             wbf: WbfParams::default(),
             adaptive_energies,
+            config_sensors,
             grid,
             num_classes,
         }
@@ -204,6 +240,44 @@ impl EcoFusionModel {
     /// The sensor power model.
     pub fn sensor_power(&self) -> &SensorPowerModel {
         &self.sensor_power
+    }
+
+    /// Required-sensor bitmask of every configuration (bit `i` =
+    /// canonical sensor `i` consumed by at least one branch).
+    pub fn config_sensor_bits(&self) -> &[u8] {
+        &self.config_sensors
+    }
+
+    /// Adds [`UNAVAILABLE_SENSOR_PENALTY`] to every configuration that
+    /// requires a sensor `mask` rules out, in place. A no-op for the
+    /// all-available mask.
+    pub fn penalize_unavailable(&self, losses: &mut [f32], mask: SensorMask) {
+        if mask.is_all_available() {
+            return;
+        }
+        for (loss, bits) in losses.iter_mut().zip(&self.config_sensors) {
+            if !mask.allows_bits(*bits) {
+                *loss += UNAVAILABLE_SENSOR_PENALTY;
+            }
+        }
+    }
+
+    /// Eq. 7–9 selection over predicted losses, with fault-aware masking:
+    /// configurations needing a sensor the options' health mask rules out
+    /// are penalized out of contention first. The all-available mask is a
+    /// guaranteed no-op that also skips the copy — the single selection
+    /// path both [`EcoFusionModel::infer`] and
+    /// [`EcoFusionModel::infer_batch`] go through, so the two can never
+    /// diverge on masking policy.
+    fn select_with_health(&self, predicted: &[f32], opts: &InferenceOptions) -> ConfigId {
+        let idx = if opts.health.is_all_available() {
+            select_config(predicted, &self.adaptive_energies, opts.lambda_e, opts.gamma, opts.rule)
+        } else {
+            let mut adjusted = predicted.to_vec();
+            self.penalize_unavailable(&mut adjusted, opts.health);
+            select_config(&adjusted, &self.adaptive_energies, opts.lambda_e, opts.gamma, opts.rule)
+        };
+        ConfigId(idx)
     }
 
     /// Observation grid size the model expects.
@@ -414,6 +488,7 @@ impl EcoFusionModel {
             features: &gate_input_tensor,
             context: Some(frame.scene.context),
             oracle_losses: oracle.as_deref(),
+            sensor_health: Some(opts.health),
         };
         let predicted = match opts.gate {
             GateKind::Knowledge => self.gates.knowledge.predict(&input),
@@ -421,15 +496,8 @@ impl EcoFusionModel {
             GateKind::Attention => self.gates.attention.predict(&input),
             GateKind::LossBased => self.gates.loss_based.predict(&input),
         };
-        // 4. Joint optimization (Eq. 7-9).
-        let idx = select_config(
-            &predicted,
-            &self.adaptive_energies,
-            opts.lambda_e,
-            opts.gamma,
-            opts.rule,
-        );
-        let selected = ConfigId(idx);
+        // 4. Joint optimization (Eq. 7-9), with fault-aware masking.
+        let selected = self.select_with_health(&predicted, opts);
         // 5. Execute the selected branches on the already-computed stems.
         let ids = self.space.branch_ids(selected);
         let outputs: Vec<Vec<Detection>> = ids
@@ -507,6 +575,7 @@ impl EcoFusionModel {
                 features: &gate_batch,
                 context: Some(f.scene.context),
                 oracle_losses: oracle.as_ref().map(|o| o[i].as_slice()),
+                sensor_health: Some(opts.health),
             })
             .collect();
         let predicted: Vec<Vec<f32>> = match opts.gate {
@@ -518,18 +587,8 @@ impl EcoFusionModel {
         drop(inputs);
         // 4. Joint optimization per frame, then group frames by branch so
         //    every branch the batch needs executes exactly once.
-        let selected: Vec<ConfigId> = predicted
-            .iter()
-            .map(|p| {
-                ConfigId(select_config(
-                    p,
-                    &self.adaptive_energies,
-                    opts.lambda_e,
-                    opts.gamma,
-                    opts.rule,
-                ))
-            })
-            .collect();
+        let selected: Vec<ConfigId> =
+            predicted.iter().map(|p| self.select_with_health(p, opts)).collect();
         let n_branches = self.branches.len();
         let mut demand: Vec<Vec<usize>> = vec![Vec::new(); n_branches];
         for (i, sel) in selected.iter().enumerate() {
@@ -752,6 +811,93 @@ mod tests {
         let frames: Vec<Frame> = data.test().iter().take(2).cloned().collect();
         let err = m.infer_batch(&frames, &opts).unwrap_err();
         assert!(matches!(err, InferError::GridMismatch { expected: 32, found: 48 }));
+    }
+
+    #[test]
+    fn config_sensor_bits_match_specs() {
+        let m = tiny_model();
+        let bits = m.config_sensor_bits();
+        assert_eq!(bits.len(), 127);
+        // Late fusion of all four sensors needs all four bits.
+        assert_eq!(bits[m.baseline_ids().late.0], 0b1111);
+        // The lidar-only baseline needs exactly the lidar bit.
+        assert_eq!(bits[m.baseline_ids().lidar.0], 1 << SensorKind::Lidar.index());
+    }
+
+    #[test]
+    fn all_available_mask_is_bit_identical() {
+        let data = Dataset::generate(&DatasetSpec::small(12));
+        let frame = &data.test()[0];
+        for gate in [GateKind::Attention, GateKind::Knowledge] {
+            let mut m = tiny_model();
+            let plain = m.infer(frame, &InferenceOptions::new(0.01, 0.5).with_gate(gate)).unwrap();
+            let masked = m
+                .infer(
+                    frame,
+                    &InferenceOptions::new(0.01, 0.5)
+                        .with_gate(gate)
+                        .with_health(SensorMask::all_available()),
+                )
+                .unwrap();
+            assert_eq!(plain.selected_config, masked.selected_config, "{gate:?}");
+            assert_eq!(plain.detections, masked.detections, "{gate:?}");
+            assert_eq!(plain.predicted_losses, masked.predicted_losses, "{gate:?}");
+        }
+    }
+
+    #[test]
+    fn masked_sensors_never_selected() {
+        let data = Dataset::generate(&DatasetSpec::small(13));
+        let no_cams = SensorMask::all_available()
+            .without(SensorKind::CameraLeft)
+            .without(SensorKind::CameraRight);
+        for gate in [GateKind::Attention, GateKind::Deep, GateKind::Knowledge] {
+            let mut m = tiny_model();
+            let opts = InferenceOptions::new(0.01, 0.5).with_gate(gate).with_health(no_cams);
+            for f in data.test().iter().take(3) {
+                let out = m.infer(f, &opts).unwrap();
+                let bits = m.config_sensor_bits()[out.selected_config.0];
+                assert!(
+                    no_cams.allows_bits(bits),
+                    "{gate:?} selected camera-dependent {} under a no-camera mask",
+                    out.selected_label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn infer_batch_matches_sequential_under_mask() {
+        let data = Dataset::generate(&DatasetSpec::small(14));
+        let frames: Vec<Frame> = data.test().iter().take(4).cloned().collect();
+        let mask = SensorMask::all_available().without(SensorKind::Lidar);
+        let mut m = tiny_model();
+        let opts = InferenceOptions::new(0.01, 0.5).with_health(mask);
+        let batched = m.infer_batch(&frames, &opts).unwrap();
+        let sequential: Vec<InferenceOutput> =
+            frames.iter().map(|f| m.infer(f, &opts).unwrap()).collect();
+        for (b, s) in batched.iter().zip(&sequential) {
+            assert_eq!(b.selected_config, s.selected_config);
+            assert_eq!(b.detections, s.detections);
+        }
+    }
+
+    #[test]
+    fn knowledge_gate_falls_back_under_camera_dropout() {
+        let mut m = tiny_model();
+        let mut spec = DatasetSpec::small(15);
+        spec.mix = crate::dataset::DatasetMix::Single(ecofusion_scene::Context::City);
+        spec.num_scenes = 10;
+        let data = Dataset::generate(&spec);
+        let no_cams = SensorMask::all_available()
+            .without(SensorKind::CameraLeft)
+            .without(SensorKind::CameraRight);
+        let opts =
+            InferenceOptions::new(0.01, 0.5).with_gate(GateKind::Knowledge).with_health(no_cams);
+        let out = m.infer(&data.test()[0], &opts).unwrap();
+        // City's primary {E(C_L+C_R+L)} needs cameras; the degraded rule
+        // walks the clear-context fallbacks to the lidar/radar pair.
+        assert_eq!(out.selected_label, "{E(L+R)}");
     }
 
     #[test]

@@ -9,8 +9,10 @@ pub mod common;
 pub mod fig1;
 pub mod fig4;
 pub mod fig5;
+pub mod robustness;
 pub mod table1;
 pub mod table2;
 pub mod table3;
 
 pub use common::{Scale, Setup};
+pub use robustness::{run_robustness, RobustnessCell, RobustnessReport, RobustnessSpec};

@@ -1,0 +1,520 @@
+//! Online per-sensor health estimation from grid statistics.
+
+use ecofusion_sensors::{Observation, SensorKind, SensorMask};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Tuning knobs of the [`SensorHealthMonitor`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HealthConfig {
+    /// EWMA coefficient of the fast (reactive) statistics.
+    pub alpha_fast: f64,
+    /// EWMA coefficient of the slow baseline statistics.
+    pub alpha_slow: f64,
+    /// Frames before the monitor starts judging (baselines settle first);
+    /// every sensor reports healthy during warmup.
+    pub warmup_frames: u64,
+    /// Score below which a sensor is [`HealthState::Degraded`].
+    pub degraded_below: f64,
+    /// Score below which a sensor is [`HealthState::Failed`].
+    pub failed_below: f64,
+    /// Recovery margin: a sensor already flagged (degraded or failed)
+    /// only improves its state once the score clears the corresponding
+    /// threshold by this much. Prevents a score hovering at a threshold
+    /// from flapping the state — and, downstream, the availability mask —
+    /// frame to frame.
+    pub hysteresis: f64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            alpha_fast: 0.5,
+            alpha_slow: 0.05,
+            warmup_frames: 4,
+            degraded_below: 0.7,
+            failed_below: 0.35,
+            hysteresis: 0.1,
+        }
+    }
+}
+
+/// Discretized health of one sensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum HealthState {
+    /// Statistics within the sensor's own baseline.
+    Healthy,
+    /// Statistics drifting away from baseline; still usable with caution.
+    Degraded,
+    /// Statistics incompatible with a live sensor; mask it out.
+    Failed,
+}
+
+impl fmt::Display for HealthState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Failed => "failed",
+        })
+    }
+}
+
+/// Rolling statistics and verdict for one sensor.
+#[derive(Debug, Clone)]
+struct SensorTracker {
+    frames: u64,
+    fast_energy: f64,
+    slow_energy: f64,
+    fast_var: f64,
+    slow_var: f64,
+    fast_delta: f64,
+    slow_delta: f64,
+    prev: Option<Vec<f32>>,
+    score: f64,
+    state: HealthState,
+}
+
+impl SensorTracker {
+    fn new() -> Self {
+        SensorTracker {
+            frames: 0,
+            fast_energy: 0.0,
+            slow_energy: 0.0,
+            fast_var: 0.0,
+            slow_var: 0.0,
+            fast_delta: 0.0,
+            slow_delta: 0.0,
+            prev: None,
+            score: 1.0,
+            state: HealthState::Healthy,
+        }
+    }
+}
+
+/// Estimates per-sensor health online, with no ground truth, from three
+/// grid statistics:
+///
+/// * **energy** (mean absolute cell value) — collapses under dropout and
+///   heavy attenuation;
+/// * **variance** — explodes under a noise burst;
+/// * **frame delta** (mean absolute change vs. the previous frame) —
+///   collapses when a sensor freezes.
+///
+/// Each statistic keeps a fast and a slow EWMA; the health score is the
+/// worst of the fast/slow ratios, mapped into `[0, 1]`. The slow baseline
+/// is frozen while a sensor is not healthy, so a long-lived fault cannot
+/// become the new normal. Scores discretize into [`HealthState`]s, and
+/// [`SensorHealthMonitor::mask`] summarizes failed sensors as a
+/// [`SensorMask`] for the fault-aware gating layer.
+///
+/// The monitor is pure observation-side accounting — one O(grid²) pass per
+/// sensor per frame, negligible next to branch inference — and is fully
+/// deterministic in its input sequence.
+///
+/// # Limitation: faults present from stream start
+///
+/// The baseline is learned from the stream itself, so a *partial* fault
+/// already active during warmup (say a half-severity dropout from frame
+/// 0) is absorbed into the slow statistics and never flagged — the
+/// monitor detects *change* relative to the sensor's own history, not
+/// absolute quality. A sensor that is fully dead at start is still
+/// caught (zero energy scores ~0 against any baseline), but
+/// pre-degraded-yet-alive sensors need an external reference (e.g. a
+/// fleet-wide expected-statistics table) that this reproduction does not
+/// model.
+#[derive(Debug, Clone)]
+pub struct SensorHealthMonitor {
+    cfg: HealthConfig,
+    trackers: [SensorTracker; 4],
+    transitions: u64,
+}
+
+impl Default for SensorHealthMonitor {
+    fn default() -> Self {
+        SensorHealthMonitor::new(HealthConfig::default())
+    }
+}
+
+impl SensorHealthMonitor {
+    /// Creates a monitor.
+    ///
+    /// # Panics
+    /// Panics if the config's alphas are outside `(0, 1]` or the
+    /// thresholds are not `0 < failed_below <= degraded_below <= 1`.
+    pub fn new(cfg: HealthConfig) -> Self {
+        assert!(cfg.alpha_fast > 0.0 && cfg.alpha_fast <= 1.0, "alpha_fast must be in (0, 1]");
+        assert!(cfg.alpha_slow > 0.0 && cfg.alpha_slow <= 1.0, "alpha_slow must be in (0, 1]");
+        assert!(
+            cfg.failed_below > 0.0 && cfg.failed_below <= cfg.degraded_below,
+            "thresholds must satisfy 0 < failed_below <= degraded_below"
+        );
+        assert!(cfg.degraded_below <= 1.0, "degraded_below must be at most 1");
+        assert!(cfg.hysteresis >= 0.0, "hysteresis must be non-negative");
+        SensorHealthMonitor {
+            cfg,
+            trackers: [
+                SensorTracker::new(),
+                SensorTracker::new(),
+                SensorTracker::new(),
+                SensorTracker::new(),
+            ],
+            transitions: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &HealthConfig {
+        &self.cfg
+    }
+
+    /// Ingests one observation and refreshes every sensor's score/state.
+    pub fn update(&mut self, obs: &Observation) {
+        for kind in SensorKind::ALL {
+            self.update_sensor(kind, obs);
+        }
+    }
+
+    fn update_sensor(&mut self, kind: SensorKind, obs: &Observation) {
+        let cfg = self.cfg;
+        let data = obs.grid(kind).data();
+        let n = data.len().max(1) as f64;
+        let mut sum = 0.0f64;
+        let mut sum_abs = 0.0f64;
+        for &v in data {
+            sum += v as f64;
+            sum_abs += v.abs() as f64;
+        }
+        let mean = sum / n;
+        let energy = sum_abs / n;
+        let mut var = 0.0f64;
+        for &v in data {
+            let d = v as f64 - mean;
+            var += d * d;
+        }
+        var /= n;
+        let t = &mut self.trackers[kind.index()];
+        let delta = match &t.prev {
+            Some(prev) => {
+                let mut d = 0.0f64;
+                for (&a, &b) in data.iter().zip(prev.iter()) {
+                    d += (a - b).abs() as f64;
+                }
+                Some(d / n)
+            }
+            None => None,
+        };
+        t.prev = Some(data.to_vec());
+
+        if t.frames == 0 {
+            t.fast_energy = energy;
+            t.slow_energy = energy;
+            t.fast_var = var;
+            t.slow_var = var;
+        } else {
+            t.fast_energy = ewma(cfg.alpha_fast, energy, t.fast_energy);
+            t.fast_var = ewma(cfg.alpha_fast, var, t.fast_var);
+        }
+        if let Some(delta) = delta {
+            if t.frames == 1 {
+                t.fast_delta = delta;
+                t.slow_delta = delta;
+            } else {
+                t.fast_delta = ewma(cfg.alpha_fast, delta, t.fast_delta);
+            }
+        }
+        // The slow baseline only learns from frames the monitor believes
+        // are healthy — a fault must not become the reference.
+        if t.state == HealthState::Healthy && t.frames > 0 {
+            t.slow_energy = ewma(cfg.alpha_slow, energy, t.slow_energy);
+            t.slow_var = ewma(cfg.alpha_slow, var, t.slow_var);
+            if let Some(delta) = delta {
+                if t.frames > 1 {
+                    t.slow_delta = ewma(cfg.alpha_slow, delta, t.slow_delta);
+                }
+            }
+        }
+        t.frames += 1;
+
+        if t.frames <= cfg.warmup_frames {
+            t.score = 1.0;
+            // Warmup never transitions; state stays Healthy.
+            return;
+        }
+        const EPS: f64 = 1e-6;
+        let energy_score = (t.fast_energy / (t.slow_energy + EPS)).clamp(0.0, 1.0);
+        let delta_score = (t.fast_delta / (t.slow_delta + EPS)).clamp(0.0, 1.0);
+        let noise_score = ((t.slow_var + EPS) / (t.fast_var + EPS)).clamp(0.0, 1.0);
+        t.score = energy_score.min(delta_score).min(noise_score);
+        // Hysteresis: worsening applies at the base thresholds
+        // immediately (masking a dying sensor must be fast), but
+        // improving requires clearing the threshold by the margin — a
+        // score hovering at a boundary cannot flap the state (and the
+        // availability mask) every frame.
+        let classify = |score: f64, margin: f64| {
+            if score < cfg.failed_below + margin {
+                HealthState::Failed
+            } else if score < cfg.degraded_below + margin {
+                HealthState::Degraded
+            } else {
+                HealthState::Healthy
+            }
+        };
+        let raw = classify(t.score, 0.0);
+        let new_state = if raw >= t.state {
+            raw
+        } else {
+            // Improving: only as far as the margin-raised thresholds
+            // allow, and never below the current state.
+            classify(t.score, cfg.hysteresis).min(t.state)
+        };
+        if new_state != t.state {
+            t.state = new_state;
+            self.transitions += 1;
+        }
+    }
+
+    /// Current health score of one sensor (1 = fully healthy).
+    pub fn score(&self, kind: SensorKind) -> f64 {
+        self.trackers[kind.index()].score
+    }
+
+    /// Current state of one sensor.
+    pub fn state(&self, kind: SensorKind) -> HealthState {
+        self.trackers[kind.index()].state
+    }
+
+    /// All scores in canonical sensor order.
+    pub fn scores(&self) -> [f64; 4] {
+        SensorKind::ALL.map(|k| self.score(k))
+    }
+
+    /// All states in canonical sensor order.
+    pub fn states(&self) -> [HealthState; 4] {
+        SensorKind::ALL.map(|k| self.state(k))
+    }
+
+    /// Sensors currently *not* healthy.
+    pub fn degraded_count(&self) -> usize {
+        self.trackers.iter().filter(|t| t.state != HealthState::Healthy).count()
+    }
+
+    /// Availability mask for the gating layer: failed sensors are masked
+    /// out, degraded sensors stay available (their branches still carry
+    /// signal).
+    pub fn mask(&self) -> SensorMask {
+        let mut m = SensorMask::all_available();
+        for kind in SensorKind::ALL {
+            if self.state(kind) == HealthState::Failed {
+                m = m.without(kind);
+            }
+        }
+        m
+    }
+
+    /// Conservative mask: degraded *and* failed sensors are masked out.
+    pub fn strict_mask(&self) -> SensorMask {
+        let mut m = SensorMask::all_available();
+        for kind in SensorKind::ALL {
+            if self.state(kind) != HealthState::Healthy {
+                m = m.without(kind);
+            }
+        }
+        m
+    }
+
+    /// State changes observed since construction/reset.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Forgets all statistics and verdicts.
+    pub fn reset(&mut self) {
+        *self = SensorHealthMonitor::new(self.cfg);
+    }
+}
+
+fn ewma(alpha: f64, sample: f64, prev: f64) -> f64 {
+    alpha * sample + (1.0 - alpha) * prev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FaultInjector, FaultKind, FaultSchedule};
+    use ecofusion_scene::{Context, ScenarioGenerator, Scene, SceneSequence};
+    use ecofusion_sensors::SensorSuite;
+    use ecofusion_tensor::rng::Rng;
+
+    /// A short deterministic city sequence rendered clean.
+    fn sequence(seed: u64, frames: usize) -> (Vec<Scene>, Vec<Observation>) {
+        let mut gen = ScenarioGenerator::new(seed);
+        let seq = SceneSequence::simulate(gen.scene(Context::City), frames - 1, 0.1);
+        let suite = SensorSuite::new(32);
+        let scenes: Vec<Scene> = seq.frames().to_vec();
+        let obs = scenes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| suite.observe(s, &mut Rng::new(seed ^ ((i as u64) << 9))))
+            .collect();
+        (scenes, obs)
+    }
+
+    fn run_monitor(
+        schedule: FaultSchedule,
+        frames: usize,
+    ) -> (SensorHealthMonitor, Vec<SensorMask>) {
+        let (scenes, clean) = sequence(17, frames);
+        let mut inj = FaultInjector::new(schedule, 5);
+        let mut monitor = SensorHealthMonitor::default();
+        let mut masks = Vec::new();
+        for (s, o) in scenes.iter().zip(&clean) {
+            let obs = inj.apply(o.clone(), s.context);
+            monitor.update(&obs);
+            masks.push(monitor.mask());
+        }
+        (monitor, masks)
+    }
+
+    #[test]
+    fn clean_stream_stays_healthy() {
+        let (monitor, masks) = run_monitor(FaultSchedule::empty(), 16);
+        for kind in SensorKind::ALL {
+            assert_eq!(monitor.state(kind), HealthState::Healthy, "{kind:?}");
+            assert!(monitor.score(kind) > 0.5, "{kind:?}: {}", monitor.score(kind));
+        }
+        assert!(masks.iter().all(|m| m.is_all_available()));
+        assert_eq!(monitor.degraded_count(), 0);
+    }
+
+    #[test]
+    fn dropout_drives_sensor_to_failed() {
+        let schedule = FaultSchedule::empty().with_dropout(SensorKind::CameraRight, 8, u64::MAX);
+        let (monitor, masks) = run_monitor(schedule, 16);
+        assert_eq!(monitor.state(SensorKind::CameraRight), HealthState::Failed);
+        assert!(!monitor.mask().is_available(SensorKind::CameraRight));
+        assert!(monitor.mask().is_available(SensorKind::Lidar));
+        // The mask flips within a few frames of onset.
+        assert!(masks[7].is_all_available(), "pre-onset mask must be clean");
+        assert!(!masks[11].is_available(SensorKind::CameraRight), "mask too slow");
+        assert!(monitor.transitions() > 0);
+    }
+
+    #[test]
+    fn frozen_frame_detected_via_delta_collapse() {
+        let schedule = FaultSchedule::empty().with_frozen(SensorKind::Lidar, 8, u64::MAX);
+        let (monitor, _) = run_monitor(schedule, 18);
+        assert_ne!(monitor.state(SensorKind::Lidar), HealthState::Healthy);
+        assert!(monitor.score(SensorKind::Lidar) < 0.5);
+        assert_eq!(monitor.state(SensorKind::Radar), HealthState::Healthy);
+    }
+
+    #[test]
+    fn noise_burst_detected_via_variance() {
+        let schedule = FaultSchedule::empty().with_event(
+            SensorKind::Radar,
+            FaultKind::NoiseBurst,
+            8,
+            u64::MAX,
+            1.0,
+        );
+        let (monitor, _) = run_monitor(schedule, 16);
+        assert_ne!(monitor.state(SensorKind::Radar), HealthState::Healthy);
+        assert_eq!(monitor.state(SensorKind::CameraLeft), HealthState::Healthy);
+    }
+
+    #[test]
+    fn recovery_after_fault_clears() {
+        let schedule = FaultSchedule::empty().with_dropout(SensorKind::CameraLeft, 6, 6);
+        let (monitor, masks) = run_monitor(schedule, 28);
+        // Failed mid-fault, healthy again well after it clears.
+        assert!(masks.iter().any(|m| !m.is_available(SensorKind::CameraLeft)));
+        assert_eq!(monitor.state(SensorKind::CameraLeft), HealthState::Healthy);
+        assert!(monitor.mask().is_all_available());
+        assert!(monitor.transitions() >= 2, "fail + recover");
+    }
+
+    #[test]
+    fn warmup_never_judges() {
+        let schedule = FaultSchedule::empty().with_dropout(SensorKind::Lidar, 0, u64::MAX);
+        let (scenes, clean) = sequence(23, 4);
+        let mut inj = FaultInjector::new(schedule, 5);
+        let mut monitor = SensorHealthMonitor::default();
+        for (s, o) in scenes.iter().zip(&clean) {
+            monitor.update(&inj.apply(o.clone(), s.context));
+            assert_eq!(monitor.state(SensorKind::Lidar), HealthState::Healthy);
+        }
+        assert_eq!(monitor.transitions(), 0);
+    }
+
+    #[test]
+    fn strict_mask_masks_degraded() {
+        let mut monitor = SensorHealthMonitor::default();
+        monitor.trackers[2].state = HealthState::Degraded;
+        monitor.trackers[3].state = HealthState::Failed;
+        assert_eq!(monitor.mask().unavailable(), vec![SensorKind::Radar]);
+        assert_eq!(monitor.strict_mask().unavailable(), vec![SensorKind::Lidar, SensorKind::Radar]);
+    }
+
+    #[test]
+    fn deterministic_and_resettable() {
+        let schedule = FaultSchedule::empty().with_camera_dropout(5, 10);
+        let (a, _) = run_monitor(schedule.clone(), 20);
+        let (b, _) = run_monitor(schedule, 20);
+        assert_eq!(a.scores(), b.scores());
+        assert_eq!(a.states(), b.states());
+        let mut m = a.clone();
+        m.reset();
+        assert_eq!(m.scores(), [1.0; 4]);
+        assert_eq!(m.transitions(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha_fast")]
+    fn bad_config_panics() {
+        let _ = SensorHealthMonitor::new(HealthConfig { alpha_fast: 0.0, ..Default::default() });
+    }
+
+    /// A score hovering right at the failed threshold must not flap the
+    /// state: demotion is immediate, but recovery requires clearing the
+    /// threshold by the hysteresis margin.
+    #[test]
+    fn hysteresis_prevents_state_flapping() {
+        use ecofusion_tensor::tensor::Tensor;
+
+        // Synthetic observations: seeded random grids scaled so the
+        // energy ratio vs. the baseline oscillates around failed_below
+        // (0.35): alternately just below and just above.
+        let obs_with_scale = |seed: u64, scale: f32| {
+            let grids = [0, 1, 2, 3].map(|s| {
+                let mut t = Tensor::zeros(&[1, 1, 16, 16]);
+                let mut rng = Rng::new(seed ^ (s << 8));
+                for v in t.data_mut() {
+                    *v = scale * rng.uniform(0.0, 1.0) as f32;
+                }
+                t
+            });
+            Observation::from_grids(grids)
+        };
+        let mut monitor = SensorHealthMonitor::default();
+        // Baseline at full scale.
+        for i in 0..8u64 {
+            monitor.update(&obs_with_scale(i, 1.0));
+        }
+        assert_eq!(monitor.states(), [HealthState::Healthy; 4]);
+        let baseline_transitions = monitor.transitions();
+        // Oscillate around the failed threshold for a while.
+        for i in 0..24u64 {
+            let scale = if i % 2 == 0 { 0.30 } else { 0.40 };
+            monitor.update(&obs_with_scale(100 + i, scale));
+        }
+        for kind in SensorKind::ALL {
+            assert_eq!(monitor.state(kind), HealthState::Failed, "{kind:?}");
+        }
+        // At most one downward walk per sensor (healthy → degraded →
+        // failed): no recovery transitions while hovering below
+        // failed_below + hysteresis.
+        let downward = monitor.transitions() - baseline_transitions;
+        assert!(downward <= 8, "state flapped: {downward} transitions during hover");
+    }
+}

@@ -1,0 +1,242 @@
+//! Scripted fault timelines.
+
+use crate::model::FaultKind;
+use ecofusion_sensors::SensorKind;
+use serde::{Deserialize, Serialize};
+
+/// One scripted fault: a kind hitting one sensor over a frame interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// The sensor the fault degrades.
+    pub sensor: SensorKind,
+    /// What happens to it.
+    pub kind: FaultKind,
+    /// First faulty frame index (frames are counted per stream, starting
+    /// at 0).
+    pub onset: u64,
+    /// Number of consecutive faulty frames; `u64::MAX` means permanent.
+    pub duration: u64,
+    /// Fault intensity in `[0, 1]` (ignored by
+    /// [`FaultKind::FrozenFrame`]).
+    pub severity: f64,
+}
+
+impl FaultEvent {
+    /// Creates an event.
+    ///
+    /// # Panics
+    /// Panics if `severity` is outside `[0, 1]`.
+    pub fn new(
+        sensor: SensorKind,
+        kind: FaultKind,
+        onset: u64,
+        duration: u64,
+        severity: f64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&severity), "fault severity must be in [0, 1]");
+        FaultEvent { sensor, kind, onset, duration, severity }
+    }
+
+    /// Whether the event is active at `frame`.
+    pub fn active_at(&self, frame: u64) -> bool {
+        frame >= self.onset && frame - self.onset < self.duration
+    }
+
+    /// Frame index one past the last faulty frame (`u64::MAX` when
+    /// permanent).
+    pub fn end(&self) -> u64 {
+        self.onset.saturating_add(self.duration)
+    }
+}
+
+/// A scripted timeline of [`FaultEvent`]s for one stream.
+///
+/// The empty schedule is the clean-path identity: an injector driven by it
+/// returns every observation bit-for-bit untouched.
+///
+/// # Example
+///
+/// ```
+/// use ecofusion_faults::{FaultKind, FaultSchedule};
+/// use ecofusion_sensors::SensorKind;
+///
+/// let s = FaultSchedule::empty()
+///     .with_dropout(SensorKind::CameraLeft, 10, 20)
+///     .with_event(SensorKind::Lidar, FaultKind::NoiseBurst, 15, 5, 0.8);
+/// assert_eq!(s.events().len(), 2);
+/// assert!(s.active_at(12).count() == 1);
+/// assert!(s.active_at(16).count() == 2);
+/// assert!(s.active_at(40).count() == 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// The clean schedule: no faults, ever.
+    pub fn empty() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Whether the schedule has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All events, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Adds an event in place.
+    pub fn push(&mut self, event: FaultEvent) {
+        self.events.push(event);
+    }
+
+    /// Builder form of [`FaultSchedule::push`].
+    ///
+    /// # Panics
+    /// Panics if `severity` is outside `[0, 1]`.
+    pub fn with_event(
+        mut self,
+        sensor: SensorKind,
+        kind: FaultKind,
+        onset: u64,
+        duration: u64,
+        severity: f64,
+    ) -> Self {
+        self.push(FaultEvent::new(sensor, kind, onset, duration, severity));
+        self
+    }
+
+    /// Adds a full-severity dropout of `sensor`.
+    pub fn with_dropout(self, sensor: SensorKind, onset: u64, duration: u64) -> Self {
+        self.with_event(sensor, FaultKind::Dropout, onset, duration, 1.0)
+    }
+
+    /// Adds a frozen-frame fault on `sensor`.
+    pub fn with_frozen(self, sensor: SensorKind, onset: u64, duration: u64) -> Self {
+        self.with_event(sensor, FaultKind::FrozenFrame, onset, duration, 1.0)
+    }
+
+    /// Adds a full-severity dropout of *both* cameras — the canonical
+    /// "optical subsystem died" scenario the robustness experiment sweeps.
+    pub fn with_camera_dropout(self, onset: u64, duration: u64) -> Self {
+        self.with_dropout(SensorKind::CameraLeft, onset, duration).with_dropout(
+            SensorKind::CameraRight,
+            onset,
+            duration,
+        )
+    }
+
+    /// Events active at `frame`, with their schedule indices (the index
+    /// keys per-event RNG streams and frozen-frame caches).
+    pub fn active_at(&self, frame: u64) -> impl Iterator<Item = (usize, &FaultEvent)> {
+        self.events.iter().enumerate().filter(move |(_, e)| e.active_at(frame))
+    }
+
+    /// Whether any event is active at `frame`.
+    pub fn any_active_at(&self, frame: u64) -> bool {
+        self.active_at(frame).next().is_some()
+    }
+
+    /// Whether the schedule contains a frozen-frame event (the injector
+    /// only caches previous observations when it does).
+    pub fn has_frozen(&self) -> bool {
+        self.events.iter().any(|e| e.kind == FaultKind::FrozenFrame)
+    }
+
+    /// Whether any frozen-frame event could still need the observation of
+    /// `frame` as its capture source. Only the frame just before an
+    /// event's onset (or frames inside its interval, for bookkeeping) can
+    /// ever be captured, so the injector skips the per-frame observation
+    /// clone both long before a frozen event starts and after every
+    /// frozen event has ended.
+    pub fn needs_frozen_capture(&self, frame: u64) -> bool {
+        self.events.iter().any(|e| {
+            e.kind == FaultKind::FrozenFrame
+                && frame < e.end()
+                && frame >= e.onset.saturating_sub(1)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_schedule_never_active() {
+        let s = FaultSchedule::empty();
+        assert!(s.is_empty());
+        for f in [0, 1, 100, u64::MAX] {
+            assert!(!s.any_active_at(f));
+        }
+    }
+
+    #[test]
+    fn event_interval_is_half_open() {
+        let e = FaultEvent::new(SensorKind::Lidar, FaultKind::Dropout, 5, 3, 1.0);
+        assert!(!e.active_at(4));
+        assert!(e.active_at(5));
+        assert!(e.active_at(7));
+        assert!(!e.active_at(8));
+        assert_eq!(e.end(), 8);
+    }
+
+    #[test]
+    fn permanent_event_never_ends() {
+        let e = FaultEvent::new(SensorKind::Radar, FaultKind::NoiseBurst, 2, u64::MAX, 0.5);
+        assert!(e.active_at(u64::MAX - 1));
+        assert_eq!(e.end(), u64::MAX);
+        assert!(!e.active_at(1));
+    }
+
+    #[test]
+    fn camera_dropout_covers_both_cameras() {
+        let s = FaultSchedule::empty().with_camera_dropout(0, 10);
+        let sensors: Vec<SensorKind> = s.active_at(3).map(|(_, e)| e.sensor).collect();
+        assert_eq!(sensors, vec![SensorKind::CameraLeft, SensorKind::CameraRight]);
+        assert!(!s.has_frozen());
+        assert!(s.clone().with_frozen(SensorKind::Lidar, 0, 1).has_frozen());
+    }
+
+    #[test]
+    fn frozen_capture_window_is_tight() {
+        let s = FaultSchedule::empty().with_frozen(SensorKind::Lidar, 10, 5);
+        // Long before onset: no capture needed.
+        assert!(!s.needs_frozen_capture(0));
+        assert!(!s.needs_frozen_capture(8));
+        // The capture source frame (onset - 1) and the interval itself.
+        assert!(s.needs_frozen_capture(9));
+        assert!(s.needs_frozen_capture(10));
+        assert!(s.needs_frozen_capture(14));
+        // After the event ends: never again.
+        assert!(!s.needs_frozen_capture(15));
+        // Onset 0 freezes its own first frame.
+        let at_start = FaultSchedule::empty().with_frozen(SensorKind::Radar, 0, 2);
+        assert!(at_start.needs_frozen_capture(0));
+        assert!(!at_start.needs_frozen_capture(2));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = FaultSchedule::empty().with_camera_dropout(4, 8).with_event(
+            SensorKind::Radar,
+            FaultKind::CalibrationDrift,
+            0,
+            100,
+            0.25,
+        );
+        let json = serde_json::to_string(&s).unwrap();
+        let back: FaultSchedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    #[should_panic(expected = "severity")]
+    fn bad_severity_panics() {
+        let _ = FaultEvent::new(SensorKind::Lidar, FaultKind::Dropout, 0, 1, -0.1);
+    }
+}

@@ -1,13 +1,18 @@
 //! Gate input bundle.
 
 use ecofusion_scene::Context;
+use ecofusion_sensors::SensorMask;
 use ecofusion_tensor::tensor::Tensor;
 
 /// Everything a gating strategy may consult for one frame.
 ///
 /// Learned gates use only `features`; the knowledge gate needs the
 /// externally identified `context` (weather service, GPS — paper §4.2.1);
-/// the loss-based oracle needs the a-posteriori `oracle_losses`.
+/// the loss-based oracle needs the a-posteriori `oracle_losses`. The
+/// optional `sensor_health` mask (from a
+/// `SensorHealthMonitor`) lets fault-aware gates steer away from
+/// configurations that need a dead sensor; `None` and an all-available
+/// mask are equivalent, so the clean path is unchanged.
 #[derive(Debug)]
 pub struct GateInput<'a> {
     /// Concatenated stem features of all sensors, shape `(1, C, H, W)`.
@@ -16,30 +21,42 @@ pub struct GateInput<'a> {
     pub context: Option<Context>,
     /// Ground-truth per-configuration losses, if available.
     pub oracle_losses: Option<&'a [f32]>,
+    /// Online sensor availability estimate, if health monitoring runs.
+    pub sensor_health: Option<SensorMask>,
 }
 
 impl<'a> GateInput<'a> {
     /// Input carrying only stem features (what learned gates need).
     pub fn features_only(features: &'a Tensor) -> Self {
-        GateInput { features, context: None, oracle_losses: None }
+        GateInput { features, context: None, oracle_losses: None, sensor_health: None }
     }
 
     /// Input with features and external context.
     pub fn with_context(features: &'a Tensor, context: Context) -> Self {
-        GateInput { features, context: Some(context), oracle_losses: None }
+        GateInput { features, context: Some(context), oracle_losses: None, sensor_health: None }
+    }
+
+    /// Same input with a sensor availability mask attached.
+    pub fn with_health(mut self, mask: SensorMask) -> Self {
+        self.sensor_health = Some(mask);
+        self
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ecofusion_sensors::SensorKind;
 
     #[test]
     fn constructors() {
         let t = Tensor::zeros(&[1, 1, 2, 2]);
         let a = GateInput::features_only(&t);
-        assert!(a.context.is_none() && a.oracle_losses.is_none());
+        assert!(a.context.is_none() && a.oracle_losses.is_none() && a.sensor_health.is_none());
         let b = GateInput::with_context(&t, Context::Fog);
         assert_eq!(b.context, Some(Context::Fog));
+        let m = SensorMask::all_available().without(SensorKind::Lidar);
+        let c = GateInput::features_only(&t).with_health(m);
+        assert_eq!(c.sensor_health, Some(m));
     }
 }

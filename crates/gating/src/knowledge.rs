@@ -3,6 +3,7 @@
 use crate::input::GateInput;
 use crate::{Gate, GateKind};
 use ecofusion_scene::Context;
+use ecofusion_sensors::SensorMask;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -19,10 +20,28 @@ pub const KNOWLEDGE_REJECT_LOSS: f32 = 1.0e6;
 /// infinite for all others, the downstream `λ_E` optimization cannot trade
 /// the choice off — matching the paper's observation that Knowledge "lacks
 /// tunability" (identical loss/energy for every `λ_E` in Table 2).
+///
+/// # Degraded-context rules
+///
+/// A gate built with [`KnowledgeGate::with_degraded_rules`] additionally
+/// knows which sensors each configuration consumes and, per context, an
+/// ordered list of fallback configurations. When the input carries a
+/// [`SensorMask`] that rules out the primary choice, the gate walks the
+/// context's fallbacks and picks the first one whose sensors are all
+/// available — e.g. "City normally runs `{E(C_L+C_R+L)}`, but with the
+/// cameras dead, run lidar+radar instead". With no mask (or an
+/// all-available one) behavior is bit-identical to the plain gate.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct KnowledgeGate {
     rules: BTreeMap<Context, usize>,
     num_configs: usize,
+    /// Per-context ordered fallback configurations for degraded sensing.
+    #[serde(default)]
+    fallbacks: BTreeMap<Context, Vec<usize>>,
+    /// Sensor-usage bitmask per configuration (bit `i` = canonical sensor
+    /// `i` required); empty when degraded rules are not configured.
+    #[serde(default)]
+    config_sensors: Vec<u8>,
 }
 
 impl KnowledgeGate {
@@ -38,12 +57,65 @@ impl KnowledgeGate {
                 .unwrap_or_else(|| panic!("knowledge gate missing rule for context {c:?}"));
             assert!(*idx < num_configs, "rule for {c:?} out of range");
         }
-        KnowledgeGate { rules, num_configs }
+        KnowledgeGate { rules, num_configs, fallbacks: BTreeMap::new(), config_sensors: Vec::new() }
+    }
+
+    /// Equips the gate with degraded-context rules: `fallbacks` lists, per
+    /// context, alternative configurations in preference order, and
+    /// `config_sensors` gives each configuration's required-sensor bitmask
+    /// (bit `i` = canonical sensor `i`).
+    ///
+    /// # Panics
+    /// Panics if `config_sensors` does not cover every configuration or a
+    /// fallback index is out of range.
+    pub fn with_degraded_rules(
+        mut self,
+        fallbacks: BTreeMap<Context, Vec<usize>>,
+        config_sensors: Vec<u8>,
+    ) -> Self {
+        assert_eq!(
+            config_sensors.len(),
+            self.num_configs,
+            "config_sensors must cover every configuration"
+        );
+        for (c, list) in &fallbacks {
+            for idx in list {
+                assert!(*idx < self.num_configs, "fallback for {c:?} out of range");
+            }
+        }
+        self.fallbacks = fallbacks;
+        self.config_sensors = config_sensors;
+        self
     }
 
     /// The configured choice for a context.
     pub fn choice(&self, context: Context) -> usize {
         self.rules[&context]
+    }
+
+    /// The choice for a context given an availability mask: the primary
+    /// rule when its sensors are all available (or degraded rules are not
+    /// configured), otherwise the first healthy fallback. Falls back to
+    /// the primary rule when nothing in the list is fully healthy.
+    pub fn choice_with_health(&self, context: Context, mask: SensorMask) -> usize {
+        let primary = self.rules[&context];
+        if self.config_sensors.is_empty() || mask.is_all_available() {
+            return primary;
+        }
+        if mask.allows_bits(self.config_sensors[primary]) {
+            return primary;
+        }
+        self.fallbacks
+            .get(&context)
+            .and_then(|list| {
+                list.iter().find(|idx| mask.allows_bits(self.config_sensors[**idx])).copied()
+            })
+            .unwrap_or(primary)
+    }
+
+    /// Whether degraded-context rules are configured.
+    pub fn has_degraded_rules(&self) -> bool {
+        !self.config_sensors.is_empty()
     }
 }
 
@@ -59,8 +131,12 @@ impl Gate for KnowledgeGate {
     fn predict(&mut self, input: &GateInput<'_>) -> Vec<f32> {
         let context =
             input.context.expect("knowledge gating requires an externally identified context");
+        let chosen = match input.sensor_health {
+            Some(mask) => self.choice_with_health(context, mask),
+            None => self.rules[&context],
+        };
         let mut out = vec![KNOWLEDGE_REJECT_LOSS; self.num_configs];
-        out[self.rules[&context]] = 0.0;
+        out[chosen] = 0.0;
         out
     }
 }
@@ -106,5 +182,78 @@ mod tests {
         let mut r = rules();
         r.insert(Context::City, 99);
         let _ = KnowledgeGate::new(r, 3);
+    }
+
+    use ecofusion_sensors::SensorKind;
+
+    /// Three toy configs: 0 = cameras, 1 = lidar, 2 = lidar+radar.
+    fn degraded_gate() -> KnowledgeGate {
+        let sensors = vec![
+            (1 << SensorKind::CameraLeft.index()) | (1 << SensorKind::CameraRight.index()),
+            1 << SensorKind::Lidar.index(),
+            (1 << SensorKind::Lidar.index()) | (1 << SensorKind::Radar.index()),
+        ];
+        let mut rules: BTreeMap<Context, usize> = Context::ALL.iter().map(|c| (*c, 0)).collect();
+        rules.insert(Context::Night, 2);
+        let fallbacks: BTreeMap<Context, Vec<usize>> =
+            Context::ALL.iter().map(|c| (*c, vec![2, 1])).collect();
+        KnowledgeGate::new(rules, 3).with_degraded_rules(fallbacks, sensors)
+    }
+
+    #[test]
+    fn healthy_mask_keeps_primary_rule() {
+        let mut g = degraded_gate();
+        let t = Tensor::zeros(&[1, 1, 2, 2]);
+        let all = SensorMask::all_available();
+        assert_eq!(g.choice_with_health(Context::City, all), 0);
+        let pred = g.predict(&GateInput::with_context(&t, Context::City).with_health(all));
+        assert_eq!(pred[0], 0.0);
+    }
+
+    #[test]
+    fn dead_camera_falls_back_in_preference_order() {
+        let mut g = degraded_gate();
+        let t = Tensor::zeros(&[1, 1, 2, 2]);
+        let no_cams = SensorMask::all_available()
+            .without(SensorKind::CameraLeft)
+            .without(SensorKind::CameraRight);
+        // Primary (cameras) is broken; first fallback (lidar+radar) is
+        // healthy.
+        assert_eq!(g.choice_with_health(Context::City, no_cams), 2);
+        let pred = g.predict(&GateInput::with_context(&t, Context::City).with_health(no_cams));
+        assert_eq!(pred[2], 0.0);
+        assert!(pred[0] >= KNOWLEDGE_REJECT_LOSS);
+        // With radar also dead, the next fallback (lidar alone) wins.
+        let lidar_only = no_cams.without(SensorKind::Radar);
+        assert_eq!(g.choice_with_health(Context::City, lidar_only), 1);
+    }
+
+    #[test]
+    fn healthy_primary_ignores_fallbacks_and_exhausted_list_keeps_primary() {
+        let g = degraded_gate();
+        // Night's primary (lidar+radar) is healthy even without cameras.
+        let no_cams = SensorMask::all_available()
+            .without(SensorKind::CameraLeft)
+            .without(SensorKind::CameraRight);
+        assert_eq!(g.choice_with_health(Context::Night, no_cams), 2);
+        // Everything dead: nothing in the list is healthy, keep primary.
+        assert_eq!(g.choice_with_health(Context::City, SensorMask::none_available()), 0);
+    }
+
+    #[test]
+    fn gate_without_degraded_rules_ignores_mask() {
+        let mut g = KnowledgeGate::new(rules(), 3);
+        assert!(!g.has_degraded_rules());
+        let t = Tensor::zeros(&[1, 1, 2, 2]);
+        let no_cams = SensorMask::all_available().without(SensorKind::CameraLeft);
+        let with_mask = g.predict(&GateInput::with_context(&t, Context::City).with_health(no_cams));
+        let without = g.predict(&GateInput::with_context(&t, Context::City));
+        assert_eq!(with_mask, without);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every configuration")]
+    fn mismatched_sensor_map_panics() {
+        let _ = KnowledgeGate::new(rules(), 3).with_degraded_rules(BTreeMap::new(), vec![0u8; 2]);
     }
 }

@@ -48,7 +48,12 @@ mod tests {
         let mut g = LossBasedGate::new(3);
         let t = Tensor::zeros(&[1, 1, 2, 2]);
         let oracle = [0.5, 0.2, 0.9];
-        let input = GateInput { features: &t, context: None, oracle_losses: Some(&oracle) };
+        let input = GateInput {
+            features: &t,
+            context: None,
+            oracle_losses: Some(&oracle),
+            sensor_health: None,
+        };
         assert_eq!(g.predict(&input), vec![0.5, 0.2, 0.9]);
     }
 
@@ -66,7 +71,12 @@ mod tests {
         let mut g = LossBasedGate::new(3);
         let t = Tensor::zeros(&[1, 1, 2, 2]);
         let oracle = [0.5];
-        let input = GateInput { features: &t, context: None, oracle_losses: Some(&oracle) };
+        let input = GateInput {
+            features: &t,
+            context: None,
+            oracle_losses: Some(&oracle),
+            sensor_health: None,
+        };
         let _ = g.predict(&input);
     }
 }

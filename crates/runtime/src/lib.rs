@@ -47,8 +47,19 @@
 //!   [`PolicyStep`] ladder (raising `λ_E`, ultimately switching to the
 //!   knowledge gate); when spend falls well below budget it relaxes back.
 //! * [`StreamTelemetry`] / [`RuntimeReport`] — per-stream frames, energy,
-//!   latency, queue waits, drops, and detection accuracy, rolled into an
-//!   [`EvalSummary`](ecofusion_eval::EvalSummary) per stream.
+//!   latency, queue waits, drops, detection accuracy, and sensor-health
+//!   counters (degraded/masked frames, health transitions), rolled into
+//!   an [`EvalSummary`](ecofusion_eval::EvalSummary) per stream.
+//! * **Fault tolerance** — [`VehicleStream::with_faults`] attaches an
+//!   [`ecofusion_faults::FaultSchedule`] to a stream's observations; each
+//!   lane runs an [`ecofusion_faults::SensorHealthMonitor`], and with
+//!   [`StreamSpec::health_gating`] enabled the monitor's availability
+//!   mask feeds the stream's
+//!   [`InferenceOptions`](ecofusion_core::InferenceOptions) so gating
+//!   steers away from dead sensors (surviving budget-ladder moves).
+//!   Malformed frames are rejected at ingest with
+//!   [`IngestOutcome::RejectedMalformed`] instead of panicking, so one
+//!   broken producer cannot take down the server.
 
 pub mod budget;
 pub mod queue;

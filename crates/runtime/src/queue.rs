@@ -27,6 +27,10 @@ pub enum IngestOutcome {
     /// The queue is full and the frame was not accepted
     /// ([`BackpressurePolicy::Stall`]).
     Rejected,
+    /// The frame failed ingest validation (e.g. its grid does not match
+    /// the serving model) and was discarded before queueing, so it can
+    /// never poison a micro-batch. Emitted by the server, not the queue.
+    RejectedMalformed,
 }
 
 /// A frame waiting to be scheduled, stamped with its arrival tick so the

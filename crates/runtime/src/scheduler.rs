@@ -9,7 +9,9 @@ use crate::telemetry::StreamTelemetry;
 use ecofusion_core::model::InferError;
 use ecofusion_core::{EcoFusionModel, Frame, InferenceOptions};
 use ecofusion_eval::EvalSummary;
+use ecofusion_faults::SensorHealthMonitor;
 use ecofusion_gating::GateKind;
+use ecofusion_sensors::SensorMask;
 use serde::Serialize;
 
 /// Scheduler parameters.
@@ -35,7 +37,10 @@ struct Lane {
     base_opts: InferenceOptions,
     opts: InferenceOptions,
     telemetry: StreamTelemetry,
+    monitor: SensorHealthMonitor,
+    health_gating: bool,
     stalls: u64,
+    malformed: u64,
 }
 
 impl Lane {
@@ -46,7 +51,20 @@ impl Lane {
             base_opts: spec.base_opts,
             opts: spec.base_opts,
             telemetry: StreamTelemetry::new(),
+            monitor: SensorHealthMonitor::default(),
+            health_gating: spec.health_gating,
             stalls: 0,
+            malformed: 0,
+        }
+    }
+
+    /// The availability mask the lane's gating currently runs with (all
+    /// available when fault-aware gating is off).
+    fn active_mask(&self) -> SensorMask {
+        if self.health_gating {
+            self.monitor.mask()
+        } else {
+            SensorMask::all_available()
         }
     }
 }
@@ -82,6 +100,21 @@ pub struct StreamReport {
     pub total_platform_j: f64,
     /// Total platform + clock-gated sensor energy spent, Joules.
     pub total_gated_j: f64,
+    /// Frames processed while the health monitor saw a degraded or failed
+    /// sensor.
+    pub degraded_frames: u64,
+    /// Frames processed with at least one sensor masked out of gating.
+    pub masked_frames: u64,
+    /// Health-state transitions (e.g. healthy → failed) over the run.
+    pub health_transitions: u64,
+    /// Per-sensor health scores at the end of the run, canonical order.
+    pub final_health: Vec<f64>,
+    /// Availability mask in force at the end of the run.
+    pub final_mask: SensorMask,
+    /// Whether fault-aware gating was enabled for the stream.
+    pub health_gating: bool,
+    /// Frames rejected at ingest validation (grid mismatch).
+    pub rejected_malformed: u64,
 }
 
 /// Aggregate outcome of a runtime session.
@@ -176,17 +209,21 @@ impl PerceptionServer {
 
     /// Offers a frame to `stream`'s queue under its backpressure policy.
     ///
+    /// A frame rendered at a different grid size than the model is
+    /// rejected here with [`IngestOutcome::RejectedMalformed`] — validating
+    /// at the ingest boundary means a malformed frame can never fail a
+    /// micro-batch mid-step (which would lose the healthy frames coalesced
+    /// with it), and rejecting instead of panicking means one broken
+    /// producer cannot take down the whole server.
+    ///
     /// # Panics
-    /// Panics if `stream` is out of range, or if the frame was rendered
-    /// at a different grid size than the model — validating at the ingest
-    /// boundary means a malformed frame can never fail a micro-batch
-    /// mid-step (which would lose the healthy frames coalesced with it).
+    /// Panics if `stream` is out of range (a caller bug, not a data
+    /// fault).
     pub fn ingest(&mut self, stream: usize, frame: Frame) -> IngestOutcome {
-        assert_eq!(
-            frame.obs.grid_size(),
-            self.model.grid(),
-            "stream {stream}: frame grid does not match model grid"
-        );
+        if frame.obs.grid_size() != self.model.grid() {
+            self.lanes[stream].malformed += 1;
+            return IngestOutcome::RejectedMalformed;
+        }
         let tick = self.tick;
         self.lanes[stream].queue.push(frame, tick)
     }
@@ -224,6 +261,11 @@ impl PerceptionServer {
         &self.lanes[stream].telemetry
     }
 
+    /// The health monitor of `stream`.
+    pub fn health(&self, stream: usize) -> &SensorHealthMonitor {
+        &self.lanes[stream].monitor
+    }
+
     /// Runs one processing step: pops up to `max_batch` ready frames
     /// round-robin across streams (oldest first within each stream),
     /// groups them by their stream's current options, and feeds each group
@@ -238,6 +280,29 @@ impl PerceptionServer {
         if picked.is_empty() {
             return Ok(0);
         }
+        // Health monitoring: every popped frame updates its lane's monitor
+        // before options are grouped, so the mask each micro-batch runs
+        // with reflects the newest evidence. When several frames of one
+        // lane are popped in a single step they all execute under the
+        // lane's final (most-informed) mask, and telemetry counts against
+        // that same mask so the counters always describe the gating that
+        // actually ran. With fault-aware gating off (the default) the
+        // monitor still tracks health for telemetry but the lane's
+        // options — and therefore every inference result — stay
+        // untouched.
+        for (lane_idx, queued) in &picked {
+            self.lanes[*lane_idx].monitor.update(&queued.frame.obs);
+        }
+        for lane in &mut self.lanes {
+            if lane.health_gating {
+                lane.opts.health = lane.active_mask();
+            }
+        }
+        for (lane_idx, _) in &picked {
+            let lane = &mut self.lanes[*lane_idx];
+            let mask = lane.active_mask();
+            lane.telemetry.note_health(lane.monitor.degraded_count() > 0, !mask.is_all_available());
+        }
         let processed = picked.len();
         for (opts, lanes, frames, waits) in self.group_by_options(picked) {
             let outputs = self.model.infer_batch(&frames, &opts)?;
@@ -250,6 +315,11 @@ impl PerceptionServer {
                 lane.telemetry.record(output, frame.gt_boxes(), wait);
                 if let Some(step) = lane.controller.record(output.energy.total_gated().joules()) {
                     lane.opts = step.apply(&lane.base_opts);
+                    // Policy rungs are built from the base options; the
+                    // health mask must survive ladder moves.
+                    if lane.health_gating {
+                        lane.opts.health = lane.monitor.mask();
+                    }
                 }
             }
         }
@@ -344,6 +414,13 @@ impl PerceptionServer {
                 rolling_energy_j: lane.controller.rolling_mean_j(),
                 total_platform_j: lane.telemetry.platform_j(),
                 total_gated_j: lane.telemetry.total_gated_j(),
+                degraded_frames: lane.telemetry.degraded_frames(),
+                masked_frames: lane.telemetry.masked_frames(),
+                health_transitions: lane.monitor.transitions(),
+                final_health: lane.monitor.scores().to_vec(),
+                final_mask: lane.active_mask(),
+                health_gating: lane.health_gating,
+                rejected_malformed: lane.malformed,
             })
             .collect();
         let frames: u64 = per_stream.iter().map(|s| s.summary.frames as u64).sum();

@@ -3,6 +3,7 @@
 use crate::budget::EnergyBudget;
 use crate::queue::BackpressurePolicy;
 use ecofusion_core::{Frame, InferenceOptions};
+use ecofusion_faults::{FaultInjector, FaultSchedule};
 use ecofusion_scene::{Context, ScenarioGenerator, Scene, SceneSequence};
 use ecofusion_sensors::SensorSuite;
 use ecofusion_tensor::rng::Rng;
@@ -41,6 +42,13 @@ pub struct StreamSpec {
     pub budget: EnergyBudget,
     /// Inference options at escalation level 0.
     pub base_opts: InferenceOptions,
+    /// Whether the server's per-stream health monitor feeds the gating
+    /// layer: when true, sensors the monitor marks failed are masked in
+    /// the stream's [`InferenceOptions::health`] before every selection.
+    /// Off by default — clean streams behave bit-identically to a server
+    /// without health monitoring.
+    #[serde(default)]
+    pub health_gating: bool,
 }
 
 impl StreamSpec {
@@ -70,6 +78,7 @@ impl StreamSpec {
             backpressure: BackpressurePolicy::DropOldest,
             budget: EnergyBudget::unlimited(),
             base_opts: InferenceOptions::new(0.01, 0.5),
+            health_gating: false,
         }
     }
 
@@ -104,6 +113,12 @@ impl StreamSpec {
         self.base_opts = opts;
         self
     }
+
+    /// Same spec with fault-aware gating switched on or off.
+    pub fn with_health_gating(mut self, enabled: bool) -> Self {
+        self.health_gating = enabled;
+        self
+    }
 }
 
 /// A deterministic stream of rendered frames from one simulated vehicle.
@@ -135,6 +150,8 @@ pub struct VehicleStream {
     context: Context,
     pending: VecDeque<Scene>,
     produced: u64,
+    /// Optional fault injector; `None` renders the clean path untouched.
+    injector: Option<FaultInjector>,
 }
 
 impl VehicleStream {
@@ -152,8 +169,29 @@ impl VehicleStream {
             context: spec.initial_context,
             pending: VecDeque::new(),
             produced: 0,
+            injector: None,
             spec,
         }
+    }
+
+    /// Attaches a fault schedule: from the next frame on, the stream's
+    /// observations pass through a [`FaultInjector`] keyed on the frame
+    /// index. The injector is seeded from the stream seed, so a degraded
+    /// stream is exactly as reproducible as a clean one — and an empty
+    /// schedule leaves every frame bit-identical to the clean stream.
+    pub fn with_faults(mut self, schedule: FaultSchedule) -> Self {
+        self.injector = Some(FaultInjector::new(schedule, self.spec.seed ^ 0xFA17_5EED));
+        self
+    }
+
+    /// The attached fault schedule, if any.
+    pub fn fault_schedule(&self) -> Option<&FaultSchedule> {
+        self.injector.as_ref().map(|i| i.schedule())
+    }
+
+    /// `(faulty frames, fault-event applications)` injected so far.
+    pub fn fault_counts(&self) -> (u64, u64) {
+        self.injector.as_ref().map(|i| (i.frames_faulted(), i.events_applied())).unwrap_or((0, 0))
     }
 
     /// The stream's spec.
@@ -188,6 +226,10 @@ impl VehicleStream {
             self.spec.seed ^ self.produced.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0xC5),
         );
         let obs = self.suite.observe(&scene, &mut rng);
+        let obs = match &mut self.injector {
+            Some(injector) => injector.apply(obs, scene.context),
+            None => obs,
+        };
         self.produced += 1;
         Frame { scene, obs }
     }
@@ -293,5 +335,51 @@ mod tests {
         let mut spec = StreamSpec::new(7, 32);
         spec.dwell_frames = 0;
         let _ = VehicleStream::new(spec);
+    }
+
+    #[test]
+    fn empty_fault_schedule_is_bit_identical() {
+        let spec = StreamSpec::new(21, 32);
+        let mut clean = VehicleStream::new(spec);
+        let mut faulted = VehicleStream::new(spec).with_faults(FaultSchedule::empty());
+        for _ in 0..6 {
+            let a = clean.next_frame();
+            let b = faulted.next_frame();
+            assert_eq!(a.scene, b.scene);
+            for k in ecofusion_sensors::SensorKind::ALL {
+                assert_eq!(a.obs.grid(k), b.obs.grid(k));
+            }
+        }
+        assert_eq!(faulted.fault_counts(), (0, 0));
+    }
+
+    #[test]
+    fn fault_schedule_applies_deterministically() {
+        use ecofusion_sensors::SensorKind;
+        let spec = StreamSpec::new(22, 32);
+        let schedule = FaultSchedule::empty().with_dropout(SensorKind::Lidar, 2, 3);
+        let run = || {
+            let mut s = VehicleStream::new(spec).with_faults(schedule.clone());
+            s.generate(6)
+        };
+        let a = run();
+        let b = run();
+        for (fa, fb) in a.iter().zip(&b) {
+            for k in SensorKind::ALL {
+                assert_eq!(fa.obs.grid(k), fb.obs.grid(k));
+            }
+        }
+        let mut clean = VehicleStream::new(spec);
+        let c = clean.generate(6);
+        // Inside the interval the lidar grid is blanked; outside it the
+        // stream is untouched.
+        assert_eq!(a[1].obs.grid(SensorKind::Lidar), c[1].obs.grid(SensorKind::Lidar));
+        assert_eq!(a[3].obs.grid(SensorKind::Lidar).sum(), 0.0);
+        assert_eq!(a[5].obs.grid(SensorKind::Lidar), c[5].obs.grid(SensorKind::Lidar));
+        assert_eq!(a[3].obs.grid(SensorKind::Radar), c[3].obs.grid(SensorKind::Radar));
+        let mut s = VehicleStream::new(spec).with_faults(schedule);
+        let _ = s.generate(6);
+        assert_eq!(s.fault_counts(), (3, 3));
+        assert!(s.fault_schedule().is_some());
     }
 }

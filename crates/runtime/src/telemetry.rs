@@ -28,6 +28,8 @@ pub struct StreamTelemetry {
     dets_per_frame: Vec<Vec<Detection>>,
     selected_configs: Vec<ConfigId>,
     gt_frames: Vec<GtFrame>,
+    degraded_frames: u64,
+    masked_frames: u64,
 }
 
 impl StreamTelemetry {
@@ -69,6 +71,30 @@ impl StreamTelemetry {
     /// order (aligned with [`StreamTelemetry::detections`]).
     pub fn selected_configs(&self) -> &[ConfigId] {
         &self.selected_configs
+    }
+
+    /// Notes the health verdict the stream's monitor reached for one
+    /// frame: `degraded` when any sensor was not healthy, `masked` when
+    /// the availability mask actually ruled sensors out. Called once per
+    /// processed frame, alongside [`StreamTelemetry::record`].
+    pub fn note_health(&mut self, degraded: bool, masked: bool) {
+        if degraded {
+            self.degraded_frames += 1;
+        }
+        if masked {
+            self.masked_frames += 1;
+        }
+    }
+
+    /// Frames processed while at least one sensor was degraded or failed.
+    pub fn degraded_frames(&self) -> u64 {
+        self.degraded_frames
+    }
+
+    /// Frames processed while the health mask ruled out at least one
+    /// sensor.
+    pub fn masked_frames(&self) -> u64 {
+        self.masked_frames
     }
 
     /// Frames recorded.
@@ -135,14 +161,14 @@ mod tests {
     }
 
     #[test]
-    fn record_accumulates_and_matches_summary() {
+    fn record_accumulates_and_matches_summary() -> Result<(), ecofusion_core::model::InferError> {
         let data = Dataset::generate(&DatasetSpec::small(21));
         let mut model = EcoFusionModel::new(32, 8, &mut Rng::new(2));
         let opts = InferenceOptions::new(0.01, 0.5);
         let mut t = StreamTelemetry::new();
         let mut manual_platform = 0.0;
         for (i, f) in data.test().iter().take(3).enumerate() {
-            let out = model.infer(f, &opts).unwrap();
+            let out = model.infer(f, &opts)?;
             manual_platform += out.energy.platform.joules();
             t.record(&out, f.gt_boxes(), i as u64);
         }
@@ -154,5 +180,18 @@ mod tests {
         assert!((s.avg_energy_j - manual_platform / 3.0).abs() < 1e-12);
         assert_eq!(s.config_histogram.values().sum::<usize>(), 3);
         assert!(s.avg_total_gated_j >= s.avg_energy_j);
+        Ok(())
+    }
+
+    #[test]
+    fn health_counters_accumulate_independently() {
+        let mut t = StreamTelemetry::new();
+        t.note_health(false, false);
+        t.note_health(true, false);
+        t.note_health(true, true);
+        assert_eq!(t.degraded_frames(), 2);
+        assert_eq!(t.masked_frames(), 1);
+        // Health notes do not count as processed frames.
+        assert_eq!(t.frames(), 0);
     }
 }

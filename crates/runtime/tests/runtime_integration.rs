@@ -187,14 +187,25 @@ fn simulation_is_deterministic() {
 }
 
 /// Malformed frames are refused at the ingest boundary, so a bad frame
-/// can never fail a micro-batch mid-step and take healthy frames with it.
+/// can never fail a micro-batch mid-step and take healthy frames with it
+/// — and the refusal is a counted outcome, not a server-killing panic.
 #[test]
-#[should_panic(expected = "grid does not match")]
 fn ingest_rejects_wrong_grid_frame() {
     let specs = specs(1);
     let mut server = PerceptionServer::new(model(17), &specs, RuntimeConfig::default());
     let mut wrong = VehicleStream::new(StreamSpec::new(500, 48));
-    server.ingest(0, wrong.next_frame());
+    assert_eq!(
+        server.ingest(0, wrong.next_frame()),
+        ecofusion_runtime::IngestOutcome::RejectedMalformed
+    );
+    // The server keeps serving: a healthy frame on the same stream still
+    // goes through.
+    let mut healthy = VehicleStream::new(specs[0]);
+    assert_eq!(server.ingest(0, healthy.next_frame()), ecofusion_runtime::IngestOutcome::Enqueued);
+    assert_eq!(server.drain().unwrap(), 1);
+    let report = server.report();
+    assert_eq!(report.per_stream[0].rejected_malformed, 1);
+    assert_eq!(report.frames, 1);
 }
 
 /// Direct ingest against a full stall-policy queue counts as a stall in
@@ -226,4 +237,158 @@ fn batches_span_streams() {
     // all four streams into one micro-batch.
     assert!(report.avg_batch_size > 3.0, "avg batch {}", report.avg_batch_size);
     assert_eq!(report.frames, 24);
+}
+
+/// Clean streams with fault-aware gating enabled behave bit-identically
+/// to streams without it: the monitor stays healthy, the mask stays
+/// all-available, and every decision matches.
+#[test]
+fn health_gating_is_identity_on_clean_streams() {
+    let frames = 8u64;
+    let plain_specs = specs(2);
+    let gated_specs: Vec<StreamSpec> =
+        plain_specs.iter().map(|s| s.with_health_gating(true)).collect();
+
+    let mut plain = PerceptionServer::new(
+        model(23),
+        &plain_specs,
+        RuntimeConfig { max_batch: 4, num_classes: 8 },
+    );
+    let mut plain_streams: Vec<VehicleStream> =
+        plain_specs.iter().map(|s| VehicleStream::new(*s)).collect();
+    run_simulation(&mut plain, &mut plain_streams, frames).unwrap();
+
+    let mut gated = PerceptionServer::new(
+        model(23),
+        &gated_specs,
+        RuntimeConfig { max_batch: 4, num_classes: 8 },
+    );
+    let mut gated_streams: Vec<VehicleStream> =
+        gated_specs.iter().map(|s| VehicleStream::new(*s)).collect();
+    run_simulation(&mut gated, &mut gated_streams, frames).unwrap();
+
+    for i in 0..plain_specs.len() {
+        assert_eq!(
+            plain.telemetry(i).selected_configs(),
+            gated.telemetry(i).selected_configs(),
+            "stream {i}"
+        );
+        assert_eq!(plain.telemetry(i).detections(), gated.telemetry(i).detections(), "stream {i}");
+    }
+    let report = gated.report();
+    for s in &report.per_stream {
+        assert!(s.health_gating);
+        assert_eq!(s.masked_frames, 0);
+        assert!(s.final_mask.is_all_available());
+    }
+}
+
+/// A camera-dropout schedule drives the lane monitor to mask the cameras,
+/// and the fault-aware knowledge gate reroutes to camera-free
+/// configurations while the fault-blind twin keeps running camera-based
+/// ones.
+#[test]
+fn fault_aware_gate_reroutes_under_camera_dropout() {
+    use ecofusion_core::InferenceOptions;
+    use ecofusion_faults::FaultSchedule;
+    use ecofusion_scene::Context;
+    use ecofusion_sensors::SensorKind;
+
+    let ticks = 24u64;
+    let onset = 6u64;
+    let base = StreamSpec::new(700, GRID)
+        .with_context(Context::City)
+        .with_opts(InferenceOptions::new(0.01, 0.5).with_gate(GateKind::Knowledge));
+    // Long dwell keeps the stream in City for the whole run, so the
+    // knowledge gate's clean choice is stable.
+    let base = StreamSpec { dwell_frames: 64, drift_stay_prob: 1.0, ..base };
+    let schedule = FaultSchedule::empty().with_camera_dropout(onset, u64::MAX);
+
+    let run = |health_gating: bool| {
+        let spec = base.with_health_gating(health_gating);
+        let mut server = PerceptionServer::new(
+            model(29),
+            &[spec],
+            RuntimeConfig { max_batch: 2, num_classes: 8 },
+        );
+        let mut streams = vec![VehicleStream::new(spec).with_faults(schedule.clone())];
+        run_simulation(&mut server, &mut streams, ticks).unwrap();
+        let labels: Vec<String> = {
+            let t = server.telemetry(0);
+            t.selected_configs().iter().map(|c| format!("{:?}", c)).collect()
+        };
+        (server.report(), labels)
+    };
+
+    let (blind_report, blind_labels) = run(false);
+    let (aware_report, aware_labels) = run(true);
+
+    // Pre-onset decisions agree (clean frames, healthy mask).
+    assert_eq!(blind_labels[..onset as usize], aware_labels[..onset as usize]);
+    // The aware server masked the cameras and changed its decisions.
+    let aware = &aware_report.per_stream[0];
+    assert!(aware.masked_frames > 0, "mask never engaged");
+    assert!(!aware.final_mask.is_available(SensorKind::CameraLeft));
+    assert!(!aware.final_mask.is_available(SensorKind::CameraRight));
+    assert!(aware.health_transitions > 0);
+    assert!(aware.degraded_frames >= aware.masked_frames);
+    // The blind server saw the same degradation in telemetry but kept its
+    // camera-based decisions.
+    let blind = &blind_report.per_stream[0];
+    assert!(blind.degraded_frames > 0);
+    assert_eq!(blind.masked_frames, 0, "gating off must never mask");
+    assert_ne!(
+        blind_labels.last(),
+        aware_labels.last(),
+        "fault-aware gate should have rerouted away from the cameras"
+    );
+    // Reproducibility: the aware run is deterministic end to end.
+    let (aware_again, labels_again) = run(true);
+    assert_eq!(aware_labels, labels_again);
+    assert_eq!(aware.masked_frames, aware_again.per_stream[0].masked_frames);
+}
+
+/// When several frames of one lane are coalesced into a single step, all
+/// of them execute under the lane's final mask and the masked-frame
+/// counter describes exactly that mask — no half-counted steps.
+#[test]
+fn multi_frame_pop_counts_against_executed_mask() {
+    use ecofusion_core::InferenceOptions;
+    use ecofusion_faults::FaultSchedule;
+    use ecofusion_scene::Context;
+
+    let spec = StreamSpec::new(900, GRID)
+        .with_context(Context::City)
+        .with_queue(8, BackpressurePolicy::DropOldest)
+        .with_opts(InferenceOptions::new(0.01, 0.5).with_gate(GateKind::Knowledge))
+        .with_health_gating(true);
+    let spec = StreamSpec { dwell_frames: 64, drift_stay_prob: 1.0, ..spec };
+    // Cameras dead from the very first frame: the monitor reaches Failed
+    // shortly after its warmup window.
+    let schedule = FaultSchedule::empty().with_camera_dropout(0, u64::MAX);
+    let mut stream = VehicleStream::new(spec).with_faults(schedule);
+    let mut server =
+        PerceptionServer::new(model(31), &[spec], RuntimeConfig { max_batch: 4, num_classes: 8 });
+
+    // Step 1: four frames in one batch, all inside the monitor warmup.
+    for _ in 0..4 {
+        server.ingest(0, stream.next_frame());
+    }
+    assert_eq!(server.process_step().unwrap(), 4);
+    let after_warmup = server.telemetry(0).masked_frames();
+    assert_eq!(after_warmup, 0, "warmup frames must not count as masked");
+
+    // Step 2: four more frames in one batch; the monitor fails the
+    // cameras while absorbing them, so the whole batch runs (and counts)
+    // under the engaged mask.
+    for _ in 0..4 {
+        server.ingest(0, stream.next_frame());
+    }
+    assert_eq!(server.process_step().unwrap(), 4);
+    let report = server.report();
+    let s = &report.per_stream[0];
+    assert_eq!(s.masked_frames, 4, "whole batch must count against the executed mask");
+    assert!(!s.final_mask.is_available(ecofusion_sensors::SensorKind::CameraLeft));
+    // The options in force reflect the same mask telemetry counted.
+    assert_eq!(server.stream_options(0).health, s.final_mask);
 }

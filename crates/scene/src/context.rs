@@ -81,6 +81,29 @@ impl Context {
         w
     }
 
+    /// Per-sensor signal retention under a *worst-case* weather episode in
+    /// this context, indexed in canonical sensor order (camera left, camera
+    /// right, lidar, radar). `1.0` means the sensor keeps full signal even
+    /// when the context's weather peaks; `0.1` means a full-severity
+    /// weather fault leaves 10 % of the return.
+    ///
+    /// This is the physical prior a weather-attenuation *fault* scales
+    /// with: optical sensors collapse in fog/snow and at night, lidar
+    /// suffers in scattering media, radar is nearly weather-proof (the
+    /// asymmetry the paper's adaptive fusion exploits). Clear contexts
+    /// still attenuate mildly (spray, glare), so a weather fault is never
+    /// a silent no-op.
+    pub fn weather_attenuation(&self) -> [f64; 4] {
+        match self {
+            Context::City | Context::Junction | Context::Rural => [0.85, 0.85, 0.9, 1.0],
+            Context::Motorway => [0.8, 0.8, 0.85, 1.0],
+            Context::Fog => [0.1, 0.1, 0.25, 0.95],
+            Context::Night => [0.15, 0.15, 0.9, 1.0],
+            Context::Rain => [0.45, 0.45, 0.55, 0.9],
+            Context::Snow => [0.2, 0.2, 0.3, 0.85],
+        }
+    }
+
     /// The generative profile for this context.
     pub fn profile(&self) -> ContextProfile {
         match self {
@@ -301,6 +324,25 @@ mod tests {
     #[test]
     fn motorway_has_no_pedestrians() {
         assert_eq!(Context::Motorway.profile().pedestrian_bias, 0.0);
+    }
+
+    #[test]
+    fn weather_attenuation_bounded_and_ordered() {
+        for c in Context::ALL {
+            let a = c.weather_attenuation();
+            for (i, r) in a.iter().enumerate() {
+                assert!((0.0..=1.0).contains(r), "{c:?} sensor {i}: {r}");
+            }
+            // Stereo cameras degrade identically; radar is the most
+            // weather-robust sensor in every context.
+            assert_eq!(a[0], a[1], "{c:?}");
+            assert!(a[3] >= a[2] && a[3] >= a[0], "{c:?}");
+        }
+        // Adverse weather hits optics much harder than clear air does.
+        assert!(
+            Context::Fog.weather_attenuation()[0] < 0.5 * Context::City.weather_attenuation()[0]
+        );
+        assert!(Context::Night.weather_attenuation()[2] > Context::Fog.weather_attenuation()[2]);
     }
 
     #[test]

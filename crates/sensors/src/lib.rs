@@ -34,12 +34,14 @@ pub mod camera;
 pub mod grid;
 pub mod kind;
 pub mod lidar;
+pub mod mask;
 pub mod radar;
 pub mod suite;
 
 pub use camera::CameraModel;
 pub use kind::{CameraSide, SensorKind};
 pub use lidar::LidarModel;
+pub use mask::SensorMask;
 pub use radar::RadarModel;
 pub use suite::{Observation, SensorSuite};
 

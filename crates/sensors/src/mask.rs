@@ -1,0 +1,200 @@
+//! Sensor availability masks for fault-aware gating.
+
+use crate::kind::SensorKind;
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::fmt;
+
+/// Which sensors of the rig are currently considered usable.
+///
+/// A mask is the hard, binary summary a health monitor hands to the gating
+/// layer: a sensor marked unavailable means "do not trust branches that
+/// need this input". The default mask has every sensor available, which is
+/// the clean-path identity — gating with an all-available mask behaves
+/// exactly as gating with no mask at all.
+///
+/// # Example
+///
+/// ```
+/// use ecofusion_sensors::{SensorKind, SensorMask};
+/// let m = SensorMask::all_available().without(SensorKind::CameraLeft);
+/// assert!(!m.is_available(SensorKind::CameraLeft));
+/// assert!(m.is_available(SensorKind::Lidar));
+/// assert_eq!(m.available_count(), 3);
+/// assert!(!m.allows(&[SensorKind::CameraLeft, SensorKind::CameraRight]));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SensorMask {
+    bits: u8,
+}
+
+impl Serialize for SensorMask {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![("bits".to_string(), Value::U64(self.bits as u64))])
+    }
+}
+
+// Hand-written so deserialization routes through [`SensorMask::from_bits`]:
+// out-of-range bits in hand-edited JSON must normalize away, or a mask
+// that is semantically all-available would compare unequal to
+// `SensorMask::all_available()` and skip the clean-path fast paths.
+impl Deserialize for SensorMask {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let entries = v.as_map().ok_or_else(|| DeError::expected("SensorMask object", v))?;
+        let bits_value = serde::find_field(entries, "bits")
+            .ok_or_else(|| DeError::custom("SensorMask missing field bits"))?;
+        Ok(SensorMask::from_bits(u8::from_value(bits_value)?))
+    }
+}
+
+impl SensorMask {
+    /// Mask with every sensor available.
+    pub fn all_available() -> Self {
+        SensorMask { bits: (1 << SensorKind::COUNT) - 1 }
+    }
+
+    /// Mask with no sensor available.
+    pub fn none_available() -> Self {
+        SensorMask { bits: 0 }
+    }
+
+    /// Builds a mask from raw availability bits (bit `i` =
+    /// `SensorKind::from_index(i)` available). Bits beyond the sensor
+    /// count are ignored.
+    pub fn from_bits(bits: u8) -> Self {
+        SensorMask { bits: bits & ((1 << SensorKind::COUNT) - 1) }
+    }
+
+    /// Raw availability bits.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Whether `kind` is available.
+    pub fn is_available(&self, kind: SensorKind) -> bool {
+        self.bits & (1 << kind.index()) != 0
+    }
+
+    /// Whether every sensor is available (the clean-path identity).
+    pub fn is_all_available(&self) -> bool {
+        self.bits == (1 << SensorKind::COUNT) - 1
+    }
+
+    /// This mask with `kind` marked unavailable.
+    pub fn without(mut self, kind: SensorKind) -> Self {
+        self.bits &= !(1 << kind.index());
+        self
+    }
+
+    /// This mask with `kind` marked available again.
+    pub fn with(mut self, kind: SensorKind) -> Self {
+        self.bits |= 1 << kind.index();
+        self
+    }
+
+    /// Number of available sensors.
+    pub fn available_count(&self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// Whether every sensor in `kinds` is available.
+    pub fn allows(&self, kinds: &[SensorKind]) -> bool {
+        kinds.iter().all(|k| self.is_available(*k))
+    }
+
+    /// Whether a sensor-usage bitmask (bit `i` = sensor `i` required)
+    /// only requires available sensors.
+    pub fn allows_bits(&self, required: u8) -> bool {
+        required & !self.bits == 0
+    }
+
+    /// The unavailable sensors, in canonical order.
+    pub fn unavailable(&self) -> Vec<SensorKind> {
+        SensorKind::ALL.into_iter().filter(|k| !self.is_available(*k)).collect()
+    }
+}
+
+impl Default for SensorMask {
+    fn default() -> Self {
+        SensorMask::all_available()
+    }
+}
+
+impl fmt::Display for SensorMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        write!(f, "[")?;
+        for k in SensorKind::ALL {
+            if self.is_available(k) {
+                if !first {
+                    write!(f, " ")?;
+                }
+                write!(f, "{}", k.abbrev())?;
+                first = false;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_all_available() {
+        let m = SensorMask::default();
+        assert!(m.is_all_available());
+        assert_eq!(m.available_count(), SensorKind::COUNT);
+        assert!(m.unavailable().is_empty());
+        assert!(m.allows(&SensorKind::ALL));
+    }
+
+    #[test]
+    fn without_and_with_roundtrip() {
+        let m = SensorMask::all_available().without(SensorKind::Radar);
+        assert!(!m.is_available(SensorKind::Radar));
+        assert_eq!(m.unavailable(), vec![SensorKind::Radar]);
+        assert!(m.with(SensorKind::Radar).is_all_available());
+    }
+
+    #[test]
+    fn allows_bits_matches_allows() {
+        let m = SensorMask::all_available()
+            .without(SensorKind::CameraLeft)
+            .without(SensorKind::CameraRight);
+        let cams = (1 << SensorKind::CameraLeft.index()) | (1 << SensorKind::CameraRight.index());
+        assert!(!m.allows_bits(cams as u8));
+        assert!(m.allows_bits(1 << SensorKind::Lidar.index()));
+        assert!(m.allows(&[SensorKind::Lidar, SensorKind::Radar]));
+    }
+
+    #[test]
+    fn from_bits_masks_high_bits() {
+        let m = SensorMask::from_bits(0xFF);
+        assert!(m.is_all_available());
+        assert_eq!(SensorMask::from_bits(0).available_count(), 0);
+    }
+
+    #[test]
+    fn display_lists_available() {
+        let m = SensorMask::all_available().without(SensorKind::CameraLeft);
+        assert_eq!(m.to_string(), "[C_R L R]");
+        assert_eq!(SensorMask::none_available().to_string(), "[]");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = SensorMask::all_available().without(SensorKind::Lidar);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: SensorMask = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn deserialize_normalizes_out_of_range_bits() {
+        let m: SensorMask = serde_json::from_str("{\"bits\":255}").unwrap();
+        assert!(m.is_all_available());
+        assert_eq!(m, SensorMask::all_available());
+        assert!(serde_json::from_str::<SensorMask>("{\"wrong\":1}").is_err());
+    }
+}

@@ -17,9 +17,48 @@ pub struct Observation {
 }
 
 impl Observation {
+    /// Assembles an observation from one pre-rendered grid per sensor (in
+    /// [`SensorKind::ALL`] order) — the constructor fault injectors and
+    /// custom pipelines use to rebuild an observation after mutating
+    /// grids.
+    ///
+    /// # Panics
+    /// Panics if the grids are not all square `(1, 1, g, g)` tensors of
+    /// the same side length.
+    pub fn from_grids(grids: [Tensor; 4]) -> Self {
+        let shape = grids[0].shape().to_vec();
+        assert_eq!(shape.len(), 4, "observation grids must be rank-4");
+        assert!(
+            shape[0] == 1 && shape[1] == 1 && shape[2] == shape[3],
+            "observation grids must be (1, 1, g, g), got {shape:?}"
+        );
+        for g in &grids[1..] {
+            assert_eq!(g.shape(), shape.as_slice(), "observation grids must share one shape");
+        }
+        Observation { grid_size: shape[3], grids }
+    }
+
     /// The observation grid of a sensor, shape `(1, 1, g, g)`.
     pub fn grid(&self, kind: SensorKind) -> &Tensor {
         &self.grids[kind.index()]
+    }
+
+    /// Mutable access to a sensor's grid (fault injection).
+    pub fn grid_mut(&mut self, kind: SensorKind) -> &mut Tensor {
+        &mut self.grids[kind.index()]
+    }
+
+    /// Replaces a sensor's grid.
+    ///
+    /// # Panics
+    /// Panics if the replacement's shape differs from the current grid.
+    pub fn set_grid(&mut self, kind: SensorKind, grid: Tensor) {
+        assert_eq!(
+            grid.shape(),
+            self.grids[kind.index()].shape(),
+            "replacement grid shape mismatch"
+        );
+        self.grids[kind.index()] = grid;
     }
 
     /// Grid side length.
@@ -149,5 +188,38 @@ mod tests {
     #[should_panic(expected = "grid too small")]
     fn tiny_grid_panics() {
         let _ = SensorSuite::new(4);
+    }
+
+    #[test]
+    fn from_grids_and_set_grid_roundtrip() {
+        let mut gen = ScenarioGenerator::new(10);
+        let scene = gen.scene(Context::City);
+        let suite = SensorSuite::new(16);
+        let obs = suite.observe(&scene, &mut Rng::new(11));
+        let rebuilt = Observation::from_grids([
+            obs.grid(SensorKind::CameraLeft).clone(),
+            obs.grid(SensorKind::CameraRight).clone(),
+            obs.grid(SensorKind::Lidar).clone(),
+            obs.grid(SensorKind::Radar).clone(),
+        ]);
+        assert_eq!(rebuilt.grid_size(), 16);
+        for kind in SensorKind::ALL {
+            assert_eq!(rebuilt.grid(kind), obs.grid(kind));
+        }
+        let mut patched = obs.clone();
+        patched.set_grid(SensorKind::Lidar, Tensor::zeros(&[1, 1, 16, 16]));
+        assert_eq!(patched.grid(SensorKind::Lidar).sum(), 0.0);
+        patched.grid_mut(SensorKind::Radar).data_mut()[0] = 9.0;
+        assert_eq!(patched.grid(SensorKind::Radar).data()[0], 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn set_grid_wrong_shape_panics() {
+        let mut gen = ScenarioGenerator::new(12);
+        let scene = gen.scene(Context::City);
+        let suite = SensorSuite::new(16);
+        let mut obs = suite.observe(&scene, &mut Rng::new(13));
+        obs.set_grid(SensorKind::Lidar, Tensor::zeros(&[1, 1, 8, 8]));
     }
 }

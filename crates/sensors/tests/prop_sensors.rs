@@ -1,0 +1,124 @@
+//! Property tests for sensor identity and the grid noise helpers.
+
+use ecofusion_sensors::grid::{add_blobs, add_salt_noise, blur_horizontal, clamp, empty_grid};
+use ecofusion_sensors::{SensorKind, SensorMask};
+use ecofusion_tensor::rng::Rng;
+use ecofusion_tensor::tensor::Tensor;
+use proptest::prelude::*;
+
+/// A grid with seeded uniform content in `[-1, 2]` (covers both clamp
+/// sides).
+fn seeded_grid(size: usize, seed: u64) -> Tensor {
+    let mut t = empty_grid(size);
+    let mut rng = Rng::new(seed);
+    for v in t.data_mut() {
+        *v = rng.uniform(-1.0, 2.0) as f32;
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // --- SensorKind: index/from_index bijection and abbrev uniqueness ---
+
+    #[test]
+    fn kind_index_roundtrip_is_bijective(i in 0usize..SensorKind::COUNT) {
+        let kind = SensorKind::from_index(i).expect("in range");
+        prop_assert_eq!(kind.index(), i);
+        // Injective: no other kind maps to the same index.
+        for other in SensorKind::ALL {
+            if other != kind {
+                prop_assert!(other.index() != i);
+            }
+        }
+    }
+
+    #[test]
+    fn kind_from_index_none_out_of_range(i in SensorKind::COUNT..1_000usize) {
+        prop_assert_eq!(SensorKind::from_index(i), None);
+    }
+
+    // --- SensorMask: bits round-trip ---
+
+    #[test]
+    fn mask_bits_roundtrip(bits in 0u8..16) {
+        let m = SensorMask::from_bits(bits);
+        prop_assert_eq!(m.bits(), bits);
+        prop_assert_eq!(m.available_count(), bits.count_ones() as usize);
+        for k in SensorKind::ALL {
+            prop_assert_eq!(m.is_available(k), bits & (1 << k.index()) != 0);
+        }
+    }
+
+    // --- grid.rs helpers ---
+
+    #[test]
+    fn salt_noise_same_seed_is_deterministic(
+        seed in 0u64..10_000,
+        rate in 0.0f64..0.5,
+        amp in 0.1f32..2.0,
+    ) {
+        let mut a = seeded_grid(16, seed);
+        let mut b = a.clone();
+        add_salt_noise(&mut a, rate, amp, &mut Rng::new(seed ^ 1));
+        add_salt_noise(&mut b, rate, amp, &mut Rng::new(seed ^ 1));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn blobs_same_seed_is_deterministic(
+        seed in 0u64..10_000,
+        count in 0usize..8,
+        size in 1usize..5,
+    ) {
+        let mut a = seeded_grid(16, seed);
+        let mut b = a.clone();
+        add_blobs(&mut a, count, size, 0.7, &mut Rng::new(seed ^ 2));
+        add_blobs(&mut b, count, size, 0.7, &mut Rng::new(seed ^ 2));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clamp_bounds_hold_after_salt_noise(
+        seed in 0u64..10_000,
+        rate in 0.0f64..0.8,
+        hi in 0.5f32..3.0,
+    ) {
+        let mut t = seeded_grid(16, seed);
+        add_salt_noise(&mut t, rate, 2.0, &mut Rng::new(seed ^ 3));
+        clamp(&mut t, hi);
+        for &v in t.data() {
+            prop_assert!((0.0..=hi).contains(&v), "{v} outside [0, {hi}]");
+        }
+    }
+
+    #[test]
+    fn clamp_bounds_hold_after_blobs(
+        seed in 0u64..10_000,
+        count in 0usize..10,
+        hi in 0.5f32..3.0,
+    ) {
+        let mut t = seeded_grid(16, seed);
+        add_blobs(&mut t, count, 3, 1.5, &mut Rng::new(seed ^ 4));
+        clamp(&mut t, hi);
+        for &v in t.data() {
+            prop_assert!((0.0..=hi).contains(&v), "{v} outside [0, {hi}]");
+        }
+    }
+
+    #[test]
+    fn blur_radius_zero_is_identity(seed in 0u64..10_000, size in 8usize..32) {
+        let t = seeded_grid(size, seed);
+        let blurred = blur_horizontal(&t, 0);
+        prop_assert_eq!(blurred, t);
+    }
+}
+
+#[test]
+fn abbrevs_are_unique_and_nonempty() {
+    let abbrevs: std::collections::BTreeSet<&str> =
+        SensorKind::ALL.iter().map(|k| k.abbrev()).collect();
+    assert_eq!(abbrevs.len(), SensorKind::COUNT, "abbreviations must be unique");
+    assert!(abbrevs.iter().all(|a| !a.is_empty()));
+}

@@ -85,11 +85,34 @@
 //! stream's accuracy/energy/latency telemetry aggregates into the same
 //! [`eval::EvalSummary`] the offline harness reports. See
 //! `examples/streaming_server.rs`.
+//!
+//! ## Sensor faults & fault-aware gating
+//!
+//! The [`faults`] crate makes sensor degradation a scriptable scenario
+//! axis. A [`faults::FaultSchedule`] describes per-sensor events (dropout,
+//! frozen frame, noise burst, growing calibration drift, context-tied
+//! weather attenuation) with onset, duration, and severity; a
+//! [`faults::FaultInjector`] applies them to the output of
+//! [`sensors::SensorSuite::observe`] — bit-identical passthrough when no
+//! event is active, seeded per-`(frame, event)` RNG streams when one is,
+//! so degraded runs are exactly as reproducible as clean ones. A
+//! [`faults::SensorHealthMonitor`] estimates per-sensor health online from
+//! grid statistics (energy/variance/frame-delta EWMAs) and summarizes
+//! failed sensors as a [`sensors::SensorMask`]. The mask rides in
+//! [`core::InferenceOptions`]: configurations that need a masked sensor
+//! are penalized out of Eq. 7–9 selection, and the knowledge gate walks
+//! per-context degraded fallback rules instead of its primary choice.
+//! [`runtime::VehicleStream::with_faults`] attaches schedules to served
+//! streams, per-lane monitors feed masks when
+//! [`runtime::StreamSpec::health_gating`] is on, and the
+//! `eval` robustness experiment sweeps the fault matrix clean vs.
+//! fault-blind vs. fault-aware. See `examples/fault_injection.rs`.
 
 pub use ecofusion_core as core;
 pub use ecofusion_detect as detect;
 pub use ecofusion_energy as energy;
 pub use ecofusion_eval as eval;
+pub use ecofusion_faults as faults;
 pub use ecofusion_gating as gating;
 pub use ecofusion_runtime as runtime;
 pub use ecofusion_scene as scene;
@@ -105,11 +128,14 @@ pub mod prelude {
     pub use ecofusion_detect::{BBox, Detection, WbfParams};
     pub use ecofusion_energy::{EnergyBreakdown, Joules, Millis, Px2Model, SensorPowerModel};
     pub use ecofusion_eval::{map_voc, EvalSummary};
+    pub use ecofusion_faults::{
+        FaultInjector, FaultKind, FaultSchedule, HealthState, SensorHealthMonitor,
+    };
     pub use ecofusion_gating::{AttentionGate, DeepGate, GateKind, KnowledgeGate, LossBasedGate};
     pub use ecofusion_runtime::{
         run_simulation, BackpressurePolicy, EnergyBudget, PerceptionServer, RuntimeConfig,
         RuntimeReport, StreamSpec, VehicleStream,
     };
     pub use ecofusion_scene::{Context, ObjectClass, ScenarioGenerator, Scene};
-    pub use ecofusion_sensors::{SensorKind, SensorSuite};
+    pub use ecofusion_sensors::{SensorKind, SensorMask, SensorSuite};
 }
