@@ -7,7 +7,8 @@ use ecofusion_core::{EcoFusionModel, Frame, InferenceOptions};
 use ecofusion_faults::{FaultInjector, FaultKind, FaultSchedule, SensorHealthMonitor};
 use ecofusion_gating::GateKind;
 use ecofusion_runtime::{PerceptionServer, RuntimeConfig, StreamSpec, VehicleStream};
-use ecofusion_sensors::SensorKind;
+use ecofusion_scene::Context;
+use ecofusion_sensors::{SensorKind, SensorMask};
 use ecofusion_tensor::rng::Rng;
 
 fn bench_static_configs(c: &mut Criterion) {
@@ -127,6 +128,98 @@ fn bench_multistream_runtime(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-stage wall-clock of the staged pipeline, plus the demand-driven
+/// stem rule's effect per context: the knowledge gate defers stems until
+/// after `Select`, so only the winner's stems execute. The setup prints
+/// (and asserts) stems-executed per context — the acceptance signal that
+/// pruned contexts run measurably fewer than four stems per frame.
+fn bench_stage_breakdown(c: &mut Criterion) {
+    let (mut model, data) = bench_fixture(12);
+    let frame = data.test()[0].clone();
+    let mut group = c.benchmark_group("stage_breakdown");
+
+    // Stems-skipped-per-context under the knowledge gate (City under
+    // camera dropout exercises the degraded fallback ladder).
+    let know = InferenceOptions::new(0.01, 0.5).with_gate(GateKind::Knowledge);
+    let no_cams = SensorMask::all_available()
+        .without(SensorKind::CameraLeft)
+        .without(SensorKind::CameraRight);
+    let mut gen = ecofusion_scene::ScenarioGenerator::new(21);
+    let suite = ecofusion_sensors::SensorSuite::new(model.grid());
+    let mut any_pruned = false;
+    for context in Context::ALL {
+        let scene = gen.scene(context);
+        let f = Frame { obs: suite.observe(&scene, &mut Rng::new(77)), scene };
+        let clean = model.infer(&f, &know).unwrap().stage_trace.stems_executed;
+        let degraded =
+            model.infer(&f, &know.with_health(no_cams)).unwrap().stage_trace.stems_executed;
+        eprintln!(
+            "stage_breakdown: {context:?}: {clean}/4 stems executed (knowledge), \
+             {degraded}/4 under camera dropout"
+        );
+        any_pruned |= clean < 4 || degraded < 4;
+    }
+    assert!(any_pruned, "demand-driven stems must prune at least one context below 4");
+
+    // Per-stage wall-clock on this machine.
+    let stem_grid = frame.obs.grid(SensorKind::Lidar).clone();
+    group.bench_function("stems_one_sensor", |bench| {
+        let stem = &mut model.stems_mut()[SensorKind::Lidar.index()];
+        bench.iter(|| black_box(ecofusion_tensor::layer::Layer::forward(stem, &stem_grid, false)));
+    });
+    let feats = model.stem_features(&frame.obs, false);
+    let gate_feats = EcoFusionModel::gate_features(&feats);
+    group.bench_function("gate_score_attention", |bench| {
+        let input = ecofusion_gating::GateInput::with_context(&gate_feats, frame.scene.context);
+        bench.iter(|| {
+            black_box(ecofusion_gating::Gate::predict(&mut model.gates_mut().attention, &input))
+        });
+    });
+    let opts = InferenceOptions::new(0.01, 0.5);
+    let predicted = vec![0.5f32; model.space().num_configs()];
+    let energies = model.space().energies(model.px2(), ecofusion_energy::StemPolicy::Adaptive);
+    group.bench_function("select", |bench| {
+        bench.iter(|| {
+            black_box(ecofusion_core::select_config(
+                &predicted,
+                &energies,
+                opts.lambda_e,
+                opts.gamma,
+                opts.rule,
+            ))
+        });
+    });
+    group.bench_function("branch_single_camera", |bench| {
+        bench.iter(|| black_box(model.run_branch(0, &feats, opts.score_thresh, opts.nms_iou)));
+    });
+    let branch_outs: Vec<Vec<ecofusion_detect::Detection>> =
+        (0..4).map(|b| model.run_branch(b, &feats, opts.score_thresh, opts.nms_iou)).collect();
+    group.bench_function("fuse_wbf_late4", |bench| {
+        bench.iter(|| black_box(model.fuse(&branch_outs)));
+    });
+    let late_specs = model.space().branch_specs(model.baseline_ids().late);
+    group.bench_function("account", |bench| {
+        bench.iter(|| {
+            black_box(ecofusion_core::pipeline::account(
+                model.px2(),
+                model.sensor_power(),
+                &late_specs,
+                ecofusion_energy::StemPolicy::Adaptive,
+            ))
+        });
+    });
+
+    // End to end: pruned knowledge inference vs the all-stems learned
+    // gate on the same frame.
+    group.bench_function("infer_knowledge_pruned", |bench| {
+        bench.iter(|| black_box(model.infer(&frame, &know).unwrap()));
+    });
+    group.bench_function("infer_attention_all_stems", |bench| {
+        bench.iter(|| black_box(model.infer(&frame, &opts).unwrap()));
+    });
+    group.finish();
+}
+
 /// Per-frame cost of the fault subsystem next to the inference it rides
 /// along with: injector passthrough (clean frame), injector with three
 /// active faults, and one health-monitor update. All three must be
@@ -171,6 +264,7 @@ criterion_group!(
     bench_stems_and_gate_features,
     bench_batched_inference,
     bench_multistream_runtime,
+    bench_stage_breakdown,
     bench_fault_pipeline
 );
 criterion_main!(benches);

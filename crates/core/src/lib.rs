@@ -26,6 +26,7 @@ pub mod dataset;
 pub mod knowledge;
 pub mod model;
 pub mod optimizer;
+pub mod pipeline;
 pub mod snapshot;
 pub mod temporal;
 pub mod trainer;
@@ -37,6 +38,7 @@ pub use model::{
     EcoFusionModel, GateSet, InferenceOptions, InferenceOutput, UNAVAILABLE_SENSOR_PENALTY,
 };
 pub use optimizer::{joint_loss, select_candidates, select_config, CandidateRule};
+pub use pipeline::{PipelinePlan, StemCacheRouter, StemFeatureCache, ALL_SENSOR_BITS};
 pub use snapshot::{ModelSnapshot, RestoreModelError};
 pub use temporal::{ClockGatingController, EpisodeEnergyReport, SensorSchedule};
 pub use trainer::{TrainConfig, TrainError, Trainer};

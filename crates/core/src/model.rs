@@ -4,10 +4,10 @@ use crate::config::{BaselineIds, ConfigId, ConfigSpace};
 use crate::optimizer::{select_config, CandidateRule};
 use ecofusion_detect::weighted_boxes_fusion;
 use ecofusion_detect::{fusion_loss, BranchConfig, BranchDetector, Detection, Stem, WbfParams};
-use ecofusion_energy::{EnergyBreakdown, Joules, Px2Model, SensorPowerModel, StemPolicy};
-use ecofusion_gating::{
-    AttentionGate, DeepGate, Gate, GateInput, GateKind, KnowledgeGate, LossBasedGate,
+use ecofusion_energy::{
+    EnergyBreakdown, Joules, Px2Model, SensorPowerModel, StageTrace, StemPolicy,
 };
+use ecofusion_gating::{AttentionGate, DeepGate, GateKind, KnowledgeGate, LossBasedGate};
 use ecofusion_scene::GtBox;
 use ecofusion_sensors::{Observation, SensorKind, SensorMask};
 use ecofusion_tensor::layer::Layer;
@@ -111,6 +111,9 @@ pub struct InferenceOutput {
     pub predicted_losses: Vec<f32>,
     /// Energy/latency breakdown of executing φ* (adaptive stem policy).
     pub energy: EnergyBreakdown,
+    /// Per-stage decomposition of `energy` (sums to its Eq. 11 totals)
+    /// plus the stem executions the demand-driven pipeline observed.
+    pub stage_trace: StageTrace,
 }
 
 impl InferenceOutput {
@@ -148,18 +151,18 @@ impl Error for InferError {}
 /// gates, the joint optimizer, and the WBF fusion block.
 #[derive(Debug)]
 pub struct EcoFusionModel {
-    stems: Vec<Stem>,
-    branches: Vec<BranchDetector>,
-    space: ConfigSpace,
-    gates: GateSet,
-    px2: Px2Model,
-    sensor_power: SensorPowerModel,
+    pub(crate) stems: Vec<Stem>,
+    pub(crate) branches: Vec<BranchDetector>,
+    pub(crate) space: ConfigSpace,
+    pub(crate) gates: GateSet,
+    pub(crate) px2: Px2Model,
+    pub(crate) sensor_power: SensorPowerModel,
     wbf: WbfParams,
     adaptive_energies: Vec<Joules>,
     /// Required-sensor bitmask per configuration (bit `i` = canonical
     /// sensor `i`), for fault-aware selection.
-    config_sensors: Vec<u8>,
-    grid: usize,
+    pub(crate) config_sensors: Vec<u8>,
+    pub(crate) grid: usize,
     num_classes: usize,
 }
 
@@ -269,7 +272,11 @@ impl EcoFusionModel {
     /// path both [`EcoFusionModel::infer`] and
     /// [`EcoFusionModel::infer_batch`] go through, so the two can never
     /// diverge on masking policy.
-    fn select_with_health(&self, predicted: &[f32], opts: &InferenceOptions) -> ConfigId {
+    pub(crate) fn select_with_health(
+        &self,
+        predicted: &[f32],
+        opts: &InferenceOptions,
+    ) -> ConfigId {
         let idx = if opts.health.is_all_available() {
             select_config(predicted, &self.adaptive_energies, opts.lambda_e, opts.gamma, opts.rule)
         } else {
@@ -451,12 +458,18 @@ impl EcoFusionModel {
             .collect();
         let fused = self.fuse(&outputs);
         let specs = self.space.branch_specs(config);
-        let breakdown =
-            EnergyBreakdown::compute(&self.px2, &self.sensor_power, &specs, StemPolicy::Static);
+        let (breakdown, _) =
+            crate::pipeline::account(&self.px2, &self.sensor_power, &specs, StemPolicy::Static);
         (fused, breakdown)
     }
 
     /// Algorithm 1: adaptive inference on one frame.
+    ///
+    /// A thin driver over the staged pipeline
+    /// ([`crate::pipeline`]): Sense → Stems → GateScore → Select →
+    /// Branch → Fuse → Account, with the Stems stage pruned to the
+    /// sensors the plan demands (feature-free gates defer stems until
+    /// after Select and run only the winner's).
     ///
     /// # Errors
     /// Returns [`InferError::GridMismatch`] if the frame was rendered at a
@@ -466,64 +479,23 @@ impl EcoFusionModel {
         frame: &Frame,
         opts: &InferenceOptions,
     ) -> Result<InferenceOutput, InferError> {
-        if frame.obs.grid_size() != self.grid {
-            return Err(InferError::GridMismatch {
-                expected: self.grid,
-                found: frame.obs.grid_size(),
-            });
-        }
-        // 1. Stems (always all four — the gate needs every modality).
-        let feats = self.stem_features(&frame.obs, false);
-        let gate_input_tensor = Self::gate_features(&feats);
-        // 2. Oracle losses if the loss-based gate is active (a posteriori:
-        //    runs every branch, as the paper's §4.2.4 defines).
-        let oracle: Option<Vec<f32>> = if opts.gate == GateKind::LossBased {
-            let dets = self.all_branch_detections(&feats, opts.score_thresh, opts.nms_iou);
-            Some(self.config_losses_from(&dets, &frame.gt_boxes()))
-        } else {
-            None
-        };
-        // 3. Gate: estimate L_f(Φ).
-        let input = GateInput {
-            features: &gate_input_tensor,
-            context: Some(frame.scene.context),
-            oracle_losses: oracle.as_deref(),
-            sensor_health: Some(opts.health),
-        };
-        let predicted = match opts.gate {
-            GateKind::Knowledge => self.gates.knowledge.predict(&input),
-            GateKind::Deep => self.gates.deep.predict(&input),
-            GateKind::Attention => self.gates.attention.predict(&input),
-            GateKind::LossBased => self.gates.loss_based.predict(&input),
-        };
-        // 4. Joint optimization (Eq. 7-9), with fault-aware masking.
-        let selected = self.select_with_health(&predicted, opts);
-        // 5. Execute the selected branches on the already-computed stems.
-        let ids = self.space.branch_ids(selected);
-        let outputs: Vec<Vec<Detection>> = ids
-            .iter()
-            .map(|b| self.run_branch(b.0, &feats, opts.score_thresh, opts.nms_iou))
-            .collect();
-        // 6. Fusion block.
-        let detections = self.fuse(&outputs);
-        let specs = self.space.branch_specs(selected);
-        let energy =
-            EnergyBreakdown::compute(&self.px2, &self.sensor_power, &specs, StemPolicy::Adaptive);
-        Ok(InferenceOutput {
-            detections,
-            selected_config: selected,
-            selected_label: self.space.label(selected),
-            predicted_losses: predicted,
-            energy,
-        })
+        // One staged executor serves both entry points: a single frame
+        // is a batch of one (stems are batch-invariant in eval mode, so
+        // the results are bit-identical — the golden traces pin it).
+        let mut outputs = self.run_staged_batch(std::slice::from_ref(frame), opts, None)?;
+        Ok(outputs.pop().expect("one output per frame"))
     }
 
     /// Algorithm 1 over a whole batch of frames, amortizing shared
-    /// compute: all four stems run once per sensor over the stacked batch,
-    /// learned gates score every frame in one network pass, and each
-    /// branch demanded by at least one frame executes once over exactly
-    /// the frames that selected it. Per-frame results are identical to
-    /// calling [`EcoFusionModel::infer`] sequentially.
+    /// compute: each demanded stem runs once per sensor over the stacked
+    /// batch, learned gates score every frame in one network pass, and
+    /// each branch demanded by at least one frame executes once over
+    /// exactly the frames that selected it. Per-frame results are
+    /// identical to calling [`EcoFusionModel::infer`] sequentially.
+    ///
+    /// A thin driver over the staged pipeline; see
+    /// [`EcoFusionModel::infer_batch_cached`] for the variant that also
+    /// reuses stem features across batches for unchanged grids.
     ///
     /// # Errors
     /// Returns [`InferError::GridMismatch`] if any frame was rendered at a
@@ -533,128 +505,7 @@ impl EcoFusionModel {
         frames: &[Frame],
         opts: &InferenceOptions,
     ) -> Result<Vec<InferenceOutput>, InferError> {
-        if frames.is_empty() {
-            return Ok(Vec::new());
-        }
-        for frame in frames {
-            if frame.obs.grid_size() != self.grid {
-                return Err(InferError::GridMismatch {
-                    expected: self.grid,
-                    found: frame.obs.grid_size(),
-                });
-            }
-        }
-        let n = frames.len();
-        // 1. Stems: one batched pass per sensor.
-        let observations: Vec<&Observation> = frames.iter().map(|f| &f.obs).collect();
-        let batch_feats = self.stem_features_batch(&observations);
-        let gate_batch = Self::gate_features(&batch_feats);
-        // 2. Oracle detections + losses if the loss-based gate is active
-        //    (kept: step 5 reuses them instead of re-running branches).
-        let oracle_dets: Option<Vec<Vec<Vec<Detection>>>> = (opts.gate == GateKind::LossBased)
-            .then(|| {
-                self.all_branch_detections_batch(&batch_feats, opts.score_thresh, opts.nms_iou)
-            });
-        let oracle: Option<Vec<Vec<f32>>> = oracle_dets.as_ref().map(|per_frame| {
-            frames
-                .iter()
-                .zip(per_frame)
-                .map(|(f, dets)| self.config_losses_from(dets, &f.gt_boxes()))
-                .collect()
-        });
-        // 3. Gate. None of the four built-in gates reads
-        //    `GateInput::features` on this path — learned gates run one
-        //    batched network pass over `gate_batch`, the knowledge gate
-        //    reads only `context`, the oracle only `oracle_losses` — so
-        //    the batch tensor serves as every frame's features view and no
-        //    per-frame copies are made.
-        let inputs: Vec<GateInput<'_>> = frames
-            .iter()
-            .enumerate()
-            .map(|(i, f)| GateInput {
-                features: &gate_batch,
-                context: Some(f.scene.context),
-                oracle_losses: oracle.as_ref().map(|o| o[i].as_slice()),
-                sensor_health: Some(opts.health),
-            })
-            .collect();
-        let predicted: Vec<Vec<f32>> = match opts.gate {
-            GateKind::Knowledge => self.gates.knowledge.predict_batch(&gate_batch, &inputs),
-            GateKind::Deep => self.gates.deep.predict_batch(&gate_batch, &inputs),
-            GateKind::Attention => self.gates.attention.predict_batch(&gate_batch, &inputs),
-            GateKind::LossBased => self.gates.loss_based.predict_batch(&gate_batch, &inputs),
-        };
-        drop(inputs);
-        // 4. Joint optimization per frame, then group frames by branch so
-        //    every branch the batch needs executes exactly once.
-        let selected: Vec<ConfigId> =
-            predicted.iter().map(|p| self.select_with_health(p, opts)).collect();
-        let n_branches = self.branches.len();
-        let mut demand: Vec<Vec<usize>> = vec![Vec::new(); n_branches];
-        for (i, sel) in selected.iter().enumerate() {
-            for b in self.space.branch_ids(*sel) {
-                demand[b.0].push(i);
-            }
-        }
-        // 5. Execute each demanded branch over the frames that need it —
-        //    unless the oracle already ran every branch on every frame.
-        let mut branch_dets: Vec<Vec<Option<Vec<Detection>>>> = vec![vec![None; n]; n_branches];
-        if let Some(per_frame) = oracle_dets {
-            for (i, frame_dets) in per_frame.into_iter().enumerate() {
-                for (b, dets) in frame_dets.into_iter().enumerate() {
-                    branch_dets[b][i] = Some(dets);
-                }
-            }
-        }
-        for (b, idxs) in demand.iter().enumerate() {
-            if idxs.is_empty() || branch_dets[b].iter().all(|d| d.is_some()) {
-                continue;
-            }
-            let dets = if idxs.len() == n {
-                self.run_branch_batch(b, &batch_feats, opts.score_thresh, opts.nms_iou)
-            } else {
-                let sub_feats: Vec<Tensor> = batch_feats
-                    .iter()
-                    .map(|f| {
-                        let rows: Vec<Tensor> = idxs.iter().map(|&i| f.select_batch(i)).collect();
-                        let refs: Vec<&Tensor> = rows.iter().collect();
-                        Tensor::stack_batch(&refs)
-                    })
-                    .collect();
-                self.run_branch_batch(b, &sub_feats, opts.score_thresh, opts.nms_iou)
-            };
-            for (slot, d) in idxs.iter().zip(dets) {
-                branch_dets[b][*slot] = Some(d);
-            }
-        }
-        // 6. Fusion block + energy accounting per frame.
-        let outputs = frames
-            .iter()
-            .enumerate()
-            .map(|(i, _)| {
-                let ids = self.space.branch_ids(selected[i]);
-                let outs: Vec<Vec<Detection>> = ids
-                    .iter()
-                    .map(|b| branch_dets[b.0][i].clone().expect("demanded branch executed"))
-                    .collect();
-                let detections = self.fuse(&outs);
-                let specs = self.space.branch_specs(selected[i]);
-                let energy = EnergyBreakdown::compute(
-                    &self.px2,
-                    &self.sensor_power,
-                    &specs,
-                    StemPolicy::Adaptive,
-                );
-                InferenceOutput {
-                    detections,
-                    selected_config: selected[i],
-                    selected_label: self.space.label(selected[i]),
-                    predicted_losses: predicted[i].clone(),
-                    energy,
-                }
-            })
-            .collect();
-        Ok(outputs)
+        self.run_staged_batch(frames, opts, None)
     }
 
     /// Applies `f` to every trainable parameter of stems and branches

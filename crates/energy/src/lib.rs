@@ -26,9 +26,11 @@
 pub mod px2;
 pub mod report;
 pub mod sensors;
+pub mod stage;
 pub mod units;
 
 pub use px2::{BranchSpec, Px2Model, StemPolicy};
 pub use report::EnergyBreakdown;
 pub use sensors::{SensorPowerModel, SensorSpec, SensorState};
+pub use stage::{StageCost, StageKind, StageTrace};
 pub use units::{Joules, Millis, Watts};

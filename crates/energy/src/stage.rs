@@ -1,0 +1,281 @@
+//! Per-stage decomposition of the Eq. 11 energy/latency accounting.
+//!
+//! The staged perception pipeline (`ecofusion-core`'s `pipeline` module)
+//! executes seven explicit stage units per frame. This module gives each
+//! stage its share of the calibrated cost model, such that the per-stage
+//! energies sum *exactly* to [`EnergyBreakdown::total_gated`] and the
+//! per-stage latencies to `EnergyBreakdown::latency` — the decomposition
+//! is an accounting view of the same Eq. 6/10/11 numbers, never a second
+//! model that could drift from the first.
+
+use crate::px2::{BranchSpec, Px2Model, StemPolicy};
+use crate::report::EnergyBreakdown;
+use crate::sensors::SensorPowerModel;
+use crate::units::{Joules, Millis};
+use ecofusion_sensors::SensorKind;
+use serde::{Deserialize, Serialize};
+
+/// The seven stage units of the staged perception pipeline, in execution
+/// order on the default path. Demand-driven execution may reorder
+/// `GateScore`/`Select` ahead of `Stems` (feature-free gates), but the
+/// accounting order is fixed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StageKind {
+    /// Sensor measurement: the Eq. 10 clock-gated sensor energy.
+    Sense,
+    /// Per-modality stem convolutions.
+    Stems,
+    /// Gate network / rule evaluation producing `L_f(Φ)` estimates.
+    GateScore,
+    /// Eq. 7–9 joint optimization picking φ*.
+    Select,
+    /// Execution of the selected branch ensemble.
+    Branch,
+    /// Weighted-boxes-fusion block.
+    Fuse,
+    /// Energy/latency accounting itself (charged zero by the model).
+    Account,
+}
+
+impl StageKind {
+    /// All stages in accounting order.
+    pub const ALL: [StageKind; 7] = [
+        StageKind::Sense,
+        StageKind::Stems,
+        StageKind::GateScore,
+        StageKind::Select,
+        StageKind::Branch,
+        StageKind::Fuse,
+        StageKind::Account,
+    ];
+
+    /// Number of stages.
+    pub const COUNT: usize = 7;
+
+    /// Position in [`StageKind::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            StageKind::Sense => 0,
+            StageKind::Stems => 1,
+            StageKind::GateScore => 2,
+            StageKind::Select => 3,
+            StageKind::Branch => 4,
+            StageKind::Fuse => 5,
+            StageKind::Account => 6,
+        }
+    }
+
+    /// Short label for tables and benches.
+    pub fn label(self) -> &'static str {
+        match self {
+            StageKind::Sense => "sense",
+            StageKind::Stems => "stems",
+            StageKind::GateScore => "gate",
+            StageKind::Select => "select",
+            StageKind::Branch => "branch",
+            StageKind::Fuse => "fuse",
+            StageKind::Account => "account",
+        }
+    }
+}
+
+/// Modeled energy/latency of one stage for one frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageCost {
+    /// Energy charged to the stage.
+    pub energy: Joules,
+    /// Latency charged to the stage.
+    pub latency: Millis,
+}
+
+/// Per-stage accounting of one inference, plus the stem-execution
+/// counters the demand-driven pipeline actually observed.
+///
+/// The modeled costs always describe the *charged* pipeline (Eq. 11 with
+/// the configured [`StemPolicy`]); the counters describe the *executed*
+/// one. Under the adaptive policy the model charges all four stems — the
+/// paper's compiled engine runs them unconditionally — so a pruned run
+/// shows `stems_executed < 4` next to an unchanged `Stems` charge: the
+/// compute saved on this host, without silently re-calibrating the PX2
+/// numbers the tables are pinned to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageTrace {
+    /// Modeled cost per stage, indexed by [`StageKind::index`].
+    pub costs: [StageCost; StageKind::COUNT],
+    /// Stems actually run on the host for this frame (0–4).
+    pub stems_executed: u8,
+    /// Stems served from a feature cache instead of running (0–4).
+    pub stems_cached: u8,
+    /// Stems neither run nor cached: pruned by the demand-driven plan.
+    pub stems_skipped: u8,
+}
+
+impl StageTrace {
+    /// Decomposes the Eq. 11 accounting of `branches` under `policy` into
+    /// per-stage costs. The counters default to the modeled stem count
+    /// (everything executed); the pipeline executor overwrites them with
+    /// what actually ran.
+    pub fn compute(
+        px2: &Px2Model,
+        sensors: &SensorPowerModel,
+        branches: &[BranchSpec],
+        policy: StemPolicy,
+    ) -> Self {
+        let active: Vec<SensorKind> = Px2Model::sensors_used(branches);
+        let stems = match policy {
+            StemPolicy::Static => branches.iter().map(|b| b.arity()).sum(),
+            StemPolicy::Adaptive => SensorKind::COUNT,
+        };
+        let stem_cost = StageCost {
+            energy: px2.stem_energy * stems as f64,
+            latency: match policy {
+                StemPolicy::Static => px2.stem_latency * stems as f64,
+                // All four stems run concurrently in the adaptive engine.
+                StemPolicy::Adaptive => px2.stem_latency,
+            },
+        };
+        let gate_cost = match policy {
+            StemPolicy::Static => StageCost::default(),
+            StemPolicy::Adaptive => StageCost { energy: px2.gate.0, latency: px2.gate.1 },
+        };
+        let branch_energy: Joules = branches.iter().map(|b| px2.branch_cost(b).0).sum();
+        let branch_sum: Millis = branches.iter().map(|b| px2.branch_cost(b).1).sum();
+        let branch_latency =
+            if branches.len() >= 2 { branch_sum * px2.ensemble_overlap } else { branch_sum };
+        let fuse_cost = if branches.len() >= 2 {
+            StageCost { energy: px2.fusion_block.0, latency: px2.fusion_block.1 }
+        } else {
+            StageCost::default()
+        };
+        let mut costs = [StageCost::default(); StageKind::COUNT];
+        costs[StageKind::Sense.index()] =
+            StageCost { energy: sensors.total_frame_energy(&active), latency: Millis::zero() };
+        costs[StageKind::Stems.index()] = stem_cost;
+        costs[StageKind::GateScore.index()] = gate_cost;
+        costs[StageKind::Branch.index()] =
+            StageCost { energy: branch_energy, latency: branch_latency };
+        costs[StageKind::Fuse.index()] = fuse_cost;
+        StageTrace {
+            costs,
+            stems_executed: stems.min(SensorKind::COUNT) as u8,
+            stems_cached: 0,
+            stems_skipped: 0,
+        }
+    }
+
+    /// The cost of one stage.
+    pub fn cost(&self, stage: StageKind) -> StageCost {
+        self.costs[stage.index()]
+    }
+
+    /// Sum of per-stage energies: equals
+    /// [`EnergyBreakdown::total_gated`] for the breakdown computed from
+    /// the same branches and policy.
+    pub fn total_energy(&self) -> Joules {
+        self.costs.iter().map(|c| c.energy).sum()
+    }
+
+    /// Sum of per-stage latencies: equals the breakdown's pipeline
+    /// latency.
+    pub fn total_latency(&self) -> Millis {
+        self.costs.iter().map(|c| c.latency).sum()
+    }
+
+    /// Same trace with the executor's observed stem counters.
+    pub fn with_stem_counts(mut self, executed: u8, cached: u8, skipped: u8) -> Self {
+        debug_assert!(
+            (executed + cached + skipped) as usize <= SensorKind::COUNT,
+            "stem counters exceed the sensor count"
+        );
+        self.stems_executed = executed;
+        self.stems_cached = cached;
+        self.stems_skipped = skipped;
+        self
+    }
+
+    /// Checks the decomposition against its breakdown (used by tests and
+    /// the `stage_profile` example).
+    pub fn matches(&self, breakdown: &EnergyBreakdown) -> bool {
+        (self.total_energy().joules() - breakdown.total_gated().joules()).abs() < 1e-9
+            && (self.total_latency().millis() - breakdown.latency.millis()).abs() < 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use SensorKind::{CameraLeft as CL, CameraRight as CR, Lidar as L, Radar as R};
+
+    fn configs() -> Vec<Vec<BranchSpec>> {
+        vec![
+            vec![BranchSpec::Single(CL)],
+            vec![BranchSpec::Single(R)],
+            vec![BranchSpec::Early(vec![CL, CR, L])],
+            vec![
+                BranchSpec::Single(CL),
+                BranchSpec::Single(CR),
+                BranchSpec::Single(L),
+                BranchSpec::Single(R),
+            ],
+            vec![BranchSpec::Early(vec![L, R]), BranchSpec::Single(CR)],
+        ]
+    }
+
+    #[test]
+    fn trace_sums_to_breakdown_for_both_policies() {
+        let px2 = Px2Model::default();
+        let sensors = SensorPowerModel::default();
+        for branches in configs() {
+            for policy in [StemPolicy::Static, StemPolicy::Adaptive] {
+                let breakdown = EnergyBreakdown::compute(&px2, &sensors, &branches, policy);
+                let trace = StageTrace::compute(&px2, &sensors, &branches, policy);
+                assert!(
+                    trace.matches(&breakdown),
+                    "{branches:?} {policy:?}: trace {} J / {} vs breakdown {} J / {}",
+                    trace.total_energy(),
+                    trace.total_latency(),
+                    breakdown.total_gated(),
+                    breakdown.latency
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_branch_has_no_fuse_cost() {
+        let trace = StageTrace::compute(
+            &Px2Model::default(),
+            &SensorPowerModel::default(),
+            &[BranchSpec::Single(L)],
+            StemPolicy::Adaptive,
+        );
+        assert_eq!(trace.cost(StageKind::Fuse), StageCost::default());
+        assert_eq!(trace.cost(StageKind::Select), StageCost::default());
+        assert!(trace.cost(StageKind::Branch).energy.joules() > 0.0);
+    }
+
+    #[test]
+    fn adaptive_charges_four_stems_regardless_of_counters() {
+        let px2 = Px2Model::default();
+        let trace = StageTrace::compute(
+            &px2,
+            &SensorPowerModel::default(),
+            &[BranchSpec::Early(vec![L, R])],
+            StemPolicy::Adaptive,
+        )
+        .with_stem_counts(2, 0, 2);
+        assert_eq!(trace.stems_executed, 2);
+        assert_eq!(trace.stems_skipped, 2);
+        // The charge stays at the compiled engine's four stems.
+        assert!((trace.cost(StageKind::Stems).energy.joules() - 0.088 * 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stage_indexing_is_consistent() {
+        for (i, s) in StageKind::ALL.into_iter().enumerate() {
+            assert_eq!(s.index(), i);
+            assert!(!s.label().is_empty());
+        }
+        assert_eq!(StageKind::COUNT, StageKind::ALL.len());
+    }
+}

@@ -89,6 +89,7 @@ pub fn candidate_rule(setup: &mut Setup) -> AblationResult {
                     detections: out.detections,
                     energy: out.energy,
                     config_label: out.selected_label,
+                    stage: Some(out.stage_trace),
                 }
             });
             rows.push(AblationRow {
@@ -145,7 +146,7 @@ pub fn fusion_block(setup: &mut Setup) -> AblationResult {
                 &specs,
                 ecofusion_energy::StemPolicy::Static,
             );
-            FrameOutcome { detections, energy, config_label: label.to_string() }
+            FrameOutcome { detections, energy, config_label: label.to_string(), stage: None }
         });
         rows.push(AblationRow {
             variant: label.to_string(),

@@ -96,7 +96,7 @@ pub fn static_summary(
     let label = model.space().label(config);
     evaluate_frames(frames, num_classes, |f| {
         let (detections, energy) = model.detect_static(f, config, &opts);
-        FrameOutcome { detections, energy, config_label: label.clone() }
+        FrameOutcome { detections, energy, config_label: label.clone(), stage: None }
     })
 }
 
@@ -116,6 +116,7 @@ pub fn adaptive_summary(
             detections: out.detections,
             energy: out.energy,
             config_label: out.selected_label,
+            stage: Some(out.stage_trace),
         }
     })
 }

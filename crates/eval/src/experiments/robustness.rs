@@ -258,6 +258,7 @@ fn run_cell(
             detections: out.detections,
             energy: out.energy,
             config_label: out.selected_label,
+            stage: Some(out.stage_trace),
         }
     });
     let blind = evaluate_frames(&degraded_refs, num_classes, |f| {
@@ -266,6 +267,7 @@ fn run_cell(
             detections: out.detections,
             energy: out.energy,
             config_label: out.selected_label,
+            stage: Some(out.stage_trace),
         }
     });
     let mut monitor = SensorHealthMonitor::default();
@@ -277,6 +279,7 @@ fn run_cell(
             detections: out.detections,
             energy: out.energy,
             config_label: out.selected_label,
+            stage: Some(out.stage_trace),
         }
     });
 

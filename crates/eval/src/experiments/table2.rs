@@ -18,6 +18,10 @@ pub struct Table2Row {
     pub avg_loss: f64,
     /// Average platform energy, Joules.
     pub energy_j: f64,
+    /// Mean stems actually executed per frame by the demand-driven
+    /// staged pipeline (4 for learned gates, fewer for feature-free
+    /// ones).
+    pub stems_per_frame: f64,
 }
 
 /// Table 2 result.
@@ -41,6 +45,7 @@ pub fn run(setup: &mut Setup) -> Table2Result {
                 map_pct: s.map_pct,
                 avg_loss: s.avg_loss,
                 energy_j: s.avg_energy_j,
+                stems_per_frame: s.avg_stems_executed,
             });
         }
     }
@@ -51,8 +56,14 @@ impl Table2Result {
     /// Renders the table in the paper's layout.
     pub fn print(&self) {
         println!("Table 2 — Gating Method Evaluation (gamma = 0.5)");
-        let mut t =
-            Table::new(&["lambda_E", "Gating Method", "mAP (%)", "Avg. Loss", "Energy (J)"]);
+        let mut t = Table::new(&[
+            "lambda_E",
+            "Gating Method",
+            "mAP (%)",
+            "Avg. Loss",
+            "Energy (J)",
+            "Stems/frame",
+        ]);
         for r in &self.rows {
             t.row(&[
                 format!("{}", r.lambda_e),
@@ -60,6 +71,7 @@ impl Table2Result {
                 format!("{:.2}%", r.map_pct),
                 format!("{:.3}", r.avg_loss),
                 format!("{:.3}", r.energy_j),
+                format!("{:.2}", r.stems_per_frame),
             ]);
         }
         println!("{t}");

@@ -3,7 +3,7 @@
 use crate::map::{map_voc, GtFrame};
 use ecofusion_core::Frame;
 use ecofusion_detect::{fusion_loss, Detection};
-use ecofusion_energy::EnergyBreakdown;
+use ecofusion_energy::{EnergyBreakdown, StageKind, StageTrace};
 use serde::Serialize;
 use std::collections::BTreeMap;
 
@@ -16,6 +16,9 @@ pub struct FrameOutcome {
     pub energy: EnergyBreakdown,
     /// Label of the executed configuration (for selection histograms).
     pub config_label: String,
+    /// Per-stage accounting, when the method ran the staged pipeline
+    /// (static baselines report `None`).
+    pub stage: Option<StageTrace>,
 }
 
 /// Aggregate metrics of one method over a frame set — the columns of the
@@ -32,6 +35,12 @@ pub struct EvalSummary {
     pub avg_latency_ms: f64,
     /// Mean platform + clock-gated sensor energy, Joules (Table 3).
     pub avg_total_gated_j: f64,
+    /// Mean stems executed per frame by the demand-driven pipeline
+    /// (0 when no frame reported a stage trace).
+    pub avg_stems_executed: f64,
+    /// Mean per-stage total (platform + gated sensor) energy, Joules, in
+    /// [`StageKind::ALL`] order; empty when no frame reported a trace.
+    pub stage_energy_j: Vec<f64>,
     /// Number of frames evaluated.
     pub frames: usize,
     /// How often each configuration was executed.
@@ -53,6 +62,9 @@ pub fn evaluate_frames(
     let mut energy_sum = 0.0f64;
     let mut latency_sum = 0.0f64;
     let mut total_gated_sum = 0.0f64;
+    let mut stems_sum = 0.0f64;
+    let mut stage_sums = [0.0f64; StageKind::COUNT];
+    let mut traced_frames = 0usize;
     let mut histogram: BTreeMap<String, usize> = BTreeMap::new();
     for frame in frames {
         let outcome = run(frame);
@@ -61,6 +73,13 @@ pub fn evaluate_frames(
         energy_sum += outcome.energy.platform.joules();
         latency_sum += outcome.energy.latency.millis();
         total_gated_sum += outcome.energy.total_gated().joules();
+        if let Some(trace) = &outcome.stage {
+            stems_sum += trace.stems_executed as f64;
+            for (sum, stage) in stage_sums.iter_mut().zip(StageKind::ALL) {
+                *sum += trace.cost(stage).energy.joules();
+            }
+            traced_frames += 1;
+        }
         *histogram.entry(outcome.config_label.clone()).or_default() += 1;
         dets_per_frame.push(outcome.detections);
         gt_frames.push(GtFrame { boxes: gts });
@@ -71,12 +90,19 @@ pub fn evaluate_frames(
     } else {
         map_voc(&dets_per_frame, &gt_frames, num_classes, 0.5) as f64
     };
+    let traced = traced_frames.max(1) as f64;
     EvalSummary {
         map_pct: map * 100.0,
         avg_loss: loss_sum / n,
         avg_energy_j: energy_sum / n,
         avg_latency_ms: latency_sum / n,
         avg_total_gated_j: total_gated_sum / n,
+        avg_stems_executed: stems_sum / traced,
+        stage_energy_j: if traced_frames == 0 {
+            Vec::new()
+        } else {
+            stage_sums.iter().map(|s| s / traced).collect()
+        },
         frames: frames.len(),
         config_histogram: histogram,
     }
@@ -106,7 +132,7 @@ mod tests {
         let label = model.space().label(late);
         let summary = evaluate_frames(&frames, 8, |f| {
             let (dets, energy) = model.detect_static(f, late, &opts);
-            FrameOutcome { detections: dets, energy, config_label: label.clone() }
+            FrameOutcome { detections: dets, energy, config_label: label.clone(), stage: None }
         });
         assert_eq!(summary.frames, data.test().len());
         assert!((summary.avg_energy_j - 3.798).abs() < 1e-6);

@@ -16,8 +16,9 @@
 //!                     grouped by identical InferenceOptions)
 //!                                 │
 //!                                 ▼
-//!                     EcoFusionModel::infer_batch  (one stem pass,
-//!                     one gate pass, branches grouped over frames)
+//!                     EcoFusionModel::infer_batch_cached  (demanded
+//!                     stems only + per-stream stem caches, one gate
+//!                     pass, branches grouped over frames)
 //!                                 │
 //!              ┌──────────────────┼──────────────────┐
 //!              ▼                  ▼                  ▼
@@ -38,9 +39,14 @@
 //! * [`PerceptionServer`] — the scheduler: each processing step pops
 //!   ready frames round-robin across streams, groups them by their
 //!   stream's current [`InferenceOptions`](ecofusion_core::InferenceOptions),
-//!   and feeds each group through one `infer_batch` call. Results are
+//!   and feeds each group through one batched staged-pipeline call, with
+//!   one [`StemFeatureCache`](ecofusion_core::StemFeatureCache) per
+//!   stream so unchanged grids (frozen-frame faults, static scenes)
+//!   reuse stem features instead of re-running convolutions. Results are
 //!   bit-identical to running per-stream sequential `infer` (guaranteed by
-//!   the batched path and asserted by this crate's tests).
+//!   the batched path and asserted by this crate's tests); stem
+//!   executions saved by demand-driven pruning and cache hits surface in
+//!   [`StreamReport`].
 //! * [`BudgetController`] — per-stream rolling energy accounting. When the
 //!   rolling mean total (platform + clock-gated sensor) energy exceeds the
 //!   stream's [`EnergyBudget`], the controller escalates along a

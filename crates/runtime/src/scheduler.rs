@@ -7,7 +7,7 @@ use crate::queue::{FrameQueue, IngestOutcome, QueuedFrame};
 use crate::stream::{StreamSpec, VehicleStream};
 use crate::telemetry::StreamTelemetry;
 use ecofusion_core::model::InferError;
-use ecofusion_core::{EcoFusionModel, Frame, InferenceOptions};
+use ecofusion_core::{EcoFusionModel, Frame, InferenceOptions, StemFeatureCache};
 use ecofusion_eval::EvalSummary;
 use ecofusion_faults::SensorHealthMonitor;
 use ecofusion_gating::GateKind;
@@ -105,6 +105,19 @@ pub struct StreamReport {
     pub degraded_frames: u64,
     /// Frames processed with at least one sensor masked out of gating.
     pub masked_frames: u64,
+    /// Stems the demand-driven pipeline actually ran for the stream.
+    pub stems_executed: u64,
+    /// Stems served from the stream's feature cache (frozen grids).
+    pub stems_cached: u64,
+    /// Stems pruned by the demand-driven plan (never run at all).
+    pub stems_skipped: u64,
+    /// Stem-cache lookups that found a matching grid.
+    pub stem_cache_hits: u64,
+    /// Stem-cache lookups that missed.
+    pub stem_cache_misses: u64,
+    /// Mean per-stage total energy per frame, Joules, in
+    /// `StageKind::ALL` order (empty before the first frame).
+    pub stage_energy_j: Vec<f64>,
     /// Health-state transitions (e.g. healthy → failed) over the run.
     pub health_transitions: u64,
     /// Per-sensor health scores at the end of the run, canonical order.
@@ -132,6 +145,11 @@ pub struct RuntimeReport {
     pub total_platform_j: f64,
     /// Sum of per-stream platform + gated sensor energy, Joules.
     pub total_gated_j: f64,
+    /// Stems executed across all streams.
+    pub total_stems_executed: u64,
+    /// Stems pruned or served from caches across all streams (the
+    /// compute the staged pipeline saved vs. always-run-four).
+    pub total_stems_saved: u64,
 }
 
 /// The multi-stream perception server.
@@ -164,6 +182,9 @@ pub struct RuntimeReport {
 pub struct PerceptionServer {
     model: EcoFusionModel,
     lanes: Vec<Lane>,
+    /// Per-stream stem-feature caches (parallel to `lanes`), kept out of
+    /// `Lane` so they can be borrowed alongside the model during a step.
+    stem_caches: Vec<StemFeatureCache>,
     cfg: RuntimeConfig,
     tick: u64,
     batches: u64,
@@ -185,6 +206,7 @@ impl PerceptionServer {
         PerceptionServer {
             model,
             lanes: specs.iter().map(Lane::new).collect(),
+            stem_caches: specs.iter().map(|_| StemFeatureCache::new()).collect(),
             cfg,
             tick: 0,
             batches: 0,
@@ -266,6 +288,11 @@ impl PerceptionServer {
         &self.lanes[stream].monitor
     }
 
+    /// The stem-feature cache of `stream`.
+    pub fn stem_cache(&self, stream: usize) -> &StemFeatureCache {
+        &self.stem_caches[stream]
+    }
+
     /// Runs one processing step: pops up to `max_batch` ready frames
     /// round-robin across streams (oldest first within each stream),
     /// groups them by their stream's current options, and feeds each group
@@ -305,7 +332,10 @@ impl PerceptionServer {
         }
         let processed = picked.len();
         for (opts, lanes, frames, waits) in self.group_by_options(picked) {
-            let outputs = self.model.infer_batch(&frames, &opts)?;
+            // Each frame consults its own stream's stem-feature cache, so
+            // frozen grids (faults, static scenes) skip the stem convs.
+            let outputs =
+                self.model.infer_batch_cached(&frames, &opts, &mut self.stem_caches, &lanes)?;
             self.batches += 1;
             self.batched_frames += outputs.len() as u64;
             for (((lane_idx, frame), output), wait) in
@@ -395,32 +425,42 @@ impl PerceptionServer {
             .lanes
             .iter()
             .enumerate()
-            .map(|(i, lane)| StreamReport {
-                stream: i,
-                summary: lane.telemetry.summary(self.cfg.num_classes),
-                dropped: lane.queue.dropped(),
-                // Producer stalls surface two ways: the simulation driver
-                // defers generation (record_stall), while direct ingest
-                // against a full stall-policy queue is rejected by the
-                // queue itself. The report covers both.
-                stalls: lane.stalls + lane.queue.rejected(),
-                queue_high_water: lane.queue.high_water(),
-                avg_queue_wait_ticks: lane.telemetry.avg_queue_wait_ticks(),
-                escalations: lane.controller.escalations(),
-                relaxations: lane.controller.relaxations(),
-                final_level: lane.controller.level(),
-                final_gate: lane.opts.gate,
-                final_lambda_e: lane.opts.lambda_e,
-                rolling_energy_j: lane.controller.rolling_mean_j(),
-                total_platform_j: lane.telemetry.platform_j(),
-                total_gated_j: lane.telemetry.total_gated_j(),
-                degraded_frames: lane.telemetry.degraded_frames(),
-                masked_frames: lane.telemetry.masked_frames(),
-                health_transitions: lane.monitor.transitions(),
-                final_health: lane.monitor.scores().to_vec(),
-                final_mask: lane.active_mask(),
-                health_gating: lane.health_gating,
-                rejected_malformed: lane.malformed,
+            .map(|(i, lane)| {
+                let summary = lane.telemetry.summary(self.cfg.num_classes);
+                let stage_energy_j = summary.stage_energy_j.clone();
+                StreamReport {
+                    stream: i,
+                    summary,
+                    dropped: lane.queue.dropped(),
+                    // Producer stalls surface two ways: the simulation driver
+                    // defers generation (record_stall), while direct ingest
+                    // against a full stall-policy queue is rejected by the
+                    // queue itself. The report covers both.
+                    stalls: lane.stalls + lane.queue.rejected(),
+                    queue_high_water: lane.queue.high_water(),
+                    avg_queue_wait_ticks: lane.telemetry.avg_queue_wait_ticks(),
+                    escalations: lane.controller.escalations(),
+                    relaxations: lane.controller.relaxations(),
+                    final_level: lane.controller.level(),
+                    final_gate: lane.opts.gate,
+                    final_lambda_e: lane.opts.lambda_e,
+                    rolling_energy_j: lane.controller.rolling_mean_j(),
+                    total_platform_j: lane.telemetry.platform_j(),
+                    total_gated_j: lane.telemetry.total_gated_j(),
+                    degraded_frames: lane.telemetry.degraded_frames(),
+                    masked_frames: lane.telemetry.masked_frames(),
+                    stems_executed: lane.telemetry.stems_executed(),
+                    stems_cached: lane.telemetry.stems_cached(),
+                    stems_skipped: lane.telemetry.stems_skipped(),
+                    stem_cache_hits: self.stem_caches[i].hits(),
+                    stem_cache_misses: self.stem_caches[i].misses(),
+                    stage_energy_j,
+                    health_transitions: lane.monitor.transitions(),
+                    final_health: lane.monitor.scores().to_vec(),
+                    final_mask: lane.active_mask(),
+                    health_gating: lane.health_gating,
+                    rejected_malformed: lane.malformed,
+                }
             })
             .collect();
         let frames: u64 = per_stream.iter().map(|s| s.summary.frames as u64).sum();
@@ -434,6 +474,8 @@ impl PerceptionServer {
             },
             total_platform_j: per_stream.iter().map(|s| s.total_platform_j).sum(),
             total_gated_j: per_stream.iter().map(|s| s.total_gated_j).sum(),
+            total_stems_executed: per_stream.iter().map(|s| s.stems_executed).sum(),
+            total_stems_saved: per_stream.iter().map(|s| s.stems_cached + s.stems_skipped).sum(),
             per_stream,
         }
     }

@@ -3,6 +3,7 @@
 
 use ecofusion_core::{ConfigId, InferenceOutput};
 use ecofusion_detect::{fusion_loss, Detection};
+use ecofusion_energy::StageKind;
 use ecofusion_eval::{map_voc, EvalSummary, GtFrame};
 use ecofusion_scene::GtBox;
 use std::collections::BTreeMap;
@@ -30,6 +31,11 @@ pub struct StreamTelemetry {
     gt_frames: Vec<GtFrame>,
     degraded_frames: u64,
     masked_frames: u64,
+    stems_executed: u64,
+    stems_cached: u64,
+    stems_skipped: u64,
+    stage_energy_j: [f64; StageKind::COUNT],
+    stage_latency_ms: [f64; StageKind::COUNT],
 }
 
 impl StreamTelemetry {
@@ -47,6 +53,14 @@ impl StreamTelemetry {
         self.latency_ms += output.energy.latency.millis();
         self.loss_sum += fusion_loss(&output.detections, &gts).total() as f64;
         self.queue_wait_ticks += wait_ticks;
+        let trace = &output.stage_trace;
+        self.stems_executed += trace.stems_executed as u64;
+        self.stems_cached += trace.stems_cached as u64;
+        self.stems_skipped += trace.stems_skipped as u64;
+        for (i, stage) in StageKind::ALL.into_iter().enumerate() {
+            self.stage_energy_j[i] += trace.cost(stage).energy.joules();
+            self.stage_latency_ms[i] += trace.cost(stage).latency.millis();
+        }
         *self.config_histogram.entry(output.selected_label.clone()).or_default() += 1;
         if self.dets_per_frame.len() >= HISTORY_CAP {
             // Drop the oldest half in one amortized move so unbounded
@@ -97,6 +111,33 @@ impl StreamTelemetry {
         self.masked_frames
     }
 
+    /// Total stems the demand-driven pipeline actually ran.
+    pub fn stems_executed(&self) -> u64 {
+        self.stems_executed
+    }
+
+    /// Total stems served from the stream's feature cache (or an
+    /// identical in-batch grid).
+    pub fn stems_cached(&self) -> u64 {
+        self.stems_cached
+    }
+
+    /// Total stems pruned by the demand-driven plan.
+    pub fn stems_skipped(&self) -> u64 {
+        self.stems_skipped
+    }
+
+    /// Total modeled per-stage energy, Joules, in [`StageKind::ALL`]
+    /// order (sums to the whole-run Eq. 11 total).
+    pub fn stage_energy_j(&self) -> &[f64; StageKind::COUNT] {
+        &self.stage_energy_j
+    }
+
+    /// Total modeled per-stage latency, ms, in [`StageKind::ALL`] order.
+    pub fn stage_latency_ms(&self) -> &[f64; StageKind::COUNT] {
+        &self.stage_latency_ms
+    }
+
     /// Frames recorded.
     pub fn frames(&self) -> u64 {
         self.frames
@@ -139,6 +180,12 @@ impl StreamTelemetry {
             avg_energy_j: self.platform_j / n,
             avg_latency_ms: self.latency_ms / n,
             avg_total_gated_j: self.total_gated_j / n,
+            avg_stems_executed: self.stems_executed as f64 / n,
+            stage_energy_j: if self.frames == 0 {
+                Vec::new()
+            } else {
+                self.stage_energy_j.iter().map(|s| s / n).collect()
+            },
             frames: self.frames as usize,
             config_histogram: self.config_histogram.clone(),
         }

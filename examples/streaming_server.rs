@@ -14,6 +14,7 @@
 //! cargo run --release --example streaming_server -- --smoke # CI smoke
 //! ```
 
+use ecofusion::faults::{FaultKind, FaultSchedule};
 use ecofusion::prelude::*;
 use ecofusion::tensor::rng::Rng;
 use std::time::Instant;
@@ -50,7 +51,26 @@ fn live_simulation(ticks: u64) -> Result<(), Box<dyn std::error::Error>> {
     let model = EcoFusionModel::new(GRID, 8, &mut Rng::new(77));
     let mut server =
         PerceptionServer::new(model, &specs, RuntimeConfig { max_batch: 8, num_classes: 8 });
-    let mut streams: Vec<VehicleStream> = specs.iter().map(|s| VehicleStream::new(*s)).collect();
+    // Stream 0 suffers a frozen-frame fault on every sensor: its grids
+    // stop changing, so the per-stream stem cache serves its features
+    // without re-running the stem convolutions.
+    let freeze_onset = 4u64;
+    let mut freeze = FaultSchedule::empty();
+    for sensor in SensorKind::ALL {
+        freeze = freeze.with_event(sensor, FaultKind::FrozenFrame, freeze_onset, u64::MAX, 1.0);
+    }
+    let mut streams: Vec<VehicleStream> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let stream = VehicleStream::new(*s);
+            if i == 0 {
+                stream.with_faults(freeze.clone())
+            } else {
+                stream
+            }
+        })
+        .collect();
     run_simulation(&mut server, &mut streams, ticks)?;
     let report = server.report();
 
@@ -66,13 +86,22 @@ fn live_simulation(ticks: u64) -> Result<(), Box<dyn std::error::Error>> {
         report.total_platform_j, report.total_gated_j
     );
     println!(
-        "{:<6} {:>6} {:>7} {:>9} {:>9} {:>7} {:>6} {:>6}  gate",
-        "stream", "frames", "mAP%", "J/frame", "budget", "escal.", "level", "drop"
+        "{:<6} {:>6} {:>7} {:>9} {:>9} {:>7} {:>6} {:>6} {:>10} {:>10}  gate",
+        "stream",
+        "frames",
+        "mAP%",
+        "J/frame",
+        "budget",
+        "escal.",
+        "level",
+        "drop",
+        "stems r/s",
+        "cache h/m"
     );
     for s in &report.per_stream {
         let budget = specs[s.stream].budget.target_j;
         println!(
-            "{:<6} {:>6} {:>7.1} {:>9.2} {:>9} {:>7} {:>6} {:>6}  {:?} λ={:.2}",
+            "{:<6} {:>6} {:>7.1} {:>9.2} {:>9} {:>7} {:>6} {:>6} {:>10} {:>10}  {:?} λ={:.2}",
             s.stream,
             s.summary.frames,
             s.summary.map_pct,
@@ -81,10 +110,29 @@ fn live_simulation(ticks: u64) -> Result<(), Box<dyn std::error::Error>> {
             s.escalations,
             s.final_level,
             s.dropped,
+            format!("{}/{}", s.stems_executed, s.stems_cached + s.stems_skipped),
+            format!("{}/{}", s.stem_cache_hits, s.stem_cache_misses),
             s.final_gate,
             s.final_lambda_e,
         );
     }
+    println!(
+        "stems: {} executed, {} saved (pruned or cache-served) across all streams",
+        report.total_stems_executed, report.total_stems_saved
+    );
+    // The staged-pipeline guarantees, asserted so the smoke run fails
+    // loudly if they regress: knowledge-gated streams prune stems, and
+    // the frozen stream's cache serves repeated grids.
+    assert!(
+        report.total_stems_saved > 0,
+        "knowledge-gated streams must skip stems via the demand-driven plan"
+    );
+    let frozen = &report.per_stream[0];
+    assert!(
+        frozen.stem_cache_hits > 0,
+        "frozen-frame stream should hit the stem cache ({} misses)",
+        frozen.stem_cache_misses
+    );
     println!();
     Ok(())
 }

@@ -55,10 +55,31 @@
 //!
 //! For throughput over many frames, prefer
 //! [`core::EcoFusionModel::infer_batch`] over per-frame
-//! [`core::EcoFusionModel::infer`]: stems run once per sensor over the
-//! stacked batch, learned gates score all frames in one pass, and each
-//! branch executes once over the frames that selected it, with per-frame
-//! results identical to the sequential path.
+//! [`core::EcoFusionModel::infer`]: each demanded stem runs once per
+//! sensor over the stacked batch, learned gates score all frames in one
+//! pass, and each branch executes once over the frames that selected it,
+//! with per-frame results identical to the sequential path.
+//!
+//! ## Staged pipeline
+//!
+//! Both entry points are thin drivers over an explicit stage graph
+//! ([`core::pipeline`]): Sense → Stems → GateScore → Select → Branch →
+//! Fuse → Account. A [`core::PipelinePlan`] prunes the Stems stage
+//! *before* execution: feature-free gates (knowledge, oracle) gate and
+//! select first and run only the winning configuration's stems — a City
+//! stream rerouted to `{E(L+R)}` runs 2 of 4, the budget ladder's
+//! emergency rung just 1 — while sensors a health mask rules out
+//! contribute zero-filled gate features and skip their stems. Every
+//! inference carries an [`energy::StageTrace`]: the Eq. 11 breakdown
+//! decomposed per stage (summing exactly to
+//! [`energy::EnergyBreakdown::total_gated`]) plus
+//! executed/cached/pruned stem counters, threaded through
+//! [`core::InferenceOutput`], the runtime's telemetry and reports, and
+//! [`eval::EvalSummary`]. The runtime additionally keeps one
+//! [`core::StemFeatureCache`] per stream
+//! ([`core::EcoFusionModel::infer_batch_cached`]), so frozen grids reuse
+//! stem features instead of re-running convolutions. See
+//! `examples/stage_profile.rs`.
 //!
 //! ## Streaming runtime
 //!
@@ -123,10 +144,12 @@ pub use ecofusion_tensor as tensor;
 pub mod prelude {
     pub use ecofusion_core::{
         BranchId, ConfigId, ConfigSpace, Dataset, DatasetSpec, EcoFusionModel, Frame,
-        InferenceOptions, TrainConfig, Trainer,
+        InferenceOptions, PipelinePlan, StemFeatureCache, TrainConfig, Trainer,
     };
     pub use ecofusion_detect::{BBox, Detection, WbfParams};
-    pub use ecofusion_energy::{EnergyBreakdown, Joules, Millis, Px2Model, SensorPowerModel};
+    pub use ecofusion_energy::{
+        EnergyBreakdown, Joules, Millis, Px2Model, SensorPowerModel, StageKind, StageTrace,
+    };
     pub use ecofusion_eval::{map_voc, EvalSummary};
     pub use ecofusion_faults::{
         FaultInjector, FaultKind, FaultSchedule, HealthState, SensorHealthMonitor,
