@@ -1,0 +1,261 @@
+//! Workload-suite bench reports and the perf/accuracy regression gate.
+//!
+//! ```text
+//! # Run every suite and write the machine-readable report:
+//! cargo run --release -p ecofusion-bench --bin bench_report -- --quick
+//!
+//! # Gate a fresh run against the committed baseline (exit 1 on drift):
+//! cargo run --release -p ecofusion-bench --bin bench_report -- compare
+//!
+//! # Refresh the committed baseline after a deliberate behavior change:
+//! cargo run --release -p ecofusion-bench --bin bench_report -- refresh-baseline
+//! ```
+//!
+//! Modes:
+//!
+//! * *(default)* — run the suites at `--quick` (default) or `--full`
+//!   scale, print a summary table, and write the `BenchReport` JSON to
+//!   `--out` (default `results/bench_report.json`).
+//! * `compare` — obtain a fresh report (run the suites, or load
+//!   `--report <path>` if given), load the baseline from `--baseline`
+//!   (default `baselines/bench_baseline.json`), and diff under the gate
+//!   tolerances. Exits nonzero on any violation. Bands are tunable:
+//!   `--map-band <pp>`, `--energy-band <frac>`, `--latency-band <frac>`.
+//! * `refresh-baseline` — run the suites and overwrite the baseline file.
+//!
+//! `--suite <name>` (repeatable) restricts a run to named suites —
+//! useful for debugging one workload, but note the committed baseline
+//! covers all five, so a restricted run will fail `compare` on the
+//! missing ones.
+
+use ecofusion_eval::experiments::common::Scale;
+use ecofusion_harness::{compare, run_report, BenchReport, Tolerances, DEFAULT_BASELINE_PATH};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Flags that consume the following argument as their value.
+const VALUE_FLAGS: &[&str] = &[
+    "--out",
+    "--baseline",
+    "--report",
+    "--suite",
+    "--map-band",
+    "--energy-band",
+    "--latency-band",
+];
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+/// The positional (non-flag, non-flag-value) arguments, wherever they
+/// appear. At most one is allowed — the mode — so a misplaced mode like
+/// `--quick compare` errors out instead of silently running the default
+/// mode with the gate never executed.
+fn positionals(args: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if VALUE_FLAGS.contains(&a.as_str()) {
+            i += 2;
+        } else if a.starts_with("--") {
+            i += 1;
+        } else {
+            out.push(a.clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+fn flag_values(args: &[String], flag: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        if a == flag {
+            if let Some(v) = args.get(i + 1) {
+                out.push(v.clone());
+            }
+        }
+    }
+    out
+}
+
+fn parse_f64(args: &[String], flag: &str, default: f64) -> f64 {
+    match flag_value(args, flag) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("error: {flag} expects a number, got `{v}`");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn print_table(report: &BenchReport) {
+    println!(
+        "backend {} | rev {} | scale {} | model {}",
+        report.build.backend, report.build.git_rev, report.build.scale, report.build.model
+    );
+    println!(
+        "{:<14} {:>7} {:>8} {:>11} {:>9} {:>9} {:>9} {:>13} {:>9} {:>10}",
+        "suite",
+        "frames",
+        "mAP(%)",
+        "gated (J)",
+        "p50 ms",
+        "p99 ms",
+        "stems",
+        "cache hit(%)",
+        "fps",
+        "digest"
+    );
+    for s in &report.suites {
+        println!(
+            "{:<14} {:>7} {:>8.3} {:>11.3} {:>9.2} {:>9.2} {:>9} {:>13.1} {:>9.1} {:>10}",
+            s.suite,
+            s.frames,
+            s.map_pct,
+            s.total_gated_j,
+            s.latency.p50_ms,
+            s.latency.p99_ms,
+            s.stems_executed,
+            s.cache_hit_rate * 100.0,
+            s.throughput_fps,
+            &s.determinism_digest[..8.min(s.determinism_digest.len())],
+        );
+        for f in &s.fleet {
+            println!(
+                "  └ fleet {:>2} streams: {:>5} frames, avg batch {:>4.2}, {:>8.1} fps",
+                f.streams, f.frames, f.avg_batch_size, f.throughput_fps
+            );
+        }
+    }
+}
+
+fn fresh_report(scale: Scale, args: &[String]) -> BenchReport {
+    let only = flag_values(args, "--suite");
+    // A typo here must not produce an empty report (or clobber the
+    // baseline) with exit 0.
+    for name in &only {
+        if ecofusion_harness::SuiteId::from_label(name).is_none() {
+            let known: Vec<&str> =
+                ecofusion_harness::SuiteId::ALL.iter().map(|id| id.label()).collect();
+            eprintln!("error: unknown suite `{name}` (known: {})", known.join(", "));
+            std::process::exit(2);
+        }
+    }
+    eprintln!("running workload suites ({scale:?})...");
+    match run_report(scale, &only) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: suite run failed: {e:?}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    let baseline_path = PathBuf::from(
+        flag_value(&args, "--baseline").unwrap_or_else(|| DEFAULT_BASELINE_PATH.to_string()),
+    );
+    // The mode is the single positional argument (flags may come before
+    // or after it); `bench_report --quick` runs the default report mode.
+    let modes = positionals(&args);
+    if modes.len() > 1 {
+        eprintln!("error: more than one mode given: {modes:?}");
+        return ExitCode::from(2);
+    }
+    let mode = modes.first().map(String::as_str);
+
+    match mode {
+        None => {
+            let out = PathBuf::from(
+                flag_value(&args, "--out").unwrap_or_else(|| "results/bench_report.json".into()),
+            );
+            let report = fresh_report(scale, &args);
+            print_table(&report);
+            if let Err(e) = report.write_json(&out) {
+                eprintln!("error: cannot write {}: {e}", out.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {}", out.display());
+            ExitCode::SUCCESS
+        }
+        Some("compare") => {
+            let tol = Tolerances {
+                map_drop_pct: parse_f64(&args, "--map-band", Tolerances::default().map_drop_pct),
+                energy_growth_frac: parse_f64(
+                    &args,
+                    "--energy-band",
+                    Tolerances::default().energy_growth_frac,
+                ),
+                latency_growth_frac: parse_f64(
+                    &args,
+                    "--latency-band",
+                    Tolerances::default().latency_growth_frac,
+                ),
+            };
+            let baseline = match BenchReport::load_json(&baseline_path) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!(
+                        "error: cannot load baseline {}: {e}\n\
+                         (generate one with `bench_report refresh-baseline`)",
+                        baseline_path.display()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            };
+            let fresh = match flag_value(&args, "--report") {
+                Some(path) => match BenchReport::load_json(&PathBuf::from(&path)) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("error: cannot load report {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => fresh_report(scale, &args),
+            };
+            let violations = compare(&baseline, &fresh, &tol);
+            if violations.is_empty() {
+                println!(
+                    "perf gate PASS: {} suites vs {} (map band {} pp, energy band {:.1}%, latency band {:.1}%)",
+                    baseline.suites.len(),
+                    baseline_path.display(),
+                    tol.map_drop_pct,
+                    tol.energy_growth_frac * 100.0,
+                    tol.latency_growth_frac * 100.0,
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("perf gate FAIL: {} violation(s)", violations.len());
+                for v in &violations {
+                    eprintln!("  {v}");
+                }
+                eprintln!(
+                    "if this drift is deliberate, refresh the baseline:\n\
+                       cargo run --release -p ecofusion-bench --bin bench_report -- refresh-baseline"
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Some("refresh-baseline") => {
+            let report = fresh_report(scale, &args);
+            print_table(&report);
+            if let Err(e) = report.write_json(&baseline_path) {
+                eprintln!("error: cannot write {}: {e}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("refreshed baseline {}", baseline_path.display());
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!(
+                "error: unknown mode `{other}` (expected no mode, `compare`, or `refresh-baseline`)"
+            );
+            ExitCode::from(2)
+        }
+    }
+}

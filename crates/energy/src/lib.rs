@@ -32,5 +32,5 @@ pub mod units;
 pub use px2::{BranchSpec, Px2Model, StemPolicy};
 pub use report::EnergyBreakdown;
 pub use sensors::{SensorPowerModel, SensorSpec, SensorState};
-pub use stage::{StageCost, StageKind, StageTrace};
+pub use stage::{StageCost, StageKind, StageRollup, StageTrace};
 pub use units::{Joules, Millis, Watts};

@@ -201,6 +201,43 @@ impl StageTrace {
     }
 }
 
+/// A labeled per-stage energy rollup: the report-facing view of
+/// accumulated [`StageTrace`] sums. Telemetry keeps per-stage totals as a
+/// bare `[f64; StageKind::COUNT]` indexed by [`StageKind::index`]; a
+/// machine-readable report wants them keyed by stage *name* so a reader
+/// (or a diff tool) never depends on the array order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageRollup {
+    /// Energy per stage, Joules, keyed by [`StageKind::label`].
+    pub per_stage_j: std::collections::BTreeMap<String, f64>,
+    /// Sum over all stages, Joules (equals the Eq. 11 gated total of the
+    /// runs the sums came from).
+    pub total_j: f64,
+}
+
+impl StageRollup {
+    /// Builds a rollup from per-stage sums in [`StageKind::ALL`] order
+    /// (the layout `StreamTelemetry` and `EvalSummary` carry).
+    ///
+    /// # Panics
+    /// Panics if `sums` does not have [`StageKind::COUNT`] entries.
+    pub fn from_sums(sums: &[f64]) -> Self {
+        assert_eq!(sums.len(), StageKind::COUNT, "need one sum per stage");
+        let per_stage_j: std::collections::BTreeMap<String, f64> = StageKind::ALL
+            .into_iter()
+            .zip(sums)
+            .map(|(stage, &j)| (stage.label().to_string(), j))
+            .collect();
+        StageRollup { total_j: sums.iter().sum(), per_stage_j }
+    }
+
+    /// The rolled-up energy of one stage, Joules (0 for a stage absent
+    /// from the map — e.g. a report written before a stage existed).
+    pub fn stage_j(&self, stage: StageKind) -> f64 {
+        self.per_stage_j.get(stage.label()).copied().unwrap_or(0.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,6 +305,23 @@ mod tests {
         assert_eq!(trace.stems_skipped, 2);
         // The charge stays at the compiled engine's four stems.
         assert!((trace.cost(StageKind::Stems).energy.joules() - 0.088 * 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rollup_keys_every_stage_and_sums() {
+        let sums = [0.25, 0.352, 0.01, 0.0, 3.0, 0.05, 0.0];
+        let r = StageRollup::from_sums(&sums);
+        assert_eq!(r.per_stage_j.len(), StageKind::COUNT);
+        for (i, stage) in StageKind::ALL.into_iter().enumerate() {
+            assert_eq!(r.stage_j(stage), sums[i]);
+        }
+        assert!((r.total_j - sums.iter().sum::<f64>()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one sum per stage")]
+    fn rollup_rejects_wrong_arity() {
+        let _ = StageRollup::from_sums(&[1.0, 2.0]);
     }
 
     #[test]

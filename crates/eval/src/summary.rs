@@ -4,7 +4,7 @@ use crate::map::{map_voc, GtFrame};
 use ecofusion_core::Frame;
 use ecofusion_detect::{fusion_loss, Detection};
 use ecofusion_energy::{EnergyBreakdown, StageKind, StageTrace};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One frame's outcome under some method.
@@ -23,7 +23,11 @@ pub struct FrameOutcome {
 
 /// Aggregate metrics of one method over a frame set — the columns of the
 /// paper's tables.
-#[derive(Debug, Clone, Serialize)]
+///
+/// `Deserialize` as well as `Serialize`: the bench-report harness embeds
+/// summaries in its machine-readable `BenchReport` JSON and reads them
+/// back in compare mode.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EvalSummary {
     /// VOC mAP at IoU ≥ 0.5, percent.
     pub map_pct: f64,
@@ -119,6 +123,31 @@ mod tests {
         let s = evaluate_frames(&[], 8, |_| unreachable!());
         assert_eq!(s.frames, 0);
         assert_eq!(s.map_pct, 0.0);
+    }
+
+    #[test]
+    fn summary_serde_roundtrip_is_lossless() {
+        let mut histogram = BTreeMap::new();
+        histogram.insert("E(C_L+C_R+L)".to_string(), 3usize);
+        histogram.insert("L(R)".to_string(), 1usize);
+        let s = EvalSummary {
+            map_pct: 41.25,
+            avg_loss: 1.5,
+            avg_energy_j: 3.798,
+            avg_latency_ms: 61.37,
+            avg_total_gated_j: 4.1,
+            avg_stems_executed: 2.75,
+            stage_energy_j: vec![0.25, 0.352, 0.01, 0.0, 3.0, 0.05, 0.0],
+            frames: 4,
+            config_histogram: histogram,
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: EvalSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.map_pct.to_bits(), s.map_pct.to_bits());
+        assert_eq!(back.avg_latency_ms.to_bits(), s.avg_latency_ms.to_bits());
+        assert_eq!(back.stage_energy_j, s.stage_energy_j);
+        assert_eq!(back.frames, s.frames);
+        assert_eq!(back.config_histogram, s.config_histogram);
     }
 
     #[test]

@@ -147,6 +147,57 @@ impl FaultSchedule {
         self.events.iter().any(|e| e.kind == FaultKind::FrozenFrame)
     }
 
+    /// A scripted "fault storm" covering `frames` frames of a stream: the
+    /// canonical stress timeline the workload-suite harness (and any
+    /// soak test) replays. Overlapping waves hit every sensor class —
+    ///
+    /// * a full camera dropout in the first third,
+    /// * a lidar frozen-frame run straddling the middle,
+    /// * a radar calibration drift across the middle half,
+    /// * a right-camera noise burst late in the run, and
+    /// * a short second camera-left dropout near the end (a relapse, so
+    ///   health recovery is exercised twice).
+    ///
+    /// Purely a function of `frames` — no RNG — so two storms over the
+    /// same horizon are identical, and the per-event noise that the
+    /// [`FaultInjector`](crate::FaultInjector) draws stays keyed on the
+    /// stream seed as usual. Horizons shorter than
+    /// [`FaultSchedule::MIN_STORM_FRAMES`] get a clipped but still
+    /// multi-kind storm.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ecofusion_faults::FaultSchedule;
+    /// let s = FaultSchedule::storm(60);
+    /// assert!(s.events().len() >= 5);
+    /// assert!(s.has_frozen());
+    /// assert_eq!(s, FaultSchedule::storm(60));
+    /// ```
+    pub fn storm(frames: u64) -> Self {
+        use crate::model::FaultKind;
+        let f = frames.max(Self::MIN_STORM_FRAMES);
+        let third = f / 3;
+        let sixth = f / 6;
+        FaultSchedule::empty()
+            .with_camera_dropout(sixth, third.max(2))
+            .with_frozen(SensorKind::Lidar, f / 2 - sixth / 2, sixth.max(2))
+            .with_event(SensorKind::Radar, FaultKind::CalibrationDrift, f / 4, f / 2, 0.5)
+            .with_event(
+                SensorKind::CameraRight,
+                FaultKind::NoiseBurst,
+                2 * third,
+                sixth.max(2),
+                0.8,
+            )
+            .with_dropout(SensorKind::CameraLeft, f - sixth, sixth.max(2))
+    }
+
+    /// Shortest horizon [`FaultSchedule::storm`] lays its waves over;
+    /// shorter requests are treated as this long (events past the end of
+    /// the actual run simply never fire).
+    pub const MIN_STORM_FRAMES: u64 = 12;
+
     /// Whether any frozen-frame event could still need the observation of
     /// `frame` as its capture source. Only the frame just before an
     /// event's onset (or frames inside its interval, for bookkeeping) can
@@ -218,6 +269,30 @@ mod tests {
         let at_start = FaultSchedule::empty().with_frozen(SensorKind::Radar, 0, 2);
         assert!(at_start.needs_frozen_capture(0));
         assert!(!at_start.needs_frozen_capture(2));
+    }
+
+    #[test]
+    fn storm_is_deterministic_and_multi_kind() {
+        for frames in [1, 12, 60, 200] {
+            let a = FaultSchedule::storm(frames);
+            assert_eq!(a, FaultSchedule::storm(frames));
+            let kinds: std::collections::BTreeSet<_> =
+                a.events().iter().map(|e| format!("{:?}", e.kind)).collect();
+            assert!(kinds.len() >= 4, "storm({frames}) only has kinds {kinds:?}");
+            let sensors: std::collections::BTreeSet<_> =
+                a.events().iter().map(|e| e.sensor).collect();
+            assert_eq!(sensors.len(), SensorKind::ALL.len(), "storm misses a sensor");
+            assert!(a.has_frozen());
+            // Every event fits a sane horizon and has positive duration.
+            for e in a.events() {
+                assert!(e.duration >= 2);
+            }
+        }
+        // Over a realistic horizon the storm actually fires: some frame
+        // has ≥ 2 concurrent events and some frame is clean.
+        let s = FaultSchedule::storm(60);
+        assert!((0..60).any(|fr| s.active_at(fr).count() >= 2));
+        assert!((0..60).any(|fr| !s.any_active_at(fr)));
     }
 
     #[test]

@@ -1,0 +1,70 @@
+//! Deterministic workload-suite harness and regression gate.
+//!
+//! EcoFusion's whole claim is a quantified trade-off curve — energy,
+//! latency, and mAP per gating strategy (Eq. 11, Table 2). This crate
+//! turns that curve into an *enforced invariant*: named, fully seeded
+//! workload suites run end to end through the real
+//! [`PerceptionServer`](ecofusion_runtime::PerceptionServer), emit one
+//! machine-readable [`BenchReport`] per run, and a compare mode diffs a
+//! fresh report against a committed baseline under per-metric tolerances
+//! so CI fails when behavior drifts or costs grow.
+//!
+//! ```text
+//!  SuiteId::ALL ──▶ plan(scale) ──▶ stream_specs() + FaultSchedule
+//!        │                               │
+//!        │                               ▼
+//!        │                   PerceptionServer (real runtime:
+//!        │                   queues, batching, budget ladder,
+//!        │                   health gating, stem caches)
+//!        │                               │
+//!        ▼                               ▼
+//!  run_report() ◀── SuiteAccum ◀── StreamTelemetry / RuntimeReport
+//!        │          (mAP, StageRollup, LatencyHistogram
+//!        │           percentiles, stem & cache counters,
+//!        ▼           FNV-1a selection digest)
+//!  BenchReport JSON ──▶ compare(baseline, fresh, Tolerances)
+//!                           │
+//!                           ▼
+//!              Vec<Violation> (empty = gate passes)
+//! ```
+//!
+//! ## The five suites
+//!
+//! | suite | exercises |
+//! |---|---|
+//! | `steady_city`   | steady-state serving, one City stream |
+//! | `context_churn` | drift walk across the whole RADIATE context mix |
+//! | `fault_storm`   | scripted dropout/frozen/drift/noise faults with health gating |
+//! | `budget_squeeze`| budget ladder driven to the emergency rung |
+//! | `fleet_scale`   | 1/4/16-stream fleets, cross-stream batching |
+//!
+//! ## Determinism contract
+//!
+//! Every suite is a pure function of its definition: stream seeds, drift
+//! walks, sensor noise, fault schedules, and the model weights are all
+//! seeded. The report splits metrics into deterministic fields (gated
+//! strictly or with explicit bands) and host-dependent wall-clock fields
+//! (recorded, never gated) — see [`compare`] for the exact rules.
+//!
+//! Run it via the `bench_report` binary:
+//!
+//! ```text
+//! cargo run --release -p ecofusion-bench --bin bench_report -- --quick
+//! cargo run --release -p ecofusion-bench --bin bench_report -- compare
+//! ```
+
+pub mod compare;
+pub mod report;
+pub mod run;
+pub mod suites;
+
+pub use compare::{compare, Tolerances, Violation};
+pub use report::{BenchReport, BuildMeta, FleetPoint, LatencyStats, SuiteReport, SCHEMA_VERSION};
+pub use run::{run_report, run_suite, ModelProvider};
+pub use suites::{
+    base_options, plan, stream_specs, SuiteId, SuitePlan, MODEL_SEED, SUITE_CLASSES, SUITE_GRID,
+};
+
+/// Default location of the committed baseline the CI perf gate compares
+/// against.
+pub const DEFAULT_BASELINE_PATH: &str = "baselines/bench_baseline.json";

@@ -1,0 +1,107 @@
+//! End-to-end regression-gate properties: a seeded suite re-run is
+//! report-identical, and a hand-edited baseline trips the gate.
+
+use ecofusion_eval::experiments::common::Scale;
+use ecofusion_harness::{compare, run_suite, ModelProvider, SuiteId, Tolerances};
+
+#[test]
+fn steady_city_quick_rerun_is_report_identical() {
+    let provider = ModelProvider::prepare(Scale::Quick);
+    let a = run_suite(&provider, SuiteId::SteadyCity, Scale::Quick).expect("first run");
+    let b = run_suite(&provider, SuiteId::SteadyCity, Scale::Quick).expect("second run");
+
+    // Every deterministic field is bit-equal across the re-run...
+    assert_eq!(a.frames, b.frames);
+    assert_eq!(a.determinism_digest, b.determinism_digest);
+    assert_eq!(a.map_pct.to_bits(), b.map_pct.to_bits());
+    assert_eq!(a.avg_loss.to_bits(), b.avg_loss.to_bits());
+    assert_eq!(a.total_platform_j.to_bits(), b.total_platform_j.to_bits());
+    assert_eq!(a.total_gated_j.to_bits(), b.total_gated_j.to_bits());
+    assert_eq!(a.stage_energy, b.stage_energy);
+    assert_eq!(a.latency.mean_ms.to_bits(), b.latency.mean_ms.to_bits());
+    assert_eq!(a.latency.p50_ms.to_bits(), b.latency.p50_ms.to_bits());
+    assert_eq!(a.latency.p95_ms.to_bits(), b.latency.p95_ms.to_bits());
+    assert_eq!(a.latency.p99_ms.to_bits(), b.latency.p99_ms.to_bits());
+    assert_eq!(
+        (a.stems_executed, a.stems_cached, a.stems_skipped),
+        (b.stems_executed, b.stems_cached, b.stems_skipped)
+    );
+    assert_eq!(a.config_histogram, b.config_histogram);
+    assert_eq!(a.contexts_visited, b.contexts_visited);
+
+    // ...which is exactly what compare() certifies: wrap the suites in
+    // reports and gate the re-run against the first run. Only the
+    // wall-clock fields may differ, and those are not gated.
+    let wrap = |suite| ecofusion_harness::BenchReport {
+        schema: ecofusion_harness::SCHEMA_VERSION,
+        build: ecofusion_harness::BuildMeta {
+            backend: "blocked".to_string(),
+            git_rev: "test".to_string(),
+            scale: "quick".to_string(),
+            model: provider.label().to_string(),
+            grid: ecofusion_harness::SUITE_GRID,
+            num_classes: ecofusion_harness::SUITE_CLASSES,
+        },
+        suites: vec![suite],
+    };
+    let (base, fresh) = (wrap(a), wrap(b));
+    let violations = compare(&base, &fresh, &Tolerances::default());
+    assert!(violations.is_empty(), "seeded re-run tripped the gate: {violations:?}");
+
+    // And the JSON round trip through the report file format is
+    // lossless, so a committed baseline carries the same bits.
+    let back = ecofusion_harness::BenchReport::from_json(&base.to_json()).expect("parses");
+    assert_eq!(back, base);
+}
+
+#[test]
+fn hand_edited_baseline_map_fails_the_gate() {
+    let provider = ModelProvider::prepare(Scale::Quick);
+    let suite = run_suite(&provider, SuiteId::SteadyCity, Scale::Quick).expect("run");
+    let report = ecofusion_harness::BenchReport {
+        schema: ecofusion_harness::SCHEMA_VERSION,
+        build: ecofusion_harness::BuildMeta {
+            backend: "blocked".to_string(),
+            git_rev: "test".to_string(),
+            scale: "quick".to_string(),
+            model: provider.label().to_string(),
+            grid: ecofusion_harness::SUITE_GRID,
+            num_classes: ecofusion_harness::SUITE_CLASSES,
+        },
+        suites: vec![suite],
+    };
+    // Simulate a baseline whose mAP was edited upward by hand: the
+    // honest fresh run must fail the accuracy gate with exactly that
+    // violation.
+    let mut tampered = report.clone();
+    tampered.suites[0].map_pct += 5.0;
+    let violations = compare(&tampered, &report, &Tolerances::default());
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert_eq!(violations[0].metric, "accuracy.map_pct");
+    assert_eq!(violations[0].suite, "steady_city");
+
+    // The honest direction still passes.
+    assert!(compare(&report, &report, &Tolerances::default()).is_empty());
+}
+
+#[test]
+fn budget_squeeze_reaches_the_emergency_rung() {
+    let provider = ModelProvider::prepare(Scale::Quick);
+    let suite = run_suite(&provider, SuiteId::BudgetSqueeze, Scale::Quick).expect("run");
+    // The ladder for the paper-default base options has 4 rungs; the
+    // squeeze must end pinned at the last (knowledge-gate emergency) one.
+    assert_eq!(suite.max_final_level, 3, "budget squeeze never hit the emergency rung");
+    assert!(suite.escalations >= 3);
+}
+
+#[test]
+fn context_churn_visits_every_radiate_context() {
+    let provider = ModelProvider::prepare(Scale::Quick);
+    let suite = run_suite(&provider, SuiteId::ContextChurn, Scale::Quick).expect("run");
+    assert_eq!(
+        suite.contexts_visited.len(),
+        ecofusion_scene::Context::ALL.len(),
+        "drift walk missed contexts: {:?}",
+        suite.contexts_visited
+    );
+}

@@ -1,0 +1,249 @@
+//! Fixed-bucket latency histogram.
+//!
+//! [`StreamTelemetry`](crate::StreamTelemetry) used to keep a running
+//! latency *mean* only, which hides exactly the behavior a serving system
+//! cares about: tail frames where the gate picked an expensive ensemble or
+//! the budget ladder had not yet escalated. This histogram records every
+//! per-frame modeled latency into fixed-width buckets so percentiles
+//! (p50/p95/p99) are available at report time in O(buckets), with bounded
+//! memory regardless of run length.
+//!
+//! Buckets are fixed (width [`BUCKET_WIDTH_MS`], [`NUM_BUCKETS`] of them,
+//! plus an overflow bucket) rather than adaptive, so two runs of the same
+//! workload produce bit-identical percentile estimates — a property the
+//! bench-report regression gate relies on. A percentile is reported as the
+//! *upper edge* of the bucket containing it: a deterministic, conservative
+//! (never under-reporting) estimate with error bounded by one bucket
+//! width.
+
+use serde::{Deserialize, Serialize};
+
+/// Width of one histogram bucket, milliseconds.
+pub const BUCKET_WIDTH_MS: f64 = 0.25;
+
+/// Number of regular buckets. Together with [`BUCKET_WIDTH_MS`] this
+/// covers [0, 256) ms — the PX2 cost model tops out around 70 ms/frame
+/// for the full four-branch ensemble, so real pipelines land well inside.
+pub const NUM_BUCKETS: usize = 1024;
+
+/// A fixed-bucket histogram of per-frame latencies.
+///
+/// # Example
+///
+/// ```
+/// use ecofusion_runtime::LatencyHistogram;
+/// let mut h = LatencyHistogram::new();
+/// for ms in 1..=100 {
+///     h.record(ms as f64);
+/// }
+/// assert_eq!(h.count(), 100);
+/// // Upper bucket edge of the sample at the 50th percentile.
+/// assert!((h.percentile(50.0) - 50.25).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// Bucket occupancy; index `NUM_BUCKETS` is the overflow bucket.
+    counts: Vec<u64>,
+    count: u64,
+    sum_ms: f64,
+    max_ms: f64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram { counts: vec![0; NUM_BUCKETS + 1], count: 0, sum_ms: 0.0, max_ms: 0.0 }
+    }
+
+    /// Records one latency sample. Negative or NaN samples clamp to the
+    /// first bucket; samples at or beyond the covered range — including
+    /// `+∞` from a broken cost model — land in the overflow bucket and
+    /// drive the tracked max (so tail percentiles report them honestly
+    /// instead of under-reporting). Only finite samples contribute to
+    /// the mean.
+    pub fn record(&mut self, ms: f64) {
+        // Float→usize casts saturate, so +∞ maps to the overflow bucket.
+        let idx = if ms > 0.0 { ((ms / BUCKET_WIDTH_MS) as usize).min(NUM_BUCKETS) } else { 0 };
+        self.counts[idx] += 1;
+        self.count += 1;
+        if ms.is_finite() {
+            self.sum_ms += ms;
+        }
+        if ms > self.max_ms {
+            self.max_ms = ms;
+        }
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the recorded samples (exact, not bucketed). Zero when
+    /// empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ms / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample (exact). Zero when empty.
+    pub fn max(&self) -> f64 {
+        self.max_ms
+    }
+
+    /// The `p`-th percentile (`p` in `[0, 100]`), reported as the upper
+    /// edge of the bucket holding the rank-`⌈p/100·n⌉` sample. The
+    /// overflow bucket reports the exact observed maximum. Zero when
+    /// empty.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                if idx == NUM_BUCKETS {
+                    return self.max_ms;
+                }
+                return (idx + 1) as f64 * BUCKET_WIDTH_MS;
+            }
+        }
+        self.max_ms
+    }
+
+    /// Folds another histogram into this one (for rolling per-stream
+    /// histograms into a suite- or fleet-level distribution).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ms += other.sum_ms;
+        if other.max_ms > self.max_ms {
+            self.max_ms = other.max_ms;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zeroed() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(50.0), 0.0);
+        assert_eq!(h.percentile(99.0), 0.0);
+    }
+
+    #[test]
+    fn percentiles_on_known_distribution() {
+        // 1..=100 ms, one sample each: the p-th percentile is the sample
+        // `p` itself; the histogram reports its bucket's upper edge.
+        let mut h = LatencyHistogram::new();
+        for ms in 1..=100 {
+            h.record(ms as f64);
+        }
+        assert_eq!(h.count(), 100);
+        assert!((h.mean() - 50.5).abs() < 1e-12);
+        assert!((h.percentile(50.0) - 50.25).abs() < 1e-12);
+        assert!((h.percentile(95.0) - 95.25).abs() < 1e-12);
+        assert!((h.percentile(99.0) - 99.25).abs() < 1e-12);
+        assert!((h.percentile(100.0) - 100.25).abs() < 1e-12);
+        // Bucketing error is bounded by one bucket width.
+        for p in [10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0] {
+            let exact = p; // value == percentile for this distribution
+            assert!((h.percentile(p) - exact).abs() <= BUCKET_WIDTH_MS + 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_sample_dominates_all_percentiles() {
+        let mut h = LatencyHistogram::new();
+        h.record(7.1);
+        for p in [1.0, 50.0, 99.0, 100.0] {
+            // 7.1 / 0.25 = 28.4 → bucket 28, upper edge 7.25.
+            assert!((h.percentile(p) - 7.25).abs() < 1e-12);
+        }
+        assert!((h.max() - 7.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overflow_bucket_reports_exact_max() {
+        let mut h = LatencyHistogram::new();
+        h.record(1.0);
+        h.record(10_000.0);
+        assert!((h.percentile(99.0) - 10_000.0).abs() < 1e-12);
+        assert!((h.max() - 10_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infinite_sample_surfaces_in_tail_not_floor() {
+        // A broken cost model emitting +inf must blow up the tail (so a
+        // regression gate fails), not hide in the first bucket.
+        let mut h = LatencyHistogram::new();
+        h.record(1.0);
+        h.record(f64::INFINITY);
+        assert!(h.percentile(99.0).is_infinite());
+        assert!(h.max().is_infinite());
+        // The mean stays finite: only finite samples contribute.
+        assert!(h.mean().is_finite());
+        // NaN still clamps to the floor without poisoning anything.
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 3);
+        assert!(h.mean().is_finite());
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut c = LatencyHistogram::new();
+        for ms in 1..=50 {
+            a.record(ms as f64);
+            c.record(ms as f64);
+        }
+        for ms in 51..=100 {
+            b.record(ms as f64);
+            c.record(ms as f64);
+        }
+        a.merge(&b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut h = LatencyHistogram::new();
+            for i in 0..1000u64 {
+                h.record((i % 97) as f64 * 0.33 + 0.5);
+            }
+            (h.percentile(50.0), h.percentile(95.0), h.percentile(99.0))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut h = LatencyHistogram::new();
+        for ms in [0.1, 5.0, 70.0, 400.0] {
+            h.record(ms);
+        }
+        let json = serde_json::to_string(&h).unwrap();
+        let back: LatencyHistogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h);
+    }
+}

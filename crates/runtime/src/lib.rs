@@ -68,13 +68,18 @@
 //!   broken producer cannot take down the server.
 
 pub mod budget;
+pub mod hist;
 pub mod queue;
 pub mod scheduler;
 pub mod stream;
 pub mod telemetry;
 
 pub use budget::{BudgetController, EnergyBudget, PolicyStep};
+pub use hist::LatencyHistogram;
 pub use queue::{BackpressurePolicy, FrameQueue, IngestOutcome};
-pub use scheduler::{run_simulation, PerceptionServer, RuntimeConfig, RuntimeReport, StreamReport};
+pub use scheduler::{
+    run_simulation, run_simulation_observed, PerceptionServer, RuntimeConfig, RuntimeReport,
+    StreamReport,
+};
 pub use stream::{StreamSpec, VehicleStream};
 pub use telemetry::StreamTelemetry;

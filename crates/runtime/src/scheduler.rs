@@ -84,6 +84,13 @@ pub struct StreamReport {
     pub queue_high_water: usize,
     /// Mean scheduler-tick queueing delay per processed frame.
     pub avg_queue_wait_ticks: f64,
+    /// Median per-frame modeled latency, ms (fixed-bucket histogram
+    /// upper edge; the mean stays in `summary.avg_latency_ms`).
+    pub latency_p50_ms: f64,
+    /// 95th-percentile per-frame modeled latency, ms.
+    pub latency_p95_ms: f64,
+    /// 99th-percentile per-frame modeled latency, ms.
+    pub latency_p99_ms: f64,
     /// Budget escalations (moves to a cheaper policy).
     pub escalations: u64,
     /// Budget relaxations (moves back toward the base policy).
@@ -439,6 +446,9 @@ impl PerceptionServer {
                     stalls: lane.stalls + lane.queue.rejected(),
                     queue_high_water: lane.queue.high_water(),
                     avg_queue_wait_ticks: lane.telemetry.avg_queue_wait_ticks(),
+                    latency_p50_ms: lane.telemetry.latency_percentile_ms(50.0),
+                    latency_p95_ms: lane.telemetry.latency_percentile_ms(95.0),
+                    latency_p99_ms: lane.telemetry.latency_percentile_ms(99.0),
                     escalations: lane.controller.escalations(),
                     relaxations: lane.controller.relaxations(),
                     final_level: lane.controller.level(),
@@ -497,6 +507,25 @@ pub fn run_simulation(
     streams: &mut [VehicleStream],
     ticks: u64,
 ) -> Result<(), InferError> {
+    run_simulation_observed(server, streams, ticks, |_| {})
+}
+
+/// [`run_simulation`] with a per-frame observer: `on_frame` sees every
+/// produced frame just before it is offered to the server (whether or not
+/// backpressure later drops it). The workload-suite harness uses this to
+/// record visited contexts without duplicating the scheduling loop.
+///
+/// # Errors
+/// Propagates [`InferError`] from the model.
+///
+/// # Panics
+/// Panics if `streams.len()` differs from the server's stream count.
+pub fn run_simulation_observed(
+    server: &mut PerceptionServer,
+    streams: &mut [VehicleStream],
+    ticks: u64,
+    mut on_frame: impl FnMut(&Frame),
+) -> Result<(), InferError> {
     assert_eq!(streams.len(), server.num_streams(), "stream/server mismatch");
     for tick in 0..ticks {
         for (i, stream) in streams.iter_mut().enumerate() {
@@ -509,7 +538,9 @@ pub fn run_simulation(
                 server.record_stall(i);
                 continue;
             }
-            server.ingest(i, stream.next_frame());
+            let frame = stream.next_frame();
+            on_frame(&frame);
+            server.ingest(i, frame);
         }
         server.process_step()?;
         server.advance_tick();

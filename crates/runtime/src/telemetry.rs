@@ -1,6 +1,7 @@
 //! Per-stream runtime telemetry, aggregated into the same
 //! [`EvalSummary`] the offline experiment harness reports.
 
+use crate::hist::LatencyHistogram;
 use ecofusion_core::{ConfigId, InferenceOutput};
 use ecofusion_detect::{fusion_loss, Detection};
 use ecofusion_energy::StageKind;
@@ -23,6 +24,7 @@ pub struct StreamTelemetry {
     platform_j: f64,
     total_gated_j: f64,
     latency_ms: f64,
+    latency_hist: LatencyHistogram,
     loss_sum: f64,
     queue_wait_ticks: u64,
     config_histogram: BTreeMap<String, usize>,
@@ -51,6 +53,7 @@ impl StreamTelemetry {
         self.platform_j += output.energy.platform.joules();
         self.total_gated_j += output.energy.total_gated().joules();
         self.latency_ms += output.energy.latency.millis();
+        self.latency_hist.record(output.energy.latency.millis());
         self.loss_sum += fusion_loss(&output.detections, &gts).total() as f64;
         self.queue_wait_ticks += wait_ticks;
         let trace = &output.stage_trace;
@@ -136,6 +139,18 @@ impl StreamTelemetry {
     /// Total modeled per-stage latency, ms, in [`StageKind::ALL`] order.
     pub fn stage_latency_ms(&self) -> &[f64; StageKind::COUNT] {
         &self.stage_latency_ms
+    }
+
+    /// Fixed-bucket histogram of per-frame modeled latency (every
+    /// recorded frame, not just the retained mAP window).
+    pub fn latency_histogram(&self) -> &LatencyHistogram {
+        &self.latency_hist
+    }
+
+    /// The `p`-th percentile of per-frame modeled latency, ms (upper
+    /// bucket edge; see [`LatencyHistogram::percentile`]).
+    pub fn latency_percentile_ms(&self, p: f64) -> f64 {
+        self.latency_hist.percentile(p)
     }
 
     /// Frames recorded.
@@ -227,6 +242,13 @@ mod tests {
         assert!((s.avg_energy_j - manual_platform / 3.0).abs() < 1e-12);
         assert_eq!(s.config_histogram.values().sum::<usize>(), 3);
         assert!(s.avg_total_gated_j >= s.avg_energy_j);
+        // The histogram sees every frame; its exact mean matches the
+        // summary's running mean and its percentiles bracket it.
+        assert_eq!(t.latency_histogram().count(), 3);
+        assert!((t.latency_histogram().mean() - s.avg_latency_ms).abs() < 1e-9);
+        let p50 = t.latency_percentile_ms(50.0);
+        let p99 = t.latency_percentile_ms(99.0);
+        assert!(p50 > 0.0 && p99 >= p50);
         Ok(())
     }
 

@@ -8,7 +8,8 @@
 //!   process between the `Blocked` default and the `Reference` oracle.
 //!
 //! ```text
-//! cargo run --release --example batched_inference
+//! cargo run --release --example batched_inference            # demo scale
+//! cargo run --release --example batched_inference -- --smoke  # CI smoke
 //! ```
 
 use ecofusion::prelude::*;
@@ -16,8 +17,16 @@ use ecofusion::tensor::backend::{self, BackendKind};
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let dataset = Dataset::generate(&DatasetSpec::small(42));
-    let mut trainer = Trainer::new(TrainConfig::fast_demo(), 42);
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut spec = DatasetSpec::small(42);
+    let mut config = TrainConfig::fast_demo();
+    if smoke {
+        spec.num_scenes = 24;
+        config.branch_epochs = 1;
+        config.gate_epochs = 1;
+    }
+    let dataset = Dataset::generate(&spec);
+    let mut trainer = Trainer::new(config, 42);
     let mut model = trainer.train(&dataset)?;
     let frames: Vec<Frame> = dataset.test().to_vec();
     let opts = InferenceOptions::new(0.01, 0.5);

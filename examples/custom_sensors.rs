@@ -4,7 +4,9 @@
 //! its own pipeline.
 //!
 //! ```text
-//! cargo run --example custom_sensors
+//! cargo run --example custom_sensors            # full output
+//! cargo run --example custom_sensors -- --smoke  # CI smoke (same run,
+//!                                                # already instant)
 //! ```
 
 use ecofusion::detect::{weighted_boxes_fusion, BBox, Detection};
@@ -13,6 +15,9 @@ use ecofusion::scene::{ObjectClass, SceneObject};
 use ecofusion::tensor::rng::Rng;
 
 fn main() {
+    // No training and no sweep here: --smoke runs the identical (already
+    // instant) workload, and the asserts below give CI something to fail.
+    let _smoke = std::env::args().any(|a| a == "--smoke");
     // 1. Author a scene by hand instead of sampling one.
     let mut scene = Scene::empty(Context::Fog, 0);
     scene.objects.push(SceneObject::new(ObjectClass::Car, -3.0, 12.0));
@@ -40,6 +45,8 @@ fn main() {
     let camera_guess = vec![Detection::new(BBox::new(10.0, 20.0, 16.0, 28.0), 0, 0.4)];
     let radar_guess = vec![Detection::new(BBox::new(10.5, 20.5, 16.5, 28.5), 0, 0.7)];
     let fused = weighted_boxes_fusion(&[camera_guess, radar_guess], &WbfParams::default(), 2);
+    assert_eq!(fused.len(), 1, "overlapping same-class boxes must fuse to one");
+    assert!(fused[0].score >= 0.4, "WBF may not discard the confident radar hit");
     println!(
         "\nWBF fused {} detection(s); top box ({:.1}, {:.1})-({:.1}, {:.1}) score {:.2}",
         fused.len(),

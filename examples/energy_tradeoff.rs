@@ -3,23 +3,36 @@
 //! trades loss for energy along a Pareto-like frontier.
 //!
 //! ```text
-//! cargo run --release --example energy_tradeoff
+//! cargo run --release --example energy_tradeoff            # demo scale
+//! cargo run --release --example energy_tradeoff -- --smoke  # CI smoke
 //! ```
 
 use ecofusion::detect::fusion_loss;
 use ecofusion::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let dataset = Dataset::generate(&DatasetSpec::small(21));
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut spec = DatasetSpec::small(21);
+    if smoke {
+        spec.num_scenes = 24;
+    }
+    let dataset = Dataset::generate(&spec);
     let mut config = TrainConfig::fast_demo();
     config.verbose = true;
+    if smoke {
+        config.branch_epochs = 1;
+        config.gate_epochs = 1;
+    }
     let mut model = Trainer::new(config, 21).train(&dataset)?;
 
     println!(
         "{:>8} | {:>10} | {:>10} | {:>12}",
         "lambda_E", "avg loss", "energy (J)", "latency (ms)"
     );
-    for lambda in [0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0] {
+    let sweep: &[f64] =
+        if smoke { &[0.0, 0.05, 1.0] } else { &[0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0] };
+    let mut energies = Vec::new();
+    for &lambda in sweep {
         let opts = InferenceOptions::new(lambda, 0.5).with_gate(GateKind::Attention);
         let mut loss = 0.0f64;
         let mut energy = 0.0f64;
@@ -31,6 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             latency += out.energy.latency.millis();
         }
         let n = dataset.test().len() as f64;
+        energies.push(energy / n);
         println!(
             "{:>8} | {:>10.3} | {:>10.3} | {:>12.2}",
             lambda,
@@ -39,6 +53,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             latency / n
         );
     }
+    // The dial must actually trade: the energy-only end of the sweep may
+    // not spend more than the performance-only end.
+    assert!(
+        energies.last().unwrap() <= energies.first().unwrap(),
+        "lambda_E = 1 spent more energy than lambda_E = 0"
+    );
     println!("\nRaising lambda_E buys energy with (bounded, via gamma) loss increase —");
     println!("the dial a deployment tunes to its battery and safety budget.");
     Ok(())

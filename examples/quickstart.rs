@@ -1,15 +1,20 @@
 //! Quickstart: generate data, train EcoFusion, run adaptive inference.
 //!
 //! ```text
-//! cargo run --release --example quickstart
+//! cargo run --release --example quickstart           # demo scale
+//! cargo run --release --example quickstart -- --smoke # CI smoke
 //! ```
 
 use ecofusion::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     // 1. A small synthetic RADIATE-like dataset (70:30 split), fully
     //    deterministic in the seed.
-    let spec = DatasetSpec::small(42);
+    let mut spec = DatasetSpec::small(42);
+    if smoke {
+        spec.num_scenes = 24;
+    }
     let dataset = Dataset::generate(&spec);
     println!(
         "dataset: {} train / {} test frames at {}x{} px",
@@ -20,9 +25,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 2. Train the stems + branches, then the gates (a couple of minutes
-    //    of CPU at this demo scale).
+    //    of CPU at this demo scale; seconds under --smoke).
     let mut config = TrainConfig::fast_demo();
     config.verbose = true;
+    if smoke {
+        config.branch_epochs = 1;
+        config.gate_epochs = 1;
+    }
     let mut trainer = Trainer::new(config, 42);
     let mut model = trainer.train(&dataset)?;
 

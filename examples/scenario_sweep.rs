@@ -2,7 +2,8 @@
 //! (the workload behind the paper's Fig. 5).
 //!
 //! ```text
-//! cargo run --release --example scenario_sweep
+//! cargo run --release --example scenario_sweep            # demo scale
+//! cargo run --release --example scenario_sweep -- --smoke  # CI smoke
 //! ```
 
 use ecofusion::core::{Dataset, DatasetMix, DatasetSpec};
@@ -10,9 +11,18 @@ use ecofusion::detect::fusion_loss;
 use ecofusion::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let dataset = Dataset::generate(&DatasetSpec::small(7));
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut spec = DatasetSpec::small(7);
+    if smoke {
+        spec.num_scenes = 24;
+    }
+    let dataset = Dataset::generate(&spec);
     let mut config = TrainConfig::fast_demo();
     config.verbose = true;
+    if smoke {
+        config.branch_epochs = 1;
+        config.gate_epochs = 1;
+    }
     let mut model = Trainer::new(config, 7).train(&dataset)?;
     let opts = InferenceOptions::new(0.01, 0.5);
     let b = model.baseline_ids();
@@ -21,12 +31,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<6} | {:>12} | {:>12} | {:>12} | {:>18}",
         "scene", "none (radar)", "early", "late", "ecofusion (attn)"
     );
-    for (ci, context) in Context::ALL.into_iter().enumerate() {
+    let contexts: &[Context] = if smoke {
+        &[Context::City, Context::Fog] // one clear + one adverse context
+    } else {
+        &Context::ALL
+    };
+    for (ci, context) in contexts.iter().copied().enumerate() {
         // A fresh evaluation set per context, disjoint from training.
         let eval = Dataset::generate(&DatasetSpec {
             seed: 1000 + ci as u64,
             grid: dataset.grid(),
-            num_scenes: 12,
+            num_scenes: if smoke { 6 } else { 12 },
             train_fraction: 0.5,
             mix: DatasetMix::Single(context),
         });
