@@ -104,27 +104,34 @@ fn bench_multistream_runtime(c: &mut Criterion) {
             }
         });
     });
-    group.bench_function("cross_stream_batched", |bench| {
-        let model = EcoFusionModel::new(32, 8, &mut Rng::new(4));
-        let mut server = PerceptionServer::new(
-            model,
-            &specs,
-            RuntimeConfig { max_batch: STREAMS as usize, num_classes: 8 },
-        );
-        bench.iter(|| {
-            // Ingest one frame per stream per tick, process, repeat — the
-            // live scheduler's steady state (telemetry accounting is part
-            // of serving and stays in the measurement).
-            for round in 0..FRAMES_PER_STREAM {
-                for (i, stream_frames) in frames.iter().enumerate() {
-                    server.ingest(i, stream_frames[round].clone());
-                }
-                server.process_step().unwrap();
-                server.advance_tick();
+    // One shard (pinned — the single-core batching claim) and one shard
+    // per hardware-ish core: on a multi-core host the sharded row shows
+    // the worker fan-out, on a single-core box it shows its overhead.
+    for shards in [1usize, 4] {
+        group.bench_function(format!("cross_stream_batched_{shards}_shard"), |bench| {
+            let model = EcoFusionModel::new(32, 8, &mut Rng::new(4));
+            let cfg = RuntimeConfig {
+                max_batch: STREAMS as usize,
+                num_classes: 8,
+                ..RuntimeConfig::default()
             }
-            black_box(server.drain().unwrap());
+            .with_shards(shards);
+            let mut server = PerceptionServer::new(model, &specs, cfg);
+            bench.iter(|| {
+                // Ingest one frame per stream per tick, process, repeat —
+                // the live scheduler's steady state (telemetry accounting
+                // is part of serving and stays in the measurement).
+                for round in 0..FRAMES_PER_STREAM {
+                    for (i, stream_frames) in frames.iter().enumerate() {
+                        server.ingest(i, stream_frames[round].clone());
+                    }
+                    server.process_step().unwrap();
+                    server.advance_tick();
+                }
+                black_box(server.drain().unwrap());
+            });
         });
-    });
+    }
     group.finish();
 }
 

@@ -523,6 +523,16 @@ impl EcoFusionModel {
     }
 }
 
+/// The sharded runtime moves model replicas into scoped worker threads;
+/// this holds because `Layer: Send` is a supertrait and every other field
+/// is plain owned data. A compile error here means a non-`Send` layer or
+/// cache snuck into the model.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<EcoFusionModel>();
+    assert_send::<crate::snapshot::ModelSnapshot>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -298,6 +298,7 @@ mod tests {
                 model: "untrained(1)".to_string(),
                 grid: 32,
                 num_classes: 8,
+                shards: 1,
             },
             suites: vec![SuiteReport {
                 suite: "steady_city".to_string(),

@@ -59,7 +59,9 @@ pub mod run;
 pub mod suites;
 
 pub use compare::{compare, Tolerances, Violation};
-pub use report::{BenchReport, BuildMeta, FleetPoint, LatencyStats, SuiteReport, SCHEMA_VERSION};
+pub use report::{
+    BenchReport, BuildMeta, FleetPoint, LatencyStats, ShardPoint, SuiteReport, SCHEMA_VERSION,
+};
 pub use run::{run_report, run_suite, ModelProvider};
 pub use suites::{
     base_options, plan, stream_specs, SuiteId, SuitePlan, MODEL_SEED, SUITE_CLASSES, SUITE_GRID,

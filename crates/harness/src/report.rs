@@ -52,6 +52,34 @@ pub struct FleetPoint {
     pub throughput_fps: f64,
     /// Host wall-clock duration of the sub-run, ms (not gated).
     pub wall_ms: f64,
+    /// Worker shards the sub-run executed on (0 in reports that predate
+    /// sharding).
+    #[serde(default)]
+    pub shards: usize,
+    /// What each shard's worker did (empty in pre-sharding reports).
+    #[serde(default)]
+    pub per_shard: Vec<ShardPoint>,
+}
+
+/// One worker shard's share of a fleet sub-run. Steal counters and
+/// throughput are host-/schedule-dependent and never gated; they exist so
+/// artifacts show how the work actually spread across cores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardPoint {
+    /// Shard index.
+    pub shard: usize,
+    /// Streams homed on this shard.
+    pub streams: usize,
+    /// Frames this shard's worker executed (own + stolen).
+    pub frames: u64,
+    /// Micro-batches this shard's worker executed.
+    pub batches: u64,
+    /// Units claimed from other shards (not gated).
+    pub steals: u64,
+    /// Frames inside those stolen units (not gated).
+    pub stolen_frames: u64,
+    /// Wall-clock time the worker spent executing, ms (not gated).
+    pub busy_ms: f64,
 }
 
 /// Everything the report says about one workload suite.
@@ -141,6 +169,12 @@ pub struct BuildMeta {
     pub grid: usize,
     /// Object classes.
     pub num_classes: usize,
+    /// Worker shards the runtime ran with (0 in reports that predate
+    /// sharding). Provenance only: the gate never compares it, so a
+    /// 1-shard baseline diffs cleanly against an N-shard report — which
+    /// is exactly what the CI shard matrix does.
+    #[serde(default)]
+    pub shards: usize,
 }
 
 /// A full harness run: metadata plus one report per suite.
@@ -256,6 +290,7 @@ mod tests {
                 model: format!("untrained({})", crate::MODEL_SEED),
                 grid: 32,
                 num_classes: 8,
+                shards: 2,
             },
             suites: vec![sample_suite("steady_city"), {
                 let mut fleet = sample_suite("fleet_scale");
@@ -265,6 +300,27 @@ mod tests {
                     avg_batch_size: 3.5,
                     throughput_fps: 400.0,
                     wall_ms: 160.0,
+                    shards: 2,
+                    per_shard: vec![
+                        ShardPoint {
+                            shard: 0,
+                            streams: 2,
+                            frames: 40,
+                            batches: 12,
+                            steals: 0,
+                            stolen_frames: 0,
+                            busy_ms: 80.0,
+                        },
+                        ShardPoint {
+                            shard: 1,
+                            streams: 2,
+                            frames: 24,
+                            batches: 8,
+                            steals: 1,
+                            stolen_frames: 4,
+                            busy_ms: 60.0,
+                        },
+                    ],
                 }];
                 fleet
             }],
@@ -293,6 +349,24 @@ mod tests {
         let back = BenchReport::load_json(&path).expect("loads");
         assert_eq!(back, report);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pre_sharding_reports_still_parse() {
+        // Baselines written before the sharded runtime have no `shards`
+        // or `per_shard` fields; they must load with defaults so compare
+        // mode can still diff against them.
+        let point: FleetPoint = serde_json::from_str(
+            r#"{"streams":4,"frames":64,"avg_batch_size":3.5,"throughput_fps":400.0,"wall_ms":160.0}"#,
+        )
+        .expect("old fleet point parses");
+        assert_eq!(point.shards, 0);
+        assert!(point.per_shard.is_empty());
+        let build: BuildMeta = serde_json::from_str(
+            r#"{"backend":"blocked","git_rev":"abc1234","scale":"quick","model":"untrained(1)","grid":32,"num_classes":8}"#,
+        )
+        .expect("old build meta parses");
+        assert_eq!(build.shards, 0);
     }
 
     #[test]

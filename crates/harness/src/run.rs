@@ -2,7 +2,7 @@
 //! [`PerceptionServer`] and rolls the results into a [`BenchReport`].
 
 use crate::report::{
-    BenchReport, BuildMeta, FleetPoint, LatencyStats, SuiteReport, SCHEMA_VERSION,
+    BenchReport, BuildMeta, FleetPoint, LatencyStats, ShardPoint, SuiteReport, SCHEMA_VERSION,
 };
 use crate::suites::{
     base_options, plan, stream_specs, SuiteId, MODEL_SEED, SUITE_CLASSES, SUITE_GRID,
@@ -67,19 +67,23 @@ impl ModelProvider {
     }
 }
 
-/// Runs every suite (or the `only` subset, by label) at `scale` and
-/// assembles the full report.
+/// Runs every suite (or the `only` subset, by label) at `scale` on
+/// `shards` runtime worker shards and assembles the full report.
+///
+/// Every deterministic report field is shard-invariant (the runtime's
+/// core invariant), so reports taken at different shard counts diff
+/// cleanly; only wall-clock fields and the per-shard breakdown change.
 ///
 /// # Errors
 /// Propagates [`InferError`] from the serving model.
-pub fn run_report(scale: Scale, only: &[String]) -> Result<BenchReport, InferError> {
+pub fn run_report(scale: Scale, only: &[String], shards: usize) -> Result<BenchReport, InferError> {
     let provider = ModelProvider::prepare(scale);
     let mut suites = Vec::new();
     for id in SuiteId::ALL {
         if !only.is_empty() && !only.iter().any(|s| s == id.label()) {
             continue;
         }
-        suites.push(run_suite(&provider, id, scale)?);
+        suites.push(run_suite(&provider, id, scale, shards)?);
     }
     Ok(BenchReport {
         schema: SCHEMA_VERSION,
@@ -96,6 +100,7 @@ pub fn run_report(scale: Scale, only: &[String]) -> Result<BenchReport, InferErr
             model: provider.label().to_string(),
             grid: SUITE_GRID,
             num_classes: SUITE_CLASSES,
+            shards,
         },
         suites,
     })
@@ -109,6 +114,7 @@ pub fn run_suite(
     provider: &ModelProvider,
     id: SuiteId,
     scale: Scale,
+    shards: usize,
 ) -> Result<SuiteReport, InferError> {
     let plan = plan(id, scale);
     let mut agg = SuiteAccum::default();
@@ -128,7 +134,12 @@ pub fn run_suite(
                 None => VehicleStream::new(*spec),
             })
             .collect();
-        let cfg = RuntimeConfig { max_batch: plan.max_batch, num_classes: SUITE_CLASSES };
+        let cfg = RuntimeConfig {
+            max_batch: plan.max_batch,
+            num_classes: SUITE_CLASSES,
+            ..RuntimeConfig::default()
+        }
+        .with_shards(shards);
         let mut server = PerceptionServer::new(provider.model(), &specs, cfg);
         let started = Instant::now();
         // The real runtime loop, observed only to record which contexts
@@ -228,6 +239,20 @@ impl SuiteAccum {
                 0.0
             },
             wall_ms,
+            shards: server.num_shards(),
+            per_shard: report
+                .shards
+                .iter()
+                .map(|s| ShardPoint {
+                    shard: s.shard,
+                    streams: s.streams,
+                    frames: s.frames,
+                    batches: s.batches,
+                    steals: s.steals,
+                    stolen_frames: s.stolen_frames,
+                    busy_ms: s.busy_ms,
+                })
+                .collect(),
         });
     }
 

@@ -41,8 +41,9 @@ pub enum SuiteId {
     /// One stream under a budget far below what the base policy spends:
     /// the controller must climb the whole ladder to the emergency rung.
     BudgetSqueeze,
-    /// 1-, 4-, and 16-stream fleets over the same per-stream workload:
-    /// exercises cross-stream batching and scheduler scaling.
+    /// 1- to 256-stream fleets over the same per-stream workload:
+    /// exercises cross-stream batching, sharded multi-core execution, and
+    /// scheduler scaling.
     FleetScale,
 }
 
@@ -93,7 +94,7 @@ pub struct SuitePlan {
     /// afterwards, so every accepted frame is processed and reported).
     pub ticks: u64,
     /// Stream counts of the suite's sub-runs: `[1]` for the single-fleet
-    /// suites, `[1, 4, 16]` for [`SuiteId::FleetScale`].
+    /// suites, `[1, 4, 16, 64, 256]` for [`SuiteId::FleetScale`].
     pub fleets: Vec<usize>,
     /// Scheduler micro-batch cap.
     pub max_batch: usize,
@@ -112,7 +113,10 @@ pub fn plan(id: SuiteId, scale: Scale) -> SuitePlan {
         SuiteId::ContextChurn => (128, vec![1], 8),
         SuiteId::FaultStorm => (64, vec![2], 8),
         SuiteId::BudgetSqueeze => (64, vec![1], 8),
-        SuiteId::FleetScale => (16, vec![1, 4, 16], 8),
+        // Fleet ticks stay short (the 256-stream sub-run already processes
+        // ~256 frames/tick); the wider batch cap keeps big fleets from
+        // serializing on the per-step frame budget.
+        SuiteId::FleetScale => (16, vec![1, 4, 16, 64, 256], 32),
     };
     SuitePlan { id, ticks: ticks * mul, fleets, max_batch }
 }
@@ -199,7 +203,7 @@ mod tests {
                 }
             }
         }
-        assert_eq!(plan(SuiteId::FleetScale, Scale::Quick).fleets, vec![1, 4, 16]);
+        assert_eq!(plan(SuiteId::FleetScale, Scale::Quick).fleets, vec![1, 4, 16, 64, 256]);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! End-to-end regression-gate properties: a seeded suite re-run is
-//! report-identical, and a hand-edited baseline trips the gate.
+//! report-identical (even across shard counts), and a hand-edited
+//! baseline trips the gate.
 
 use ecofusion_eval::experiments::common::Scale;
 use ecofusion_harness::{compare, run_suite, ModelProvider, SuiteId, Tolerances};
@@ -7,8 +8,12 @@ use ecofusion_harness::{compare, run_suite, ModelProvider, SuiteId, Tolerances};
 #[test]
 fn steady_city_quick_rerun_is_report_identical() {
     let provider = ModelProvider::prepare(Scale::Quick);
-    let a = run_suite(&provider, SuiteId::SteadyCity, Scale::Quick).expect("first run");
-    let b = run_suite(&provider, SuiteId::SteadyCity, Scale::Quick).expect("second run");
+    // The re-run uses a different shard count on purpose: every
+    // deterministic report field must be shard-invariant, so the gate
+    // certifies 1-shard vs 2-shard identity exactly as CI's shard matrix
+    // does.
+    let a = run_suite(&provider, SuiteId::SteadyCity, Scale::Quick, 1).expect("first run");
+    let b = run_suite(&provider, SuiteId::SteadyCity, Scale::Quick, 2).expect("second run");
 
     // Every deterministic field is bit-equal across the re-run...
     assert_eq!(a.frames, b.frames);
@@ -41,6 +46,7 @@ fn steady_city_quick_rerun_is_report_identical() {
             model: provider.label().to_string(),
             grid: ecofusion_harness::SUITE_GRID,
             num_classes: ecofusion_harness::SUITE_CLASSES,
+            shards: 1,
         },
         suites: vec![suite],
     };
@@ -57,7 +63,7 @@ fn steady_city_quick_rerun_is_report_identical() {
 #[test]
 fn hand_edited_baseline_map_fails_the_gate() {
     let provider = ModelProvider::prepare(Scale::Quick);
-    let suite = run_suite(&provider, SuiteId::SteadyCity, Scale::Quick).expect("run");
+    let suite = run_suite(&provider, SuiteId::SteadyCity, Scale::Quick, 1).expect("run");
     let report = ecofusion_harness::BenchReport {
         schema: ecofusion_harness::SCHEMA_VERSION,
         build: ecofusion_harness::BuildMeta {
@@ -67,6 +73,7 @@ fn hand_edited_baseline_map_fails_the_gate() {
             model: provider.label().to_string(),
             grid: ecofusion_harness::SUITE_GRID,
             num_classes: ecofusion_harness::SUITE_CLASSES,
+            shards: 1,
         },
         suites: vec![suite],
     };
@@ -87,7 +94,7 @@ fn hand_edited_baseline_map_fails_the_gate() {
 #[test]
 fn budget_squeeze_reaches_the_emergency_rung() {
     let provider = ModelProvider::prepare(Scale::Quick);
-    let suite = run_suite(&provider, SuiteId::BudgetSqueeze, Scale::Quick).expect("run");
+    let suite = run_suite(&provider, SuiteId::BudgetSqueeze, Scale::Quick, 1).expect("run");
     // The ladder for the paper-default base options has 4 rungs; the
     // squeeze must end pinned at the last (knowledge-gate emergency) one.
     assert_eq!(suite.max_final_level, 3, "budget squeeze never hit the emergency rung");
@@ -97,7 +104,7 @@ fn budget_squeeze_reaches_the_emergency_rung() {
 #[test]
 fn context_churn_visits_every_radiate_context() {
     let provider = ModelProvider::prepare(Scale::Quick);
-    let suite = run_suite(&provider, SuiteId::ContextChurn, Scale::Quick).expect("run");
+    let suite = run_suite(&provider, SuiteId::ContextChurn, Scale::Quick, 2).expect("run");
     assert_eq!(
         suite.contexts_visited.len(),
         ecofusion_scene::Context::ALL.len(),

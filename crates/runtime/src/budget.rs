@@ -111,6 +111,12 @@ pub fn default_ladder(base: &InferenceOptions) -> Vec<PolicyStep> {
 /// drops below the relax margin it climbs back down. The window is cleared
 /// on every level change so one adaptation must prove itself over a full
 /// window before the next.
+///
+/// A fleet budget coordinator may top the stream's own target up with a
+/// *grant* ([`BudgetController::set_grant_j`]): headroom donated by
+/// under-budget streams. Both thresholds (escalate and relax) compare
+/// against the effective target `target_j + grant_j`, so a granted stream
+/// escalates later and relaxes earlier than it would on its own budget.
 #[derive(Debug, Clone)]
 pub struct BudgetController {
     budget: EnergyBudget,
@@ -120,6 +126,7 @@ pub struct BudgetController {
     sum: f64,
     escalations: u64,
     relaxations: u64,
+    grant_j: f64,
 }
 
 impl BudgetController {
@@ -143,6 +150,7 @@ impl BudgetController {
             sum: 0.0,
             escalations: 0,
             relaxations: 0,
+            grant_j: 0.0,
         }
     }
 
@@ -159,12 +167,13 @@ impl BudgetController {
             return None;
         }
         let mean = self.sum / self.window.len() as f64;
-        if mean > self.budget.target_j && self.level + 1 < self.ladder.len() {
+        let target = self.effective_target_j();
+        if mean > target && self.level + 1 < self.ladder.len() {
             self.level += 1;
             self.escalations += 1;
             self.reset_window();
             Some(self.ladder[self.level])
-        } else if mean < self.budget.target_j * self.budget.relax_margin && self.level > 0 {
+        } else if mean < target * self.budget.relax_margin && self.level > 0 {
             self.level -= 1;
             self.relaxations += 1;
             self.reset_window();
@@ -177,6 +186,31 @@ impl BudgetController {
     fn reset_window(&mut self) {
         self.window.clear();
         self.sum = 0.0;
+    }
+
+    /// Sets the fleet-coordinator grant: extra Joules/frame of headroom
+    /// on top of the stream's own target. Recomputed by the coordinator
+    /// every step, so a grant is a standing transfer, not a one-off.
+    pub fn set_grant_j(&mut self, grant_j: f64) {
+        self.grant_j = grant_j.max(0.0);
+    }
+
+    /// The grant currently in force (0 without a fleet coordinator).
+    pub fn grant_j(&self) -> f64 {
+        self.grant_j
+    }
+
+    /// The target the controller actually adapts against: the stream's
+    /// own budget plus any fleet grant.
+    pub fn effective_target_j(&self) -> f64 {
+        self.budget.target_j + self.grant_j
+    }
+
+    /// Whether the rolling window has filled since the last level change
+    /// (the controller only acts — and the fleet coordinator only trusts
+    /// the rolling mean — on a full window).
+    pub fn window_full(&self) -> bool {
+        self.window.len() >= self.budget.window
     }
 
     /// Rolling mean spend over the current window (0 when empty).
@@ -212,6 +246,88 @@ impl BudgetController {
     pub fn relaxations(&self) -> u64 {
         self.relaxations
     }
+}
+
+/// Fleet-wide budget coordination policy: how aggressively under-budget
+/// streams donate headroom to over-budget ones.
+///
+/// The coordinator runs once per processing step, at the step barrier,
+/// over per-stream rolling means — state that is identical for any shard
+/// count — so grants never perturb the shard-determinism invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetBudgetPolicy {
+    /// Fraction of each donor's headroom (`target − rolling mean`)
+    /// contributed to the step's redistribution pool.
+    pub donate_frac: f64,
+    /// Cap on any stream's grant, as a fraction of its *own* target — a
+    /// squeezed stream may borrow headroom, not someone else's budget
+    /// wholesale.
+    pub max_grant_frac: f64,
+}
+
+impl Default for FleetBudgetPolicy {
+    /// Donate half the observed headroom; cap grants at half the
+    /// receiver's own target.
+    fn default() -> Self {
+        FleetBudgetPolicy { donate_frac: 0.5, max_grant_frac: 0.5 }
+    }
+}
+
+/// One stream's budget posture as the fleet coordinator sees it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetPosture {
+    /// The stream's own target, Joules/frame (infinite = unbudgeted;
+    /// such streams neither donate nor receive).
+    pub target_j: f64,
+    /// Rolling mean spend, Joules/frame.
+    pub rolling_mean_j: f64,
+    /// Whether the rolling window is full (a partial window right after a
+    /// level change is noise, not evidence).
+    pub window_full: bool,
+}
+
+/// Computes per-stream grants for one step: streams comfortably under
+/// budget donate `donate_frac` of their headroom into a pool, which is
+/// split across over-budget streams proportionally to their deficit and
+/// capped at `max_grant_frac` of each receiver's own target. Returns one
+/// grant per posture, in order; all zeros when there is no donor or no
+/// receiver.
+///
+/// Donating requires a full window — headroom must be proven over a whole
+/// observation period before it is lent out. Receiving does not: a stream
+/// that is running hot on a partial window gets its grant *before* its
+/// own controller's first full-window check, which is exactly what lets
+/// donated headroom prevent a needless escalation instead of arriving
+/// after one.
+///
+/// The function is pure and order-deterministic: grants depend only on
+/// the postures, never on scheduling, threads, or shard layout.
+pub fn redistribute_headroom(policy: &FleetBudgetPolicy, postures: &[BudgetPosture]) -> Vec<f64> {
+    let mut pool = 0.0;
+    let mut total_deficit = 0.0;
+    for p in postures {
+        if !p.target_j.is_finite() {
+            continue;
+        }
+        if p.window_full && p.rolling_mean_j < p.target_j {
+            pool += (p.target_j - p.rolling_mean_j) * policy.donate_frac;
+        } else if p.rolling_mean_j > p.target_j {
+            total_deficit += p.rolling_mean_j - p.target_j;
+        }
+    }
+    if pool <= 0.0 || total_deficit <= 0.0 {
+        return vec![0.0; postures.len()];
+    }
+    postures
+        .iter()
+        .map(|p| {
+            if !p.target_j.is_finite() || p.rolling_mean_j <= p.target_j {
+                return 0.0;
+            }
+            let share = pool * (p.rolling_mean_j - p.target_j) / total_deficit;
+            share.min(policy.max_grant_frac * p.target_j)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -331,5 +447,105 @@ mod tests {
     #[should_panic(expected = "ladder")]
     fn empty_ladder_panics() {
         let _ = BudgetController::new(EnergyBudget::per_frame(1.0), Vec::new());
+    }
+
+    #[test]
+    fn grant_raises_escalation_threshold() {
+        // Spend of 3.0 against a target of 2.0 escalates on its own...
+        let mut bare = controller(2.0, 4);
+        for _ in 0..4 {
+            bare.record(3.0);
+        }
+        assert_eq!(bare.level(), 1);
+        // ...but not with a 1.5 J grant (effective target 3.5).
+        let mut granted = controller(2.0, 4);
+        granted.set_grant_j(1.5);
+        assert_eq!(granted.effective_target_j(), 3.5);
+        for _ in 0..8 {
+            assert!(granted.record(3.0).is_none());
+        }
+        assert_eq!(granted.level(), 0);
+    }
+
+    #[test]
+    fn grant_is_clamped_non_negative() {
+        let mut c = controller(2.0, 4);
+        c.set_grant_j(-5.0);
+        assert_eq!(c.grant_j(), 0.0);
+    }
+
+    #[test]
+    fn window_full_tracks_fill_and_reset() {
+        let mut c = controller(2.0, 4);
+        assert!(!c.window_full());
+        for _ in 0..4 {
+            c.record(3.0);
+        }
+        // The escalation cleared the window.
+        assert_eq!(c.level(), 1);
+        assert!(!c.window_full());
+        for _ in 0..4 {
+            c.record(1.0);
+        }
+        assert!(c.window_full() || c.level() == 0, "relaxation also clears");
+    }
+
+    #[test]
+    fn redistribution_moves_headroom_to_deficit() {
+        let policy = FleetBudgetPolicy::default();
+        let postures = [
+            // Donor: 4 J of headroom.
+            BudgetPosture { target_j: 10.0, rolling_mean_j: 6.0, window_full: true },
+            // Receiver: 1 J over.
+            BudgetPosture { target_j: 4.0, rolling_mean_j: 5.0, window_full: true },
+            // Unbudgeted: never participates.
+            BudgetPosture { target_j: f64::INFINITY, rolling_mean_j: 100.0, window_full: true },
+        ];
+        let grants = redistribute_headroom(&policy, &postures);
+        assert_eq!(grants.len(), 3);
+        assert_eq!(grants[0], 0.0);
+        // Pool = 4.0 * 0.5 = 2.0, single receiver takes it all, which is
+        // exactly the 0.5 * 4.0 cap.
+        assert!((grants[1] - 2.0).abs() < 1e-12, "{grants:?}");
+        assert_eq!(grants[2], 0.0);
+    }
+
+    #[test]
+    fn redistribution_splits_pool_by_deficit_and_caps() {
+        let policy = FleetBudgetPolicy { donate_frac: 1.0, max_grant_frac: 0.25 };
+        let postures = [
+            BudgetPosture { target_j: 12.0, rolling_mean_j: 3.0, window_full: true },
+            // Deficits 3.0 and 1.0: 3:1 split of the 9 J pool, then the
+            // 0.25 * target cap bites the first receiver only.
+            BudgetPosture { target_j: 4.0, rolling_mean_j: 7.0, window_full: true },
+            BudgetPosture { target_j: 16.0, rolling_mean_j: 17.0, window_full: true },
+        ];
+        let grants = redistribute_headroom(&policy, &postures);
+        assert!((grants[1] - 1.0).abs() < 1e-12, "capped at 0.25*4: {grants:?}");
+        assert!((grants[2] - 2.25).abs() < 1e-12, "uncapped 1/4 share: {grants:?}");
+    }
+
+    #[test]
+    fn redistribution_needs_proven_donors_and_both_sides() {
+        let policy = FleetBudgetPolicy::default();
+        // Donor's window not full: no pool, so no grants at all.
+        let postures = [
+            BudgetPosture { target_j: 10.0, rolling_mean_j: 2.0, window_full: false },
+            BudgetPosture { target_j: 4.0, rolling_mean_j: 9.0, window_full: true },
+        ];
+        assert_eq!(redistribute_headroom(&policy, &postures), vec![0.0, 0.0]);
+        // No receiver: pool exists but nobody draws on it.
+        let donors_only =
+            [BudgetPosture { target_j: 10.0, rolling_mean_j: 2.0, window_full: true }];
+        assert_eq!(redistribute_headroom(&policy, &donors_only), vec![0.0]);
+        // A receiver on a *partial* window still draws: the grant must
+        // land before the receiver's own first full-window check.
+        let early_receiver = [
+            BudgetPosture { target_j: 10.0, rolling_mean_j: 2.0, window_full: true },
+            BudgetPosture { target_j: 4.0, rolling_mean_j: 5.0, window_full: false },
+        ];
+        let grants = redistribute_headroom(&policy, &early_receiver);
+        assert_eq!(grants[0], 0.0);
+        assert!(grants[1] > 0.0, "partial-window receiver must draw: {grants:?}");
     }
 }

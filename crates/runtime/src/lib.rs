@@ -3,7 +3,7 @@
 //! The paper evaluates EcoFusion one vehicle at a time; the production
 //! target is a server that ingests **many concurrent vehicle streams** and
 //! keeps each within its energy budget while amortizing compute across
-//! them. This crate provides that layer on top of
+//! them — and across cores. This crate provides that layer on top of
 //! [`EcoFusionModel::infer_batch`](ecofusion_core::EcoFusionModel::infer_batch):
 //!
 //! ```text
@@ -11,22 +11,59 @@
 //!  VehicleStream 1 ──┤
 //!       ...          ├─▶ per-stream FrameQueue (bounded, backpressure)
 //!  VehicleStream N ──┘            │
-//!                                 ▼  round-robin coalescing
-//!                     cross-stream micro-batch (≤ max_batch,
-//!                     grouped by identical InferenceOptions)
+//!                                 ▼  global round-robin pick (serial:
+//!                                    the pop schedule, and so every
+//!                                    drop/stall, is shard-invariant)
+//!                     work units keyed on (home shard, InferenceOptions)
 //!                                 │
-//!                                 ▼
-//!                     EcoFusionModel::infer_batch_cached  (demanded
-//!                     stems only + per-stream stem caches, one gate
-//!                     pass, branches grouped over frames)
-//!                                 │
-//!              ┌──────────────────┼──────────────────┐
+//!              ┌──────────────────┼──────────────────┐ std::thread::scope
 //!              ▼                  ▼                  ▼
-//!      StreamTelemetry     BudgetController     RuntimeReport
-//!      (energy/latency/    (rolling energy vs   (per-stream
-//!       accuracy)           budget → policy      EvalSummary)
-//!                           ladder)
+//!          shard 0            shard 1    ...     shard S-1
+//!       (model replica)    (model replica)    (model replica)
+//!       infer_batch_cached on each unit; a drained shard steals
+//!       whole units from the deepest neighbor (never splitting a
+//!       stream's FIFO run)
+//!              └──────────────────┼──────────────────┘
+//!                                 ▼  serial accounting, unit order
+//!      StreamTelemetry     BudgetController      RuntimeReport
+//!      (energy/latency/    (rolling energy vs    (per-stream reports,
+//!       accuracy)           budget → ladder;      fleet latency
+//!                           fleet coordinator     percentiles, shard
+//!                           regrants headroom)    stats)
 //! ```
+//!
+//! # Sharded execution and the determinism invariant
+//!
+//! [`RuntimeConfig::shards`] partitions streams round-robin across worker
+//! threads, each owning a snapshot-restored replica of the serving model
+//! (restore is inference-bit-identical, and inference never mutates
+//! observable model state). Every processing step picks frames with the
+//! *single global* round-robin coalescer first — so queue pops,
+//! backpressure drops, and stalls cannot depend on the shard layout —
+//! then executes per-shard option-keyed groups in parallel and accounts
+//! results serially in group order. Batched inference is bit-identical to
+//! sequential, so the invariant holds by construction and is asserted by
+//! this crate's tests and the CI shard matrix: **per-stream outputs,
+//! selection digests, and reports are bit-identical for any shard count,
+//! with work stealing on or off.** Cross-stream batching (PR 2) was
+//! amortization-bound on one core; shards resolve that caveat — on an
+//! S-core host, S shards execute their micro-batches concurrently.
+//!
+//! **Work stealing** ([`RuntimeConfig::work_stealing`]): a worker whose
+//! shard has no unclaimed units left claims whole units from the shard
+//! with the deepest backlog, newest unit first, via one atomic
+//! compare-exchange per claim. A stream's frames for a step always
+//! travel in one unit (with its stem cache moved alongside), so stealing
+//! never reorders a stream or perturbs cache hit/miss counters.
+//!
+//! **Fleet budget coordinator** ([`RuntimeConfig::fleet_budget`]): once
+//! per step, streams whose rolling spend sits comfortably under their
+//! [`EnergyBudget`] donate a fraction of that headroom into a pool that
+//! over-budget streams draw from (pro rata to their deficit, capped at a
+//! fraction of their own target) via [`BudgetController::set_grant_j`].
+//! Grants are computed at the step barrier from per-stream rolling means
+//! — shard-invariant state — so coordination composes with sharding
+//! without touching the determinism invariant.
 //!
 //! * [`VehicleStream`] — a deterministic frame source: a seeded
 //!   [`ScenarioGenerator`](ecofusion_scene::ScenarioGenerator) whose
@@ -71,15 +108,20 @@ pub mod budget;
 pub mod hist;
 pub mod queue;
 pub mod scheduler;
+pub mod shard;
 pub mod stream;
 pub mod telemetry;
 
-pub use budget::{BudgetController, EnergyBudget, PolicyStep};
+pub use budget::{
+    redistribute_headroom, BudgetController, BudgetPosture, EnergyBudget, FleetBudgetPolicy,
+    PolicyStep,
+};
 pub use hist::LatencyHistogram;
 pub use queue::{BackpressurePolicy, FrameQueue, IngestOutcome};
 pub use scheduler::{
     run_simulation, run_simulation_observed, PerceptionServer, RuntimeConfig, RuntimeReport,
     StreamReport,
 };
+pub use shard::ShardReport;
 pub use stream::{StreamSpec, VehicleStream};
 pub use telemetry::StreamTelemetry;

@@ -1,18 +1,25 @@
 //! The multi-stream scheduler: round-robin frame coalescing into
-//! cross-stream micro-batches, budget-driven policy adaptation, and the
-//! aggregate runtime report.
+//! cross-stream micro-batches, sharded multi-core execution (see
+//! [`crate::shard`]), budget-driven policy adaptation (per-stream ladders
+//! plus an optional fleet-wide headroom coordinator), and the aggregate
+//! runtime report.
 
-use crate::budget::{default_ladder, BudgetController};
+use crate::budget::{
+    default_ladder, redistribute_headroom, BudgetController, BudgetPosture, FleetBudgetPolicy,
+};
+use crate::hist::LatencyHistogram;
 use crate::queue::{FrameQueue, IngestOutcome, QueuedFrame};
+use crate::shard::{execute_units, shard_of, ShardReport, ShardState, StepUnit, UnitPayload};
 use crate::stream::{StreamSpec, VehicleStream};
 use crate::telemetry::StreamTelemetry;
 use ecofusion_core::model::InferError;
-use ecofusion_core::{EcoFusionModel, Frame, InferenceOptions, StemFeatureCache};
+use ecofusion_core::{CandidateRule, EcoFusionModel, Frame, InferenceOptions, StemFeatureCache};
 use ecofusion_eval::EvalSummary;
 use ecofusion_faults::SensorHealthMonitor;
 use ecofusion_gating::GateKind;
 use ecofusion_sensors::SensorMask;
 use serde::Serialize;
+use std::collections::BTreeMap;
 
 /// Scheduler parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -22,11 +29,99 @@ pub struct RuntimeConfig {
     pub max_batch: usize,
     /// Object classes, for the mAP in per-stream summaries.
     pub num_classes: usize,
+    /// Worker shards the streams are partitioned across (round-robin by
+    /// stream index, clamped to the stream count). Per-stream outputs,
+    /// digests, and reports are bit-identical for any value; shards only
+    /// change which worker thread executes each micro-batch.
+    pub shards: usize,
+    /// Whether a drained shard may steal ready work units from the
+    /// deepest neighbor (only meaningful with `shards > 1`; stealing is
+    /// also output-invariant).
+    pub work_stealing: bool,
+    /// Fleet-wide budget coordination: under-budget streams donate
+    /// headroom to over-budget ones each step. `None` (the default)
+    /// keeps every stream on its own budget.
+    pub fleet_budget: Option<FleetBudgetPolicy>,
 }
 
 impl Default for RuntimeConfig {
+    /// `max_batch` 8, 8 classes, work stealing on, no fleet budget, and
+    /// the shard count from the `ECOFUSION_SHARDS` environment variable
+    /// (default 1). The env hook exists so the whole test suite can be
+    /// re-run under a shard matrix in CI without touching each test; it
+    /// cannot change any asserted output, because outputs are
+    /// shard-count-invariant.
     fn default() -> Self {
-        RuntimeConfig { max_batch: 8, num_classes: 8 }
+        RuntimeConfig {
+            max_batch: 8,
+            num_classes: 8,
+            shards: shards_from_env(),
+            work_stealing: true,
+            fleet_budget: None,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Same config with a fixed shard count (ignores `ECOFUSION_SHARDS`).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Same config with work stealing switched on or off.
+    pub fn with_work_stealing(mut self, on: bool) -> Self {
+        self.work_stealing = on;
+        self
+    }
+
+    /// Same config with a fleet budget coordinator.
+    pub fn with_fleet_budget(mut self, policy: FleetBudgetPolicy) -> Self {
+        self.fleet_budget = Some(policy);
+        self
+    }
+}
+
+/// Shard count from `ECOFUSION_SHARDS` (CI matrix hook), default 1.
+fn shards_from_env() -> usize {
+    std::env::var("ECOFUSION_SHARDS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// A totally ordered grouping key over [`InferenceOptions`]: float fields
+/// by bit pattern, enums by discriminant, the health mask by its bits.
+/// Two options values produced by the policy ladder / health gating are
+/// semantically equal iff their keys are equal, so keyed grouping batches
+/// exactly what the old linear `find` over `PartialEq` batched — in
+/// O(log groups) per frame instead of O(groups).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct OptionsKey {
+    gate: GateKind,
+    rule: u8,
+    lambda_bits: u64,
+    gamma_bits: u32,
+    score_bits: u32,
+    nms_bits: u32,
+    health_bits: u8,
+}
+
+impl OptionsKey {
+    fn of(opts: &InferenceOptions) -> Self {
+        OptionsKey {
+            gate: opts.gate,
+            rule: match opts.rule {
+                CandidateRule::Margin => 0,
+                CandidateRule::PaperEq7 => 1,
+            },
+            lambda_bits: opts.lambda_e.to_bits(),
+            gamma_bits: opts.gamma.to_bits(),
+            score_bits: opts.score_thresh.to_bits(),
+            nms_bits: opts.nms_iou.to_bits(),
+            health_bits: opts.health.bits(),
+        }
     }
 }
 
@@ -103,6 +198,9 @@ pub struct StreamReport {
     pub final_lambda_e: f64,
     /// Rolling mean total energy at the end of the run, Joules/frame.
     pub rolling_energy_j: f64,
+    /// Fleet-coordinator grant in force at the end of the run,
+    /// Joules/frame (0 without a fleet budget).
+    pub granted_j: f64,
     /// Total platform energy spent by the stream, Joules.
     pub total_platform_j: f64,
     /// Total platform + clock-gated sensor energy spent, Joules.
@@ -157,6 +255,24 @@ pub struct RuntimeReport {
     /// Stems pruned or served from caches across all streams (the
     /// compute the staged pipeline saved vs. always-run-four).
     pub total_stems_saved: u64,
+    /// Fleet-wide mean modeled latency, ms, from the merged per-stream
+    /// histograms (0 before the first frame).
+    pub latency_mean_ms: f64,
+    /// Fleet-wide median modeled latency, ms (bucket upper edge).
+    pub latency_p50_ms: f64,
+    /// Fleet-wide 95th-percentile modeled latency, ms.
+    pub latency_p95_ms: f64,
+    /// Fleet-wide 99th-percentile modeled latency, ms.
+    pub latency_p99_ms: f64,
+    /// Fleet-wide maximum modeled latency, ms (exact).
+    pub latency_max_ms: f64,
+    /// Sum of fleet-coordinator grants in force at the end of the run,
+    /// Joules/frame.
+    pub total_granted_j: f64,
+    /// Per-shard execution stats (which worker did what; the wall-clock
+    /// fields are host-dependent and never part of the determinism
+    /// invariant).
+    pub shards: Vec<ShardReport>,
 }
 
 /// The multi-stream perception server.
@@ -164,10 +280,13 @@ pub struct RuntimeReport {
 /// Frames enter per-stream bounded queues via
 /// [`PerceptionServer::ingest`]; each [`PerceptionServer::process_step`]
 /// pops up to `max_batch` ready frames round-robin across streams, groups
-/// them by their stream's *current* [`InferenceOptions`], and runs one
-/// [`EcoFusionModel::infer_batch`] per group. Because the batched path is
-/// bit-identical to per-frame [`EcoFusionModel::infer`], coalescing frames
-/// from different vehicles changes throughput, never results.
+/// them by `(home shard, current [`InferenceOptions`])`, and runs one
+/// batched inference per group — in parallel across worker shards when
+/// `cfg.shards > 1`, with work stealing for imbalanced fleets. Because
+/// the batched path is bit-identical to per-frame
+/// [`EcoFusionModel::infer`] and the pick phase is global, coalescing,
+/// sharding, and stealing change throughput, never results: per-stream
+/// outputs and reports are bit-identical for any shard count.
 ///
 /// # Example
 ///
@@ -187,10 +306,12 @@ pub struct RuntimeReport {
 /// assert_eq!(processed, 2);
 /// ```
 pub struct PerceptionServer {
-    model: EcoFusionModel,
+    /// Worker shards; shard 0 holds the original model, the rest hold
+    /// snapshot-restored replicas (restore is inference-bit-identical).
+    shards: Vec<ShardState>,
     lanes: Vec<Lane>,
     /// Per-stream stem-feature caches (parallel to `lanes`), kept out of
-    /// `Lane` so they can be borrowed alongside the model during a step.
+    /// `Lane` so they can be moved into work units during a step.
     stem_caches: Vec<StemFeatureCache>,
     cfg: RuntimeConfig,
     tick: u64,
@@ -201,17 +322,35 @@ pub struct PerceptionServer {
 impl PerceptionServer {
     /// Creates a server for the given streams.
     ///
+    /// With `cfg.shards > 1` the model is snapshotted once and restored
+    /// into one replica per extra shard; snapshot restore is proven
+    /// inference-bit-identical, and inference never mutates observable
+    /// model state, so every shard serves exactly the same function. The
+    /// shard count is clamped to the stream count (an idle shard is pure
+    /// overhead).
+    ///
     /// # Panics
-    /// Panics if `specs` is empty, `cfg.max_batch` is zero, or a spec's
-    /// grid does not match the model's.
+    /// Panics if `specs` is empty, `cfg.max_batch` or `cfg.shards` is
+    /// zero, or a spec's grid does not match the model's.
     pub fn new(model: EcoFusionModel, specs: &[StreamSpec], cfg: RuntimeConfig) -> Self {
         assert!(!specs.is_empty(), "server needs at least one stream");
         assert!(cfg.max_batch > 0, "max_batch must be positive");
+        assert!(cfg.shards > 0, "shards must be positive");
         for (i, s) in specs.iter().enumerate() {
             assert_eq!(s.grid, model.grid(), "stream {i} grid does not match model");
         }
+        let num_shards = cfg.shards.min(specs.len());
+        let mut model = model;
+        let mut shards = Vec::with_capacity(num_shards);
+        if num_shards > 1 {
+            let snapshot = model.snapshot();
+            for _ in 1..num_shards {
+                shards.push(ShardState::new(snapshot.restore().expect("replica restores")));
+            }
+        }
+        shards.insert(0, ShardState::new(model));
         PerceptionServer {
-            model,
+            shards,
             lanes: specs.iter().map(Lane::new).collect(),
             stem_caches: specs.iter().map(|_| StemFeatureCache::new()).collect(),
             cfg,
@@ -224,6 +363,16 @@ impl PerceptionServer {
     /// Number of streams served.
     pub fn num_streams(&self) -> usize {
         self.lanes.len()
+    }
+
+    /// Number of worker shards (after clamping to the stream count).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The serving model (shard 0's instance).
+    fn model(&self) -> &EcoFusionModel {
+        &self.shards[0].model
     }
 
     /// Current scheduler tick.
@@ -249,7 +398,7 @@ impl PerceptionServer {
     /// Panics if `stream` is out of range (a caller bug, not a data
     /// fault).
     pub fn ingest(&mut self, stream: usize, frame: Frame) -> IngestOutcome {
-        if frame.obs.grid_size() != self.model.grid() {
+        if frame.obs.grid_size() != self.model().grid() {
             self.lanes[stream].malformed += 1;
             return IngestOutcome::RejectedMalformed;
         }
@@ -302,9 +451,14 @@ impl PerceptionServer {
 
     /// Runs one processing step: pops up to `max_batch` ready frames
     /// round-robin across streams (oldest first within each stream),
-    /// groups them by their stream's current options, and feeds each group
-    /// through one batched inference. Returns the number of frames
-    /// processed (0 when all queues are empty).
+    /// groups them by `(home shard, current options)`, executes the
+    /// groups in parallel across the worker shards (with work stealing),
+    /// and accounts the results serially in group order. Returns the
+    /// number of frames processed (0 when all queues are empty).
+    ///
+    /// The pick phase is global and serial — identical to the single-core
+    /// scheduler for any shard count — so backpressure, queue waits, and
+    /// every per-stream output are shard-count-invariant.
     ///
     /// # Errors
     /// Propagates [`InferError`] from the model (a queued frame rendered
@@ -338,15 +492,113 @@ impl PerceptionServer {
             lane.telemetry.note_health(lane.monitor.degraded_count() > 0, !mask.is_all_available());
         }
         let processed = picked.len();
-        for (opts, lanes, frames, waits) in self.group_by_options(picked) {
-            // Each frame consults its own stream's stem-feature cache, so
-            // frozen grids (faults, static scenes) skip the stem convs.
-            let outputs =
-                self.model.infer_batch_cached(&frames, &opts, &mut self.stem_caches, &lanes)?;
+        let units = self.build_units(picked);
+        execute_units(&mut self.shards, &units, self.cfg.work_stealing);
+        self.account_units(units)?;
+        self.coordinate_fleet_budget();
+        Ok(processed)
+    }
+
+    /// Partitions picked frames into work units keyed on `(home shard,
+    /// options)`, preserving first-seen order. Keyed grouping is O(n log
+    /// g) in the number of distinct groups, instead of the old O(n·g)
+    /// linear scan per frame.
+    ///
+    /// Each lane contributes to exactly one unit per step (one home
+    /// shard, one current options value), so moving its stem cache into
+    /// the unit is safe, and all its frames stay in FIFO pick order
+    /// inside that unit — the property that lets work stealing hand off
+    /// whole units without ever reordering a stream.
+    fn build_units(&mut self, picked: Vec<(usize, QueuedFrame)>) -> Vec<StepUnit> {
+        let tick = self.tick;
+        let num_shards = self.shards.len();
+        struct UnitBuild {
+            shard: usize,
+            opts: InferenceOptions,
+            lane_ids: Vec<usize>,
+            frames: Vec<Frame>,
+            waits: Vec<u64>,
+        }
+        let mut index: BTreeMap<(usize, OptionsKey), usize> = BTreeMap::new();
+        let mut builds: Vec<UnitBuild> = Vec::new();
+        for (lane_idx, queued) in picked {
+            let opts = self.lanes[lane_idx].opts;
+            let shard = shard_of(lane_idx, num_shards);
+            let wait = tick.saturating_sub(queued.enqueue_tick);
+            let slot = *index.entry((shard, OptionsKey::of(&opts))).or_insert_with(|| {
+                builds.push(UnitBuild {
+                    shard,
+                    opts,
+                    lane_ids: Vec::new(),
+                    frames: Vec::new(),
+                    waits: Vec::new(),
+                });
+                builds.len() - 1
+            });
+            let entry = &mut builds[slot];
+            entry.lane_ids.push(lane_idx);
+            entry.frames.push(queued.frame);
+            entry.waits.push(wait);
+        }
+        builds
+            .into_iter()
+            .map(|UnitBuild { shard, opts, lane_ids, frames, waits }| {
+                // Move the distinct lanes' stem caches into the unit so a
+                // stolen unit still serves its streams' caches (hit/miss
+                // counters stay invariant under stealing).
+                let mut cache_lanes: Vec<usize> = Vec::new();
+                let mut cache_slot = Vec::with_capacity(frames.len());
+                for &lane in &lane_ids {
+                    let slot = cache_lanes.iter().position(|&l| l == lane).unwrap_or_else(|| {
+                        cache_lanes.push(lane);
+                        cache_lanes.len() - 1
+                    });
+                    cache_slot.push(slot);
+                }
+                let caches = cache_lanes
+                    .iter()
+                    .map(|&lane| std::mem::take(&mut self.stem_caches[lane]))
+                    .collect();
+                StepUnit::new(
+                    shard,
+                    UnitPayload {
+                        opts,
+                        lane_ids,
+                        frames,
+                        waits,
+                        caches,
+                        cache_lanes,
+                        cache_slot,
+                        outputs: None,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Serial post-join accounting, in unit (= first-seen group) order:
+    /// restores the moved stem caches, then records telemetry and budget
+    /// spend per frame exactly as the single-core scheduler did.
+    fn account_units(&mut self, units: Vec<StepUnit>) -> Result<(), InferError> {
+        let mut first_err = None;
+        for unit in units {
+            let payload = unit.into_payload();
+            // Caches go back even when a unit failed: a lost step must
+            // not silently reset a stream's stem cache.
+            for (lane, cache) in payload.cache_lanes.into_iter().zip(payload.caches) {
+                self.stem_caches[lane] = cache;
+            }
+            let outputs = match payload.outputs.expect("every unit was executed") {
+                Ok(outputs) => outputs,
+                Err(e) => {
+                    first_err = first_err.or(Some(e));
+                    continue;
+                }
+            };
             self.batches += 1;
             self.batched_frames += outputs.len() as u64;
             for (((lane_idx, frame), output), wait) in
-                lanes.into_iter().zip(&frames).zip(&outputs).zip(waits)
+                payload.lane_ids.into_iter().zip(&payload.frames).zip(&outputs).zip(payload.waits)
             {
                 let lane = &mut self.lanes[lane_idx];
                 lane.telemetry.record(output, frame.gt_boxes(), wait);
@@ -360,33 +612,33 @@ impl PerceptionServer {
                 }
             }
         }
-        Ok(processed)
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
-    /// Partitions picked frames into groups sharing identical options,
-    /// preserving first-seen order (deterministic).
-    #[allow(clippy::type_complexity)]
-    fn group_by_options(
-        &self,
-        picked: Vec<(usize, QueuedFrame)>,
-    ) -> Vec<(InferenceOptions, Vec<usize>, Vec<Frame>, Vec<u64>)> {
-        let mut groups: Vec<(InferenceOptions, Vec<usize>, Vec<Frame>, Vec<u64>)> = Vec::new();
-        let tick = self.tick;
-        for (lane_idx, queued) in picked {
-            let opts = self.lanes[lane_idx].opts;
-            let wait = tick.saturating_sub(queued.enqueue_tick);
-            let entry = match groups.iter_mut().find(|(o, ..)| *o == opts) {
-                Some(e) => e,
-                None => {
-                    groups.push((opts, Vec::new(), Vec::new(), Vec::new()));
-                    groups.last_mut().expect("just pushed")
-                }
-            };
-            entry.1.push(lane_idx);
-            entry.2.push(queued.frame);
-            entry.3.push(wait);
+    /// Fleet budget coordination, once per step at the barrier: computes
+    /// grants from per-stream rolling means (shard-invariant state, in
+    /// lane order) and installs them on the controllers for the *next*
+    /// step. No-op without a configured policy.
+    fn coordinate_fleet_budget(&mut self) {
+        let Some(policy) = self.cfg.fleet_budget else {
+            return;
+        };
+        let postures: Vec<BudgetPosture> = self
+            .lanes
+            .iter()
+            .map(|lane| BudgetPosture {
+                target_j: lane.controller.budget().target_j,
+                rolling_mean_j: lane.controller.rolling_mean_j(),
+                window_full: lane.controller.window_full(),
+            })
+            .collect();
+        let grants = redistribute_headroom(&policy, &postures);
+        for (lane, grant) in self.lanes.iter_mut().zip(grants) {
+            lane.controller.set_grant_j(grant);
         }
-        groups
     }
 
     /// Processes until every queue is empty. Returns total frames
@@ -455,6 +707,7 @@ impl PerceptionServer {
                     final_gate: lane.opts.gate,
                     final_lambda_e: lane.opts.lambda_e,
                     rolling_energy_j: lane.controller.rolling_mean_j(),
+                    granted_j: lane.controller.grant_j(),
                     total_platform_j: lane.telemetry.platform_j(),
                     total_gated_j: lane.telemetry.total_gated_j(),
                     degraded_frames: lane.telemetry.degraded_frames(),
@@ -474,6 +727,28 @@ impl PerceptionServer {
             })
             .collect();
         let frames: u64 = per_stream.iter().map(|s| s.summary.frames as u64).sum();
+        // Fleet-wide latency: merge the per-stream histograms (exact for
+        // mean/max, bucket-edge percentiles). Merging per-stream state in
+        // lane order keeps the result shard-count-invariant.
+        let mut fleet_hist = LatencyHistogram::new();
+        for lane in &self.lanes {
+            fleet_hist.merge(lane.telemetry.latency_histogram());
+        }
+        let num_shards = self.shards.len();
+        let shards = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ShardReport {
+                shard: i,
+                streams: (0..self.lanes.len()).filter(|&l| shard_of(l, num_shards) == i).count(),
+                frames: s.frames,
+                batches: s.batches,
+                steals: s.steals,
+                stolen_frames: s.stolen_frames,
+                busy_ms: s.busy_ns as f64 / 1e6,
+            })
+            .collect();
         RuntimeReport {
             frames,
             batches: self.batches,
@@ -486,6 +761,13 @@ impl PerceptionServer {
             total_gated_j: per_stream.iter().map(|s| s.total_gated_j).sum(),
             total_stems_executed: per_stream.iter().map(|s| s.stems_executed).sum(),
             total_stems_saved: per_stream.iter().map(|s| s.stems_cached + s.stems_skipped).sum(),
+            latency_mean_ms: fleet_hist.mean(),
+            latency_p50_ms: fleet_hist.percentile(50.0),
+            latency_p95_ms: fleet_hist.percentile(95.0),
+            latency_p99_ms: fleet_hist.percentile(99.0),
+            latency_max_ms: fleet_hist.max(),
+            total_granted_j: per_stream.iter().map(|s| s.granted_j).sum(),
+            shards,
             per_stream,
         }
     }

@@ -1,0 +1,221 @@
+//! Sharded multi-core execution of one scheduler step.
+//!
+//! The [`PerceptionServer`](crate::PerceptionServer) partitions its
+//! streams round-robin across `shards` workers. Every processing step
+//! still *picks* frames with the single global round-robin coalescer —
+//! the pop schedule (and therefore every backpressure drop, stall, and
+//! queue-wait tick) is computed exactly as in the single-core scheduler,
+//! which is what makes per-stream behavior independent of the shard
+//! count. The picked frames are then grouped per `(home shard, options)`
+//! into [`StepUnit`]s and executed in parallel by one worker thread per
+//! shard, each against its own replica of the (read-only at inference
+//! time) `EcoFusionModel`, fanned out with [`std::thread::scope`] — the
+//! same dependency-free pattern as the Blocked tensor backend.
+//!
+//! **Work stealing.** A worker that drains its own shard's units claims
+//! whole units from the shard with the most unclaimed work (ties to the
+//! lowest shard id), newest unit first. The hand-off granularity is the
+//! unit: all frames a stream contributed to a step live in one unit, in
+//! FIFO order, so stealing can never reorder or split a stream's frames.
+//! Claims go through one atomic compare-exchange per unit — no queues,
+//! no locks on the hot path — and because batched inference is
+//! bit-identical regardless of which (identical) model replica runs it,
+//! the nondeterministic *claim order* cannot perturb any output.
+//!
+//! **Determinism invariant.** Per-stream outputs, selection digests, and
+//! reports are bit-identical for any shard count and with stealing on or
+//! off. The scheduler guarantees this by construction: global pick →
+//! parallel execute (result-invariant) → serial accounting in unit
+//! order. The runtime test suite asserts it directly.
+
+use ecofusion_core::model::InferError;
+use ecofusion_core::{EcoFusionModel, Frame, InferenceOptions, InferenceOutput, StemFeatureCache};
+use serde::Serialize;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The home shard of a stream: streams are dealt round-robin so
+/// neighboring stream indices land on different workers.
+pub(crate) fn shard_of(stream: usize, num_shards: usize) -> usize {
+    stream % num_shards
+}
+
+/// One worker shard: a private model replica plus executed-work counters.
+/// Replicas are restored from a single snapshot of the serving model, and
+/// inference never mutates observable model state, so all replicas stay
+/// bit-identical for the server's lifetime.
+pub(crate) struct ShardState {
+    pub(crate) model: EcoFusionModel,
+    pub(crate) frames: u64,
+    pub(crate) batches: u64,
+    pub(crate) steals: u64,
+    pub(crate) stolen_frames: u64,
+    pub(crate) busy_ns: u64,
+}
+
+impl ShardState {
+    pub(crate) fn new(model: EcoFusionModel) -> Self {
+        ShardState { model, frames: 0, batches: 0, steals: 0, stolen_frames: 0, busy_ns: 0 }
+    }
+}
+
+/// What one shard's worker actually did over a run (host-dependent where
+/// noted; never part of the shard-determinism invariant).
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: usize,
+    /// Streams whose home this shard is.
+    pub streams: usize,
+    /// Frames this worker executed (own + stolen).
+    pub frames: u64,
+    /// Micro-batches this worker executed.
+    pub batches: u64,
+    /// Units this worker claimed from other shards.
+    pub steals: u64,
+    /// Frames inside those stolen units.
+    pub stolen_frames: u64,
+    /// Wall-clock time this worker spent executing, ms (host-dependent).
+    pub busy_ms: f64,
+}
+
+/// The mutable payload of one work unit: one shard's frames sharing one
+/// set of inference options, plus the stem-feature caches of the lanes
+/// involved (moved in so a stolen unit still hits its streams' caches,
+/// keeping hit/miss counters shard- and steal-invariant).
+pub(crate) struct UnitPayload {
+    pub(crate) opts: InferenceOptions,
+    /// Global lane index per frame, in pick order.
+    pub(crate) lane_ids: Vec<usize>,
+    pub(crate) frames: Vec<Frame>,
+    /// Queue-wait ticks per frame.
+    pub(crate) waits: Vec<u64>,
+    /// Stem caches of the distinct lanes in this unit, moved out of the
+    /// server for the duration of the step.
+    pub(crate) caches: Vec<StemFeatureCache>,
+    /// Global lane index per cache slot (for restoring after the join).
+    pub(crate) cache_lanes: Vec<usize>,
+    /// Cache-slot index per frame (parallel to `frames`).
+    pub(crate) cache_slot: Vec<usize>,
+    /// Filled by the executing worker.
+    pub(crate) outputs: Option<Result<Vec<InferenceOutput>, InferError>>,
+}
+
+/// One claimable piece of a step: the unit of parallel execution and of
+/// work stealing.
+pub(crate) struct StepUnit {
+    /// Home shard (the worker that executes it unless stolen).
+    pub(crate) shard: usize,
+    claimed: AtomicBool,
+    payload: Mutex<UnitPayload>,
+}
+
+impl StepUnit {
+    pub(crate) fn new(shard: usize, payload: UnitPayload) -> Self {
+        StepUnit { shard, claimed: AtomicBool::new(false), payload: Mutex::new(payload) }
+    }
+
+    /// Consumes the unit after the join (single-threaded again).
+    pub(crate) fn into_payload(self) -> UnitPayload {
+        self.payload.into_inner().expect("no worker panicked holding a unit")
+    }
+
+    fn try_claim(&self) -> bool {
+        self.claimed.compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire).is_ok()
+    }
+
+    fn is_claimed(&self) -> bool {
+        self.claimed.load(Ordering::Acquire)
+    }
+}
+
+/// Executes every unit, fanning out one scoped worker thread per shard
+/// when there is parallelism to exploit. Outputs land inside the units;
+/// callers account them serially afterwards, in unit order.
+pub(crate) fn execute_units(shards: &mut [ShardState], units: &[StepUnit], stealing: bool) {
+    // Serial fast path: a single shard (the default) or a single unit
+    // gains nothing from threads; run inline with zero overhead. Each
+    // unit still executes on its home shard's model so the counters
+    // attribute work the same way the parallel path does.
+    if shards.len() == 1 || units.len() == 1 {
+        for unit in units {
+            if !unit.try_claim() {
+                continue;
+            }
+            let started = Instant::now();
+            let shard = unit.shard.min(shards.len() - 1);
+            run_unit(unit, &mut shards[shard], shard);
+            shards[shard].busy_ns += started.elapsed().as_nanos() as u64;
+        }
+        return;
+    }
+    let num_shards = shards.len();
+    std::thread::scope(|scope| {
+        for (sid, state) in shards.iter_mut().enumerate() {
+            scope.spawn(move || {
+                let started = Instant::now();
+                loop {
+                    // Own work first, in unit order.
+                    let unit =
+                        units.iter().find(|u| u.shard == sid && u.try_claim()).or_else(|| {
+                            if stealing {
+                                claim_steal(units, sid, num_shards)
+                            } else {
+                                None
+                            }
+                        });
+                    let Some(unit) = unit else { break };
+                    run_unit(unit, state, sid);
+                }
+                state.busy_ns += started.elapsed().as_nanos() as u64;
+            });
+        }
+    });
+}
+
+/// Runs one claimed unit on `state`'s model replica, recording the
+/// executing worker's counters.
+fn run_unit(unit: &StepUnit, state: &mut ShardState, worker: usize) {
+    let mut payload = unit.payload.lock().expect("unit payload lock");
+    let UnitPayload { opts, frames, caches, cache_slot, outputs, .. } = &mut *payload;
+    let result = state.model.infer_batch_cached(frames, opts, caches, cache_slot);
+    let n = frames.len() as u64;
+    *outputs = Some(result);
+    state.frames += n;
+    state.batches += 1;
+    if unit.shard != worker {
+        state.steals += 1;
+        state.stolen_frames += n;
+    }
+}
+
+/// Steals one unit for `thief`: picks the victim shard with the most
+/// unclaimed units (ties to the lowest shard id) and claims its newest
+/// unclaimed unit. Retries on claim races until no unclaimed foreign work
+/// remains.
+fn claim_steal(units: &[StepUnit], thief: usize, num_shards: usize) -> Option<&StepUnit> {
+    loop {
+        let mut backlog = vec![0usize; num_shards];
+        for u in units {
+            if !u.is_claimed() {
+                backlog[u.shard] += 1;
+            }
+        }
+        let victim = backlog
+            .iter()
+            .enumerate()
+            .filter(|&(sid, &n)| sid != thief && n > 0)
+            .max_by_key(|&(sid, &n)| (n, std::cmp::Reverse(sid)))?
+            .0;
+        // Newest first: the oldest units are what the victim's own worker
+        // is about to reach, so stealing from the back minimizes claim
+        // contention.
+        for u in units.iter().rev() {
+            if u.shard == victim && u.try_claim() {
+                return Some(u);
+            }
+        }
+        // Raced out of every candidate; re-survey.
+    }
+}

@@ -30,8 +30,11 @@ fn cross_stream_batching_bit_identical_to_sequential() {
     let frames_per_stream = 6usize;
 
     // Batched path: live simulation through the server.
-    let mut server =
-        PerceptionServer::new(model(42), &specs, RuntimeConfig { max_batch: 4, num_classes: 8 });
+    let mut server = PerceptionServer::new(
+        model(42),
+        &specs,
+        RuntimeConfig { max_batch: 4, num_classes: 8, ..RuntimeConfig::default() },
+    );
     let mut streams: Vec<VehicleStream> = specs.iter().map(|s| VehicleStream::new(*s)).collect();
     run_simulation(&mut server, &mut streams, frames_per_stream as u64).unwrap();
 
@@ -132,8 +135,11 @@ fn backpressure_policies_account_overload() {
     let overload = |policy| {
         let specs: Vec<StreamSpec> =
             (0..2).map(|i| StreamSpec::new(70 + i, GRID).with_queue(2, policy)).collect();
-        let mut server =
-            PerceptionServer::new(model(5), &specs, RuntimeConfig { max_batch: 1, num_classes: 8 });
+        let mut server = PerceptionServer::new(
+            model(5),
+            &specs,
+            RuntimeConfig { max_batch: 1, num_classes: 8, ..RuntimeConfig::default() },
+        );
         let mut streams: Vec<VehicleStream> =
             specs.iter().map(|s| VehicleStream::new(*s)).collect();
         run_simulation(&mut server, &mut streams, 16).unwrap();
@@ -228,8 +234,11 @@ fn direct_ingest_rejection_counts_as_stall() {
 #[test]
 fn batches_span_streams() {
     let specs = specs(4);
-    let mut server =
-        PerceptionServer::new(model(13), &specs, RuntimeConfig { max_batch: 8, num_classes: 8 });
+    // Batch composition is the one thing that legitimately varies with the
+    // shard count (units are per-shard), so this test pins one shard.
+    let cfg =
+        RuntimeConfig { max_batch: 8, num_classes: 8, ..RuntimeConfig::default() }.with_shards(1);
+    let mut server = PerceptionServer::new(model(13), &specs, cfg);
     let mut streams: Vec<VehicleStream> = specs.iter().map(|s| VehicleStream::new(*s)).collect();
     run_simulation(&mut server, &mut streams, 6).unwrap();
     let report = server.report();
@@ -252,7 +261,7 @@ fn health_gating_is_identity_on_clean_streams() {
     let mut plain = PerceptionServer::new(
         model(23),
         &plain_specs,
-        RuntimeConfig { max_batch: 4, num_classes: 8 },
+        RuntimeConfig { max_batch: 4, num_classes: 8, ..RuntimeConfig::default() },
     );
     let mut plain_streams: Vec<VehicleStream> =
         plain_specs.iter().map(|s| VehicleStream::new(*s)).collect();
@@ -261,7 +270,7 @@ fn health_gating_is_identity_on_clean_streams() {
     let mut gated = PerceptionServer::new(
         model(23),
         &gated_specs,
-        RuntimeConfig { max_batch: 4, num_classes: 8 },
+        RuntimeConfig { max_batch: 4, num_classes: 8, ..RuntimeConfig::default() },
     );
     let mut gated_streams: Vec<VehicleStream> =
         gated_specs.iter().map(|s| VehicleStream::new(*s)).collect();
@@ -309,7 +318,7 @@ fn fault_aware_gate_reroutes_under_camera_dropout() {
         let mut server = PerceptionServer::new(
             model(29),
             &[spec],
-            RuntimeConfig { max_batch: 2, num_classes: 8 },
+            RuntimeConfig { max_batch: 2, num_classes: 8, ..RuntimeConfig::default() },
         );
         let mut streams = vec![VehicleStream::new(spec).with_faults(schedule.clone())];
         run_simulation(&mut server, &mut streams, ticks).unwrap();
@@ -367,8 +376,11 @@ fn multi_frame_pop_counts_against_executed_mask() {
     // shortly after its warmup window.
     let schedule = FaultSchedule::empty().with_camera_dropout(0, u64::MAX);
     let mut stream = VehicleStream::new(spec).with_faults(schedule);
-    let mut server =
-        PerceptionServer::new(model(31), &[spec], RuntimeConfig { max_batch: 4, num_classes: 8 });
+    let mut server = PerceptionServer::new(
+        model(31),
+        &[spec],
+        RuntimeConfig { max_batch: 4, num_classes: 8, ..RuntimeConfig::default() },
+    );
 
     // Step 1: four frames in one batch, all inside the monitor warmup.
     for _ in 0..4 {

@@ -55,8 +55,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let model = EcoFusionModel::new(GRID, 8, &mut Rng::new(7));
     let specs = [spec, spec];
-    let mut server =
-        PerceptionServer::new(model, &specs, RuntimeConfig { max_batch: 2, num_classes: 8 });
+    let mut server = PerceptionServer::new(
+        model,
+        &specs,
+        RuntimeConfig { max_batch: 2, num_classes: 8, ..RuntimeConfig::default() },
+    );
     let mut clean = VehicleStream::new(spec);
     let mut faulty = VehicleStream::new(spec).with_faults(schedule);
 
