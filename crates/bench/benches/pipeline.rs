@@ -199,6 +199,21 @@ fn bench_stage_breakdown(c: &mut Criterion) {
     group.bench_function("branch_single_camera", |bench| {
         bench.iter(|| black_box(model.run_branch(0, &feats, opts.score_thresh, opts.nms_iou)));
     });
+
+    // Int8 counterparts of the stem and branch stages — the kernels the
+    // quantized emergency rung serves with. Same inputs as the f32 rows
+    // above, so the pairs read as direct per-stage speedups.
+    model.ensure_quant().expect("model quantizes");
+    let qsnap = model.quantized().expect("quant image cached").clone();
+    group.bench_function("stems_one_sensor_int8", |bench| {
+        let pipe = qsnap.stem(SensorKind::Lidar.index());
+        bench.iter(|| black_box(pipe.forward(&stem_grid)));
+    });
+    let branch0_input = model.branch_input(0, &feats);
+    group.bench_function("branch_single_camera_int8", |bench| {
+        let qbranch = qsnap.branch(0);
+        bench.iter(|| black_box(qbranch.forward(&branch0_input)));
+    });
     let branch_outs: Vec<Vec<ecofusion_detect::Detection>> =
         (0..4).map(|b| model.run_branch(b, &feats, opts.score_thresh, opts.nms_iou)).collect();
     group.bench_function("fuse_wbf_late4", |bench| {
@@ -223,6 +238,12 @@ fn bench_stage_breakdown(c: &mut Criterion) {
     });
     group.bench_function("infer_attention_all_stems", |bench| {
         bench.iter(|| black_box(model.infer(&frame, &opts).unwrap()));
+    });
+    // The emergency rung's full path: knowledge gate, pruned stems,
+    // int8 stem/branch kernels.
+    let know_int8 = know.with_precision(ecofusion_core::Precision::Int8);
+    group.bench_function("infer_knowledge_pruned_int8", |bench| {
+        bench.iter(|| black_box(model.infer(&frame, &know_int8).unwrap()));
     });
     group.finish();
 }

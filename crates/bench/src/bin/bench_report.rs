@@ -239,6 +239,9 @@ fn main() -> ExitCode {
                     "--latency-band",
                     Tolerances::default().latency_growth_frac,
                 ),
+                // Absolute floors stay at their defaults; the bands above
+                // are the CI-tunable knobs.
+                ..Tolerances::default()
             };
             let baseline = match BenchReport::load_json(&baseline_path) {
                 Ok(b) => b,

@@ -33,12 +33,13 @@ pub mod trainer;
 
 pub use config::{BranchId, ConfigId, ConfigSpace};
 pub use dataset::{Dataset, DatasetMix, DatasetSpec, Frame};
+pub use ecofusion_energy::Precision;
 pub use knowledge::{default_degraded_fallbacks, default_knowledge_rules};
 pub use model::{
     EcoFusionModel, GateSet, InferenceOptions, InferenceOutput, UNAVAILABLE_SENSOR_PENALTY,
 };
 pub use optimizer::{joint_loss, select_candidates, select_config, CandidateRule};
 pub use pipeline::{PipelinePlan, StemCacheRouter, StemFeatureCache, ALL_SENSOR_BITS};
-pub use snapshot::{ModelSnapshot, RestoreModelError};
+pub use snapshot::{ModelSnapshot, QuantSnapshot, RestoreModelError};
 pub use temporal::{ClockGatingController, EpisodeEnergyReport, SensorSchedule};
 pub use trainer::{TrainConfig, TrainError, Trainer};

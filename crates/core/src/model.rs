@@ -5,7 +5,7 @@ use crate::optimizer::{select_config, CandidateRule};
 use ecofusion_detect::weighted_boxes_fusion;
 use ecofusion_detect::{fusion_loss, BranchConfig, BranchDetector, Detection, Stem, WbfParams};
 use ecofusion_energy::{
-    EnergyBreakdown, Joules, Px2Model, SensorPowerModel, StageTrace, StemPolicy,
+    EnergyBreakdown, Joules, Precision, Px2Model, SensorPowerModel, StageTrace, StemPolicy,
 };
 use ecofusion_gating::{AttentionGate, DeepGate, GateKind, KnowledgeGate, LossBasedGate};
 use ecofusion_scene::GtBox;
@@ -68,6 +68,14 @@ pub struct InferenceOptions {
     /// and the knowledge gate switches to its degraded-context fallbacks.
     #[serde(default)]
     pub health: SensorMask,
+    /// Numeric precision of the stems and branch bodies. The default
+    /// [`Precision::F32`] is bit-identical to the pre-quantization
+    /// pipeline; [`Precision::Int8`] runs the post-training-quantized
+    /// image of the same weights (built lazily on first use, see
+    /// [`EcoFusionModel::ensure_quant`]) and charges the int8-scaled
+    /// Eq. 11 costs.
+    #[serde(default)]
+    pub precision: Precision,
 }
 
 impl InferenceOptions {
@@ -82,6 +90,7 @@ impl InferenceOptions {
             score_thresh: 0.2,
             nms_iou: 0.5,
             health: SensorMask::all_available(),
+            precision: Precision::F32,
         }
     }
 
@@ -94,6 +103,12 @@ impl InferenceOptions {
     /// Same options with a sensor availability mask (fault-aware gating).
     pub fn with_health(mut self, health: SensorMask) -> Self {
         self.health = health;
+        self
+    }
+
+    /// Same options with a different stem/branch precision.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
         self
     }
 }
@@ -109,11 +124,18 @@ pub struct InferenceOutput {
     pub selected_label: String,
     /// The gate's per-configuration loss estimates L_f(Φ).
     pub predicted_losses: Vec<f32>,
-    /// Energy/latency breakdown of executing φ* (adaptive stem policy).
+    /// Energy/latency breakdown of executing φ* (adaptive stem policy,
+    /// at the precision the frame ran).
     pub energy: EnergyBreakdown,
     /// Per-stage decomposition of `energy` (sums to its Eq. 11 totals)
     /// plus the stem executions the demand-driven pipeline observed.
     pub stage_trace: StageTrace,
+    /// Precision the stems and branches ran at for this frame.
+    pub precision: Precision,
+    /// 1 when the knowledge gate had no rule for the frame's context and
+    /// fell back to its cheapest configuration, 0 otherwise (always 0 for
+    /// other gates).
+    pub gate_fallbacks: u32,
 }
 
 impl InferenceOutput {
@@ -133,6 +155,9 @@ pub enum InferError {
         /// Grid of the offending frame.
         found: usize,
     },
+    /// Building the int8 image of the model failed (an
+    /// [`Precision::Int8`] inference on an unquantizable architecture).
+    Quantize(ecofusion_tensor::QuantizeError),
 }
 
 impl fmt::Display for InferError {
@@ -141,6 +166,7 @@ impl fmt::Display for InferError {
             InferError::GridMismatch { expected, found } => {
                 write!(f, "frame grid {found} does not match model grid {expected}")
             }
+            InferError::Quantize(e) => write!(f, "int8 quantization failed: {e}"),
         }
     }
 }
@@ -164,6 +190,10 @@ pub struct EcoFusionModel {
     pub(crate) config_sensors: Vec<u8>,
     pub(crate) grid: usize,
     num_classes: usize,
+    /// Lazily built int8 image of the stems and branches, invalidated by
+    /// any mutable weight access ([`EcoFusionModel::stems_mut`] /
+    /// [`EcoFusionModel::branches_mut`]).
+    pub(crate) quant: Option<crate::snapshot::QuantSnapshot>,
 }
 
 impl EcoFusionModel {
@@ -222,6 +252,7 @@ impl EcoFusionModel {
             config_sensors,
             grid,
             num_classes,
+            quant: None,
         }
     }
 
@@ -297,13 +328,17 @@ impl EcoFusionModel {
         self.num_classes
     }
 
-    /// Mutable access to the stems (training).
+    /// Mutable access to the stems (training). Drops any cached int8
+    /// image: the quantized weights must track the f32 ones.
     pub fn stems_mut(&mut self) -> &mut [Stem] {
+        self.quant = None;
         &mut self.stems
     }
 
-    /// Mutable access to the branches (training).
+    /// Mutable access to the branches (training). Drops any cached int8
+    /// image: the quantized weights must track the f32 ones.
     pub fn branches_mut(&mut self) -> &mut [BranchDetector] {
+        self.quant = None;
         &mut self.branches
     }
 
@@ -509,17 +544,86 @@ impl EcoFusionModel {
     }
 
     /// Applies `f` to every trainable parameter of stems and branches
-    /// (used by the trainer's optimizer).
+    /// (used by the trainer's optimizer). Drops any cached int8 image,
+    /// like the other mutable weight accessors.
     pub fn visit_perception_params(
         &mut self,
         f: &mut dyn FnMut(&mut ecofusion_tensor::param::Param),
     ) {
+        self.quant = None;
         for s in &mut self.stems {
             s.visit_params(f);
         }
         for b in &mut self.branches {
             b.visit_params(f);
         }
+    }
+
+    /// Builds — or returns the cached — post-training int8 image of the
+    /// stems and branches (a [`QuantSnapshot`]), calibrating activation
+    /// scales over the seeded fixture frames. Deterministic for a given
+    /// set of weights, so shard replicas build identical images.
+    ///
+    /// The image is invalidated by any mutable weight access and rebuilt
+    /// on the next call.
+    ///
+    /// [`QuantSnapshot`]: crate::snapshot::QuantSnapshot
+    ///
+    /// # Errors
+    /// Returns the [`ecofusion_tensor::QuantizeError`] of the first layer
+    /// that cannot be quantized (unreachable for the canonical
+    /// architecture, which is all Conv/BN/ReLU/MaxPool).
+    pub fn ensure_quant(
+        &mut self,
+    ) -> Result<&crate::snapshot::QuantSnapshot, ecofusion_tensor::QuantizeError> {
+        if self.quant.is_none() {
+            self.quant = Some(crate::snapshot::QuantSnapshot::capture(self)?);
+        }
+        Ok(self.quant.as_ref().expect("just built"))
+    }
+
+    /// The cached int8 image, if one has been built and not invalidated.
+    pub fn quantized(&self) -> Option<&crate::snapshot::QuantSnapshot> {
+        self.quant.as_ref()
+    }
+
+    /// Installs a previously captured int8 image (e.g. loaded from disk
+    /// beside the weight snapshot), skipping recalibration.
+    ///
+    /// # Errors
+    /// Returns [`crate::snapshot::RestoreModelError::QuantMismatch`] if
+    /// the image was captured for a different architecture.
+    pub fn install_quant(
+        &mut self,
+        snap: crate::snapshot::QuantSnapshot,
+    ) -> Result<(), crate::snapshot::RestoreModelError> {
+        use crate::snapshot::RestoreModelError::QuantMismatch;
+        if snap.grid() != self.grid {
+            return Err(QuantMismatch { what: "grid", expected: self.grid, found: snap.grid() });
+        }
+        if snap.num_classes() != self.num_classes {
+            return Err(QuantMismatch {
+                what: "num_classes",
+                expected: self.num_classes,
+                found: snap.num_classes(),
+            });
+        }
+        if snap.stems.len() != self.stems.len() {
+            return Err(QuantMismatch {
+                what: "stems",
+                expected: self.stems.len(),
+                found: snap.stems.len(),
+            });
+        }
+        if snap.branches.len() != self.branches.len() {
+            return Err(QuantMismatch {
+                what: "branches",
+                expected: self.branches.len(),
+                found: snap.branches.len(),
+            });
+        }
+        self.quant = Some(snap);
+        Ok(())
     }
 }
 
@@ -759,6 +863,35 @@ mod tests {
         // City's primary {E(C_L+C_R+L)} needs cameras; the degraded rule
         // walks the clear-context fallbacks to the lidar/radar pair.
         assert_eq!(out.selected_label, "{E(L+R)}");
+    }
+
+    #[test]
+    fn quant_image_invalidated_by_weight_access() {
+        let mut m = tiny_model();
+        assert!(m.quantized().is_none());
+        m.ensure_quant().expect("quantizes");
+        assert!(m.quantized().is_some());
+        let _ = m.stems_mut();
+        assert!(m.quantized().is_none(), "stems_mut must drop the image");
+        m.ensure_quant().expect("rebuilds");
+        let _ = m.branches_mut();
+        assert!(m.quantized().is_none(), "branches_mut must drop the image");
+        m.ensure_quant().expect("rebuilds");
+        m.visit_perception_params(&mut |_| {});
+        assert!(m.quantized().is_none(), "param visitor must drop the image");
+    }
+
+    #[test]
+    fn options_without_precision_field_deserialize_to_f32() {
+        // An options JSON written before the precision axis existed.
+        let opts = InferenceOptions::new(0.01, 0.5);
+        let json = serde_json::to_string(&opts).expect("serialize");
+        let stripped =
+            json.replace(",\"precision\":\"F32\"", "").replace("\"precision\":\"F32\",", "");
+        assert_ne!(json, stripped, "precision field expected in serialized options");
+        let back: InferenceOptions = serde_json::from_str(&stripped).expect("deserialize");
+        assert_eq!(back.precision, Precision::F32);
+        assert_eq!(back, opts);
     }
 
     #[test]

@@ -51,6 +51,22 @@
 //! compute saved on this host — without re-calibrating the published
 //! numbers.
 //!
+//! # Precision axis
+//!
+//! [`InferenceOptions::precision`] selects the kernels of the
+//! compute-bound stages. Under [`Precision::F32`] (the default) execution
+//! is bit-identical to the pre-quantization pipeline — the golden traces
+//! pin it. Under [`Precision::Int8`] the `Stems` and `Branch` stages run
+//! the post-training-quantized image of the same weights
+//! ([`QuantSnapshot`](crate::snapshot::QuantSnapshot), built lazily and
+//! invalidated on weight mutation): i8×i8→i32 convolutions with folded
+//! batch-norm, dequantized back to f32 at stage boundaries so
+//! `GateScore`, `Select`, decoding, and `Fuse` are untouched. The
+//! `Account` stage then charges the int8-scaled Eq. 11 stem/branch costs
+//! (the budget ladder's emergency rung exploits this: one stem,
+//! quantized). Stem-feature caches are bypassed for int8 batches — they
+//! hold f32 features.
+//!
 //! # Stem-feature caching
 //!
 //! [`StemFeatureCache`] memoizes one `(grid, stem features)` pair per
@@ -64,9 +80,12 @@
 use crate::config::ConfigId;
 use crate::dataset::Frame;
 use crate::model::{EcoFusionModel, InferError, InferenceOptions, InferenceOutput};
+use crate::snapshot::QuantSnapshot;
 use ecofusion_detect::stem::STEM_CHANNELS;
 use ecofusion_detect::{Detection, Stem};
-use ecofusion_energy::{EnergyBreakdown, Px2Model, SensorPowerModel, StageTrace, StemPolicy};
+use ecofusion_energy::{
+    EnergyBreakdown, Precision, Px2Model, SensorPowerModel, StageTrace, StemPolicy,
+};
 use ecofusion_gating::{Gate, GateInput, GateKind};
 use ecofusion_sensors::{Observation, SensorKind};
 use ecofusion_tensor::layer::Layer;
@@ -116,9 +135,22 @@ pub fn account(
     specs: &[ecofusion_energy::BranchSpec],
     policy: StemPolicy,
 ) -> (EnergyBreakdown, StageTrace) {
+    account_prec(px2, sensors, specs, policy, Precision::F32)
+}
+
+/// [`account`] under a given precision: int8 frames charge the
+/// int8-scaled stem/branch costs; the trace still sums exactly to the
+/// breakdown.
+pub fn account_prec(
+    px2: &Px2Model,
+    sensors: &SensorPowerModel,
+    specs: &[ecofusion_energy::BranchSpec],
+    policy: StemPolicy,
+    precision: Precision,
+) -> (EnergyBreakdown, StageTrace) {
     (
-        EnergyBreakdown::compute(px2, sensors, specs, policy),
-        StageTrace::compute(px2, sensors, specs, policy),
+        EnergyBreakdown::compute_prec(px2, sensors, specs, policy, precision),
+        StageTrace::compute_prec(px2, sensors, specs, policy, precision),
     )
 }
 
@@ -232,13 +264,17 @@ impl BatchStemBank {
     /// Runs every `(frame, sensor)` stem demanded by `need_bits` that is
     /// not yet present, consulting `router` first when given. All missing
     /// rows of one sensor run in a single stacked forward (eval-mode
-    /// stems are batch-invariant, so subsets are bit-identical).
+    /// stems are batch-invariant, so subsets are bit-identical). With
+    /// `quant` set, the int8 stem pipes execute instead of the f32 stems
+    /// (the caller guarantees the router is disabled then — caches hold
+    /// f32 features).
     fn ensure(
         &mut self,
         stems: &mut [Stem],
         observations: &[&Observation],
         need_bits: &[u8],
         mut router: Option<&mut StemCacheRouter<'_>>,
+        quant: Option<&QuantSnapshot>,
     ) {
         for k in SensorKind::ALL {
             let s = k.index();
@@ -279,7 +315,10 @@ impl BatchStemBank {
             if !misses.is_empty() {
                 let grids: Vec<&Tensor> = misses.iter().map(|&i| observations[i].grid(k)).collect();
                 let stacked_in = Tensor::stack_batch(&grids);
-                let out = stems[s].forward(&stacked_in, false);
+                let out = match quant {
+                    Some(q) => q.stems[s].forward(&stacked_in),
+                    None => stems[s].forward(&stacked_in, false),
+                };
                 if whole_batch && router.is_none() {
                     // Fast path (the default all-healthy learned-gate
                     // batch): keep the stacked output whole — the exact
@@ -424,7 +463,7 @@ impl EcoFusionModel {
         &mut self,
         frames: &[Frame],
         opts: &InferenceOptions,
-        mut router: Option<StemCacheRouter<'_>>,
+        router: Option<StemCacheRouter<'_>>,
     ) -> Result<Vec<InferenceOutput>, InferError> {
         if frames.is_empty() {
             return Ok(Vec::new());
@@ -433,13 +472,21 @@ impl EcoFusionModel {
         for frame in frames {
             self.sense(frame)?;
         }
+        let quant_active = opts.precision == Precision::Int8;
+        if quant_active {
+            self.ensure_quant().map_err(InferError::Quantize)?;
+        }
+        // Stem-feature caches hold f32 features; an int8 batch must
+        // neither consult nor fill them (cross-precision poisoning).
+        let mut router = if quant_active { None } else { router };
         let n = frames.len();
         let plan = self.plan(opts);
         let observations: Vec<&Observation> = frames.iter().map(|f| &f.obs).collect();
         let mut bank = BatchStemBank::new(n, self.grid / 2);
         // Stems demanded before gating, across the whole batch.
         let pre_gate = vec![plan.pre_gate_bits(); n];
-        bank.ensure(&mut self.stems, &observations, &pre_gate, router.as_mut());
+        let quant = if quant_active { self.quant.as_ref() } else { None };
+        bank.ensure(&mut self.stems, &observations, &pre_gate, router.as_mut(), quant);
         // Oracle detections + losses if the loss-based gate is active
         // (kept: Branch reuses them instead of re-running branches).
         let oracle_dets: Option<Vec<Vec<Vec<Detection>>>> = if plan.needs_oracle {
@@ -493,7 +540,8 @@ impl EcoFusionModel {
         // Branch: demand-driven stems for the winners, then each
         // demanded branch over exactly the frames that selected it.
         let need_bits: Vec<u8> = selected.iter().map(|s| self.config_sensors[s.0]).collect();
-        bank.ensure(&mut self.stems, &observations, &need_bits, router.as_mut());
+        let quant = if quant_active { self.quant.as_ref() } else { None };
+        bank.ensure(&mut self.stems, &observations, &need_bits, router.as_mut(), quant);
         let n_branches = self.branches.len();
         let mut demand: Vec<Vec<usize>> = vec![Vec::new(); n_branches];
         for (i, sel) in selected.iter().enumerate() {
@@ -526,6 +574,16 @@ impl EcoFusionModel {
                 branch_dets[b][*slot] = Some(d);
             }
         }
+        // Knowledge-gate fallback attribution: a frame whose context has
+        // no rule was served by the gate's cheapest-config fallback.
+        let fallbacks: Vec<u32> = if opts.gate == GateKind::Knowledge {
+            frames
+                .iter()
+                .map(|f| u32::from(!self.gates.knowledge.has_rule(f.scene.context)))
+                .collect()
+        } else {
+            vec![0; n]
+        };
         // Fuse + Account per frame.
         let outputs = frames
             .iter()
@@ -538,8 +596,13 @@ impl EcoFusionModel {
                     .collect();
                 let detections = self.fuse(&outs);
                 let specs = self.space.branch_specs(selected[i]);
-                let (energy, trace) =
-                    account(&self.px2, &self.sensor_power, &specs, StemPolicy::Adaptive);
+                let (energy, trace) = account_prec(
+                    &self.px2,
+                    &self.sensor_power,
+                    &specs,
+                    StemPolicy::Adaptive,
+                    opts.precision,
+                );
                 let (executed, cached, skipped) = bank.counts(i);
                 InferenceOutput {
                     detections,
@@ -548,6 +611,8 @@ impl EcoFusionModel {
                     predicted_losses: predicted[i].clone(),
                     energy,
                     stage_trace: trace.with_stem_counts(executed, cached, skipped),
+                    precision: opts.precision,
+                    gate_fallbacks: fallbacks[i],
                 }
             })
             .collect();
@@ -582,6 +647,20 @@ impl EcoFusionModel {
                 Tensor::concat_channels(&refs)
             }
         };
+        if opts.precision == Precision::Int8 {
+            // Int8 backbone + head produce the same raw map layout; the
+            // f32 head decodes it (sigmoid/softmax/NMS stay full
+            // precision).
+            let out = {
+                let q = self.quant.as_ref().expect("int8 image built before the Branch stage");
+                q.branches[branch].forward(&input)
+            };
+            return (0..input.shape()[0])
+                .map(|i| {
+                    self.branches[branch].decode_sample(&out, i, opts.score_thresh, opts.nms_iou)
+                })
+                .collect();
+        }
         self.branches[branch].detect_batch(&input, opts.score_thresh, opts.nms_iou)
     }
 
@@ -788,6 +867,92 @@ mod tests {
             assert_eq!(c.predicted_losses, p.predicted_losses);
         }
         assert_eq!(caches[0].hits(), 0, "distinct frames must not hit");
+        assert!(caches[0].misses() > 0);
+    }
+
+    #[test]
+    fn int8_inference_runs_and_charges_less() {
+        let data = city_data(50);
+        let frame = &data.test()[0];
+        for gate in [GateKind::Attention, GateKind::Knowledge] {
+            let mut m = tiny_model();
+            let f32_out =
+                m.infer(frame, &InferenceOptions::new(0.01, 0.5).with_gate(gate)).unwrap();
+            let i8_opts =
+                InferenceOptions::new(0.01, 0.5).with_gate(gate).with_precision(Precision::Int8);
+            let i8_out = m.infer(frame, &i8_opts).unwrap();
+            assert_eq!(f32_out.precision, Precision::F32, "{gate:?}");
+            assert_eq!(i8_out.precision, Precision::Int8, "{gate:?}");
+            assert!(i8_out.stage_trace.matches(&i8_out.energy), "{gate:?}");
+            // Same configuration selected (the gate is precision-invariant
+            // for knowledge; learned gates see quantized features but the
+            // charge comparison needs matching configs, so only assert
+            // energy when they agree).
+            if i8_out.selected_config == f32_out.selected_config {
+                assert!(
+                    i8_out.energy.platform.joules() < f32_out.energy.platform.joules(),
+                    "{gate:?}: int8 {} !< f32 {}",
+                    i8_out.energy.platform,
+                    f32_out.energy.platform
+                );
+            }
+            assert!(i8_out.detections.iter().all(|d| d.score.is_finite()), "{gate:?}");
+        }
+    }
+
+    #[test]
+    fn int8_batch_matches_sequential_int8() {
+        let data = city_data(51);
+        let frames: Vec<Frame> = data.test().iter().take(4).cloned().collect();
+        let mut m = tiny_model();
+        let opts = InferenceOptions::new(0.01, 0.5).with_precision(Precision::Int8);
+        let batched = m.infer_batch(&frames, &opts).unwrap();
+        let sequential: Vec<_> = frames.iter().map(|f| m.infer(f, &opts).unwrap()).collect();
+        for (b, s) in batched.iter().zip(&sequential) {
+            assert_eq!(b.selected_config, s.selected_config);
+            assert_eq!(b.detections, s.detections);
+            assert_eq!(b.precision, Precision::Int8);
+        }
+    }
+
+    #[test]
+    fn int8_emergency_rung_runs_one_quantized_stem() {
+        let mut m = tiny_model();
+        let data = city_data(52);
+        let opts = InferenceOptions {
+            lambda_e: 1.0,
+            gamma: 1.0e9,
+            ..InferenceOptions::new(1.0, 0.5)
+                .with_gate(GateKind::Knowledge)
+                .with_precision(Precision::Int8)
+        };
+        let out = m.infer(&data.test()[0], &opts).unwrap();
+        assert_eq!(m.space().branch_ids(out.selected_config).len(), 1);
+        assert_eq!(out.stage_trace.stems_executed, 1);
+        assert_eq!(out.precision, Precision::Int8);
+        // The quantized emergency rung undercuts the f32 one.
+        let f32_opts = InferenceOptions { precision: Precision::F32, ..opts };
+        let f32_out = m.infer(&data.test()[0], &f32_opts).unwrap();
+        assert_eq!(f32_out.selected_config, out.selected_config);
+        assert!(out.energy.platform.joules() < f32_out.energy.platform.joules());
+        assert!(out.energy.latency.millis() < f32_out.energy.latency.millis());
+    }
+
+    #[test]
+    fn int8_batches_bypass_stem_caches() {
+        let data = city_data(53);
+        let frame = data.test()[0].clone();
+        let frames = vec![frame.clone(), frame];
+        let mut m = tiny_model();
+        let mut caches = [StemFeatureCache::new()];
+        let opts = InferenceOptions::new(0.01, 0.5).with_precision(Precision::Int8);
+        let outs = m.infer_batch_cached(&frames, &opts, &mut caches, &[0, 0]).unwrap();
+        // The cache must stay untouched: int8 features would poison it.
+        assert_eq!(caches[0].hits() + caches[0].misses(), 0);
+        assert_eq!(outs[0].detections, outs[1].detections);
+        // An f32 batch afterwards fills the cache with f32 features.
+        let f32_opts = InferenceOptions::new(0.01, 0.5);
+        let _ = m.infer_batch_cached(&frames, &f32_opts, &mut caches, &[0, 0]).unwrap();
         assert!(caches[0].misses() > 0);
     }
 

@@ -7,9 +7,15 @@
 //! parameter and batch-norm buffer of the stems, branches, and learned
 //! gates, together with the shape metadata needed to validate a restore.
 
+use crate::dataset::{Dataset, DatasetSpec};
 use crate::model::EcoFusionModel;
+use ecofusion_detect::QuantBranch;
+use ecofusion_sensors::SensorKind;
+use ecofusion_tensor::quant::QuantPipe;
 use ecofusion_tensor::rng::Rng;
 use ecofusion_tensor::serialize::{ParamSnapshot, RestoreSnapshotError};
+use ecofusion_tensor::tensor::Tensor;
+use ecofusion_tensor::QuantizeError;
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
@@ -120,6 +126,111 @@ impl ModelSnapshot {
     }
 }
 
+/// Seed of the synthetic fixture dataset used to calibrate int8
+/// activation scales. Fixed so that quantizing the same weights always
+/// produces the same image (shard replicas must agree bit for bit).
+pub const QUANT_CALIB_SEED: u64 = 90221;
+
+/// Number of fixture frames propagated during calibration.
+pub const QUANT_CALIB_FRAMES: usize = 4;
+
+/// The post-training int8 image of a model's stems and branches, stored
+/// beside [`ModelSnapshot`]: per-output-channel symmetric weight scales,
+/// per-tensor activation scales calibrated over the seeded fixtures, and
+/// folded batch-norm affines. Gates and the optimizer are untouched —
+/// `GateScore`/`Select` always run at full precision.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct QuantSnapshot {
+    grid: usize,
+    num_classes: usize,
+    /// One quantized pipe per canonical sensor's stem.
+    pub(crate) stems: Vec<QuantPipe>,
+    /// One quantized branch per canonical branch.
+    pub(crate) branches: Vec<QuantBranch>,
+}
+
+impl QuantSnapshot {
+    /// Quantizes a model's stems and branches, calibrating activation
+    /// scales by propagating [`QUANT_CALIB_FRAMES`] seeded fixture frames
+    /// through the f32 network.
+    ///
+    /// # Errors
+    /// Returns the first layer's [`QuantizeError`] (unreachable for the
+    /// canonical Conv/BN/ReLU/MaxPool architecture).
+    pub fn capture(model: &EcoFusionModel) -> Result<Self, QuantizeError> {
+        let mut spec = DatasetSpec::small(QUANT_CALIB_SEED);
+        spec.grid = model.grid;
+        let data = Dataset::generate(&spec);
+        let frames: Vec<_> = data.test().iter().take(QUANT_CALIB_FRAMES).collect();
+        // Stems: calibrate each on its own sensor's grids; keep the f32
+        // output activations as the branch calibration set.
+        let mut stems = Vec::with_capacity(SensorKind::COUNT);
+        let mut stem_acts: Vec<Vec<Tensor>> = Vec::with_capacity(SensorKind::COUNT);
+        for k in SensorKind::ALL {
+            let calib: Vec<Tensor> = frames.iter().map(|f| f.obs.grid(k).clone()).collect();
+            let (pipe, acts) = model.stems[k.index()].quantize(&calib)?;
+            stems.push(pipe);
+            stem_acts.push(acts);
+        }
+        // Branches: each calibrates on the channel-concatenated stem
+        // activations of the sensors it consumes, per fixture frame.
+        let mut branches = Vec::with_capacity(model.branches.len());
+        for (b, spec_b) in model.space.branches().iter().enumerate() {
+            let sensors = spec_b.sensors();
+            let calib: Vec<Tensor> = (0..frames.len())
+                .map(|i| {
+                    let parts: Vec<&Tensor> =
+                        sensors.iter().map(|k| &stem_acts[k.index()][i]).collect();
+                    Tensor::concat_channels(&parts)
+                })
+                .collect();
+            branches.push(model.branches[b].quantize(&calib)?);
+        }
+        Ok(QuantSnapshot { grid: model.grid, num_classes: model.num_classes(), stems, branches })
+    }
+
+    /// Observation grid the image was built for.
+    pub fn grid(&self) -> usize {
+        self.grid
+    }
+
+    /// Number of object classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The quantized stem pipe of the canonical sensor at `index`
+    /// ([`SensorKind::index`]).
+    pub fn stem(&self, index: usize) -> &QuantPipe {
+        &self.stems[index]
+    }
+
+    /// The quantized image of the canonical branch at `index` (the same
+    /// ordering as the model's branch table).
+    pub fn branch(&self, index: usize) -> &QuantBranch {
+        &self.branches[index]
+    }
+
+    /// Serializes the image as JSON to `path`.
+    ///
+    /// # Errors
+    /// Returns any I/O or serialization error.
+    pub fn save_json(&self, path: &Path) -> Result<(), Box<dyn Error>> {
+        let json = serde_json::to_string(self)?;
+        std::fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Reads an image back from JSON.
+    ///
+    /// # Errors
+    /// Returns any I/O or deserialization error.
+    pub fn load_json(path: &Path) -> Result<QuantSnapshot, Box<dyn Error>> {
+        let json = std::fs::read_to_string(path)?;
+        Ok(serde_json::from_str(&json)?)
+    }
+}
+
 /// Error restoring a [`ModelSnapshot`].
 #[derive(Debug)]
 pub enum RestoreModelError {
@@ -141,6 +252,15 @@ pub enum RestoreModelError {
         /// Underlying snapshot error.
         source: RestoreSnapshotError,
     },
+    /// A [`QuantSnapshot`] does not match the model it is installed into.
+    QuantMismatch {
+        /// Which quantity disagrees ("grid", "num_classes", …).
+        what: &'static str,
+        /// The model's value.
+        expected: usize,
+        /// The image's value.
+        found: usize,
+    },
 }
 
 impl fmt::Display for RestoreModelError {
@@ -151,6 +271,9 @@ impl fmt::Display for RestoreModelError {
             }
             RestoreModelError::Component { component, index, source } => {
                 write!(f, "{component} {index}: {source}")
+            }
+            RestoreModelError::QuantMismatch { what, expected, found } => {
+                write!(f, "int8 image {what} {found} does not match the model's {expected}")
             }
         }
     }
@@ -223,5 +346,52 @@ mod tests {
         let snap = model.snapshot();
         assert_eq!(snap.grid(), 32);
         assert_eq!(snap.num_classes(), 8);
+    }
+
+    #[test]
+    fn quant_snapshot_roundtrips_and_reinstalls() {
+        let (mut model, data) = small_trained();
+        let qsnap = model.ensure_quant().expect("quantize").clone();
+        assert_eq!(qsnap.grid(), 32);
+        assert_eq!(qsnap.num_classes(), 8);
+        assert_eq!(qsnap.stems.len(), 4);
+        assert_eq!(qsnap.branches.len(), 7);
+        let dir = std::env::temp_dir().join("ecofusion_quant_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("quant.json");
+        qsnap.save_json(&path).expect("save");
+        let back = QuantSnapshot::load_json(&path).expect("load");
+        assert_eq!(qsnap, back);
+        std::fs::remove_file(&path).ok();
+        // Installing the loaded image skips recalibration and infers
+        // identically to the freshly built one.
+        let opts = crate::model::InferenceOptions::new(0.01, 0.5)
+            .with_precision(ecofusion_energy::Precision::Int8);
+        let fresh = model.infer(&data.test()[0], &opts).expect("infer fresh");
+        let mut restored = model.snapshot().restore().expect("restore");
+        restored.install_quant(back).expect("install");
+        let replayed = restored.infer(&data.test()[0], &opts).expect("infer installed");
+        assert_eq!(fresh.selected_config, replayed.selected_config);
+        assert_eq!(fresh.detections, replayed.detections);
+    }
+
+    #[test]
+    fn quant_snapshot_capture_is_deterministic() {
+        let (mut model, _) = small_trained();
+        let a = model.ensure_quant().expect("quantize").clone();
+        let _ = model.stems_mut(); // invalidate without mutating weights
+        let b = model.ensure_quant().expect("requantize").clone();
+        assert_eq!(a, b, "same weights must produce the same int8 image");
+    }
+
+    #[test]
+    fn install_quant_rejects_mismatched_image() {
+        let (mut model, _) = small_trained();
+        let qsnap = model.ensure_quant().expect("quantize").clone();
+        let mut rng = Rng::new(7);
+        let mut other = EcoFusionModel::new(48, 8, &mut rng);
+        let err = other.install_quant(qsnap).unwrap_err();
+        assert!(matches!(err, RestoreModelError::QuantMismatch { what: "grid", .. }), "{err}");
+        assert!(!err.to_string().is_empty());
     }
 }

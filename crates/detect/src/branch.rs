@@ -85,6 +85,22 @@ impl BranchDetector {
         self.config
     }
 
+    /// Post-training int8 quantization: the backbone becomes a
+    /// [`ecofusion_tensor::quant::QuantPipe`] and the head convolution a
+    /// quantized 1×1, with activation scales calibrated by propagating
+    /// `calib` (stem-feature tensors, NCHW) through the f32 network.
+    /// Decoding stays on the f32 head — the quantized branch returns the
+    /// same raw map layout.
+    pub fn quantize(
+        &self,
+        calib: &[Tensor],
+    ) -> Result<crate::quant::QuantBranch, ecofusion_tensor::QuantizeError> {
+        let (backbone, feats) =
+            ecofusion_tensor::quant::quantize_sequential(&self.backbone, calib)?;
+        let head = self.head.quantize(&feats);
+        Ok(crate::quant::QuantBranch { backbone, head })
+    }
+
     /// Runs the backbone + head over stem features of shape
     /// `(N, 8·m, raster/2, raster/2)`. Every layer is batch-aware, so one
     /// call amortizes the backbone GEMMs across all `N` frames.

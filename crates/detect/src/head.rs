@@ -79,6 +79,17 @@ impl DenseHead {
         self.num_classes
     }
 
+    /// Quantizes the 1×1 head convolution, calibrating the activation
+    /// scale as the max-abs over `calib` (backbone output features).
+    pub fn quantize(&self, calib: &[Tensor]) -> ecofusion_tensor::quant::QuantConv2d {
+        let mut max_abs = 0.0f32;
+        for a in calib {
+            max_abs = max_abs.max(a.data().iter().fold(0.0f32, |m, v| m.max(v.abs())));
+        }
+        let scale = if max_abs > 0.0 { max_abs / ecofusion_tensor::quant::QMAX } else { 1.0 };
+        ecofusion_tensor::quant::QuantConv2d::from_conv(&self.conv, scale)
+    }
+
     /// Runs the head over backbone features of shape `(1, C, S, S)`.
     ///
     /// # Panics

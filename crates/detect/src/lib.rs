@@ -27,6 +27,7 @@ pub mod branch;
 pub mod head;
 pub mod metrics;
 pub mod nms;
+pub mod quant;
 pub mod roi;
 pub mod stem;
 pub mod wbf;
@@ -37,6 +38,7 @@ pub use branch::{BranchConfig, BranchDetector};
 pub use head::{DenseHead, DetectionLoss, HeadOutput};
 pub use metrics::{fusion_loss, FusionLoss};
 pub use nms::{nms, soft_nms};
+pub use quant::QuantBranch;
 pub use roi::RoiHead;
 pub use stem::Stem;
 pub use wbf::{weighted_boxes_fusion, WbfParams};

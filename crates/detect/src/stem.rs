@@ -49,6 +49,19 @@ impl Stem {
     pub fn out_size(g: usize) -> usize {
         g / 2
     }
+
+    /// Post-training int8 quantization of the stem: per-channel symmetric
+    /// weights, activation scales calibrated over `calib` (raw sensor
+    /// rasters, NCHW). Returns the final f32 activations of each
+    /// calibration input alongside the pipe so downstream branches can
+    /// calibrate on stem outputs.
+    pub fn quantize(
+        &self,
+        calib: &[Tensor],
+    ) -> Result<(ecofusion_tensor::quant::QuantPipe, Vec<Tensor>), ecofusion_tensor::QuantizeError>
+    {
+        ecofusion_tensor::quant::quantize_sequential(&self.net, calib)
+    }
 }
 
 impl Layer for Stem {

@@ -23,12 +23,14 @@
 //! is measured separately by the criterion benches; experiment tables
 //! always report the calibrated PX2 model (what the paper reports).
 
+pub mod precision;
 pub mod px2;
 pub mod report;
 pub mod sensors;
 pub mod stage;
 pub mod units;
 
+pub use precision::Precision;
 pub use px2::{BranchSpec, Px2Model, StemPolicy};
 pub use report::EnergyBreakdown;
 pub use sensors::{SensorPowerModel, SensorSpec, SensorState};

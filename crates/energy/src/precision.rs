@@ -1,0 +1,66 @@
+//! The numeric-precision axis of the staged pipeline.
+//!
+//! EcoFusion's compute-bound stages (stems and branch bodies) can run
+//! either in full f32 or as post-training int8 (per-channel symmetric
+//! weights, per-tensor activation scales). The precision is a property of
+//! the *inference request*, not of the model: the same trained weights
+//! serve both paths, with the quantized image derived once and cached.
+//!
+//! This crate owns the enum because the Eq. 11 cost model is the lowest
+//! layer that must understand it — int8 stems and branches are charged a
+//! measured fraction of their f32 cost (see
+//! [`Px2Model`](crate::px2::Px2Model)'s `int8_stem_scale` /
+//! `int8_branch_scale`), while the gate, selection, fusion, and sensor
+//! stages are precision-invariant.
+
+use serde::{Deserialize, Serialize};
+
+/// Numeric precision of the stems and branch bodies for one inference.
+///
+/// `GateScore`, `Select`, `Fuse`, and `Sense` always run at full
+/// precision; only the convolution-heavy `Stems` and `Branch` stages
+/// switch kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Precision {
+    /// Full-precision f32 (the default; bit-identical to the
+    /// pre-quantization pipeline).
+    #[default]
+    F32,
+    /// Post-training int8: i8×i8→i32 GEMM with dequantization at stage
+    /// boundaries.
+    Int8,
+}
+
+impl Precision {
+    /// Short label for reports and bench IDs.
+    pub fn label(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::Int8 => "int8",
+        }
+    }
+
+    /// Stable one-byte discriminant for hashing/keying.
+    pub fn discriminant(self) -> u8 {
+        match self {
+            Precision::F32 => 0,
+            Precision::Int8 => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_f32() {
+        assert_eq!(Precision::default(), Precision::F32);
+    }
+
+    #[test]
+    fn labels_and_discriminants_are_distinct() {
+        assert_ne!(Precision::F32.label(), Precision::Int8.label());
+        assert_ne!(Precision::F32.discriminant(), Precision::Int8.discriminant());
+    }
+}

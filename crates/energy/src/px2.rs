@@ -23,9 +23,23 @@
 //! GPUs pipeline independent branches): 8 + 0.958·78.84 + 0.8 ≈ 84.3 ms
 //! matches the late-4 row.
 
+use crate::precision::Precision;
 use crate::units::{Joules, Millis, Watts};
 use ecofusion_sensors::SensorKind;
 use serde::{Deserialize, Serialize};
+
+/// Default int8/f32 cost ratio of a stem execution, measured on the host
+/// GEMM kernels (i8×i8→i32 blocked vs f32 blocked) and applied to the PX2
+/// calibration as a multiplicative scale. The PX2's Pascal GPUs expose
+/// dp4a int8 dot products at ~4× the f32 MAC rate; the measured host
+/// ratio lands in the same regime.
+pub const INT8_STEM_SCALE: f64 = 0.41;
+
+/// Default int8/f32 cost ratio of a branch-body execution. Branches are
+/// deeper (three convolution blocks + head) and pay more dequantization
+/// traffic at stage boundaries, so the ratio is slightly worse than the
+/// stem's.
+pub const INT8_BRANCH_SCALE: f64 = 0.45;
 
 /// What a branch consumes: one sensor (no fusion) or an early-fused set.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -111,6 +125,15 @@ pub struct Px2Model {
     pub ensemble_overlap: f64,
     /// Average platform power under load (paper: 45.4 W), for reporting.
     pub platform_power: Watts,
+    /// Int8/f32 cost ratio of one stem execution (energy and latency).
+    /// `0.0` means "unset" (e.g. a snapshot written before the int8 path
+    /// existed) and falls back to [`INT8_STEM_SCALE`].
+    #[serde(default)]
+    pub int8_stem_scale: f64,
+    /// Int8/f32 cost ratio of one branch-body execution. `0.0` means
+    /// "unset" and falls back to [`INT8_BRANCH_SCALE`].
+    #[serde(default)]
+    pub int8_branch_scale: f64,
 }
 
 impl Default for Px2Model {
@@ -127,6 +150,8 @@ impl Default for Px2Model {
             fusion_block: (Joules::zero(), Millis::new(0.8)),
             ensemble_overlap: 0.958,
             platform_power: Watts::new(45.4),
+            int8_stem_scale: INT8_STEM_SCALE,
+            int8_branch_scale: INT8_BRANCH_SCALE,
         }
     }
 }
@@ -154,6 +179,103 @@ impl Px2Model {
                 }
             },
         }
+    }
+
+    /// The effective int8/f32 stem cost ratio: the configured field, or
+    /// [`INT8_STEM_SCALE`] when the field is unset (`0.0`).
+    pub fn stem_scale(&self, precision: Precision) -> f64 {
+        match precision {
+            Precision::F32 => 1.0,
+            Precision::Int8 => {
+                if self.int8_stem_scale > 0.0 {
+                    self.int8_stem_scale
+                } else {
+                    INT8_STEM_SCALE
+                }
+            }
+        }
+    }
+
+    /// The effective int8/f32 branch cost ratio: the configured field, or
+    /// [`INT8_BRANCH_SCALE`] when the field is unset (`0.0`).
+    pub fn branch_scale(&self, precision: Precision) -> f64 {
+        match precision {
+            Precision::F32 => 1.0,
+            Precision::Int8 => {
+                if self.int8_branch_scale > 0.0 {
+                    self.int8_branch_scale
+                } else {
+                    INT8_BRANCH_SCALE
+                }
+            }
+        }
+    }
+
+    /// [`branch_cost`](Self::branch_cost) under a given precision: int8
+    /// scales both energy and latency by the measured ratio.
+    pub fn branch_cost_prec(&self, spec: &BranchSpec, precision: Precision) -> (Joules, Millis) {
+        let (e, t) = self.branch_cost(spec);
+        let s = self.branch_scale(precision);
+        (e * s, t * s)
+    }
+
+    /// [`config_energy`](Self::config_energy) under a given precision.
+    /// Only the stem and branch shares scale; the gate and fusion block
+    /// always run at full precision (Eq. 11 with int8 stage costs).
+    pub fn config_energy_prec(
+        &self,
+        branches: &[BranchSpec],
+        policy: StemPolicy,
+        precision: Precision,
+    ) -> Joules {
+        if precision == Precision::F32 {
+            return self.config_energy(branches, policy);
+        }
+        let stems: usize = match policy {
+            StemPolicy::Static => branches.iter().map(|b| b.arity()).sum(),
+            StemPolicy::Adaptive => SensorKind::COUNT,
+        };
+        let gate = match policy {
+            StemPolicy::Static => Joules::zero(),
+            StemPolicy::Adaptive => self.gate.0,
+        };
+        let branch_total: Joules =
+            branches.iter().map(|b| self.branch_cost_prec(b, precision).0).sum();
+        let fusion = if branches.len() >= 2 { self.fusion_block.0 } else { Joules::zero() };
+        self.stem_energy * (stems as f64 * self.stem_scale(precision))
+            + branch_total
+            + gate
+            + fusion
+    }
+
+    /// [`config_latency`](Self::config_latency) under a given precision.
+    pub fn config_latency_prec(
+        &self,
+        branches: &[BranchSpec],
+        policy: StemPolicy,
+        precision: Precision,
+    ) -> Millis {
+        if precision == Precision::F32 {
+            return self.config_latency(branches, policy);
+        }
+        let stem_lat = match policy {
+            StemPolicy::Static => {
+                self.stem_latency
+                    * (branches.iter().map(|b| b.arity()).sum::<usize>() as f64
+                        * self.stem_scale(precision))
+            }
+            StemPolicy::Adaptive => self.stem_latency * self.stem_scale(precision),
+        };
+        let gate_lat = match policy {
+            StemPolicy::Static => Millis::zero(),
+            StemPolicy::Adaptive => self.gate.1,
+        };
+        let branch_sum: Millis =
+            branches.iter().map(|b| self.branch_cost_prec(b, precision).1).sum();
+        let branch_lat =
+            if branches.len() >= 2 { branch_sum * self.ensemble_overlap } else { branch_sum };
+        let fusion = if branches.len() >= 2 { self.fusion_block.1 } else { Millis::zero() };
+        stem_lat + gate_lat + branch_lat + fusion
     }
 
     /// The unique sensors used by a set of branches.
@@ -319,5 +441,55 @@ mod tests {
     fn labels() {
         assert_eq!(BranchSpec::Single(CL).label(), "C_L");
         assert_eq!(BranchSpec::Early(vec![CL, CR, L]).label(), "E(C_L+C_R+L)");
+    }
+
+    #[test]
+    fn f32_precision_delegates_exactly() {
+        let b = [BranchSpec::Early(vec![CL, CR, L]), BranchSpec::Single(R)];
+        for policy in [StemPolicy::Static, StemPolicy::Adaptive] {
+            assert_eq!(
+                m().config_energy_prec(&b, policy, Precision::F32),
+                m().config_energy(&b, policy)
+            );
+            assert_eq!(
+                m().config_latency_prec(&b, policy, Precision::F32),
+                m().config_latency(&b, policy)
+            );
+        }
+    }
+
+    #[test]
+    fn int8_is_cheaper_on_stems_and_branches_only() {
+        let b = [BranchSpec::Single(CL)];
+        let e8 = m().config_energy_prec(&b, StemPolicy::Adaptive, Precision::Int8);
+        let e32 = m().config_energy(&b, StemPolicy::Adaptive);
+        // 4 stems and the camera branch scale; the gate does not.
+        let expected = 0.088 * 4.0 * INT8_STEM_SCALE + 0.857 * INT8_BRANCH_SCALE;
+        assert!((e8.joules() - expected).abs() < 1e-9, "{e8}");
+        assert!(e8.joules() < e32.joules());
+        let t8 = m().config_latency_prec(&b, StemPolicy::Adaptive, Precision::Int8);
+        let t32 = m().config_latency(&b, StemPolicy::Adaptive);
+        assert!(t8.millis() < t32.millis());
+        // Gate latency share is unscaled (1 ms sits in both totals).
+        assert!(
+            (t8.millis() - (2.0 * INT8_STEM_SCALE + 1.0 + 19.57 * INT8_BRANCH_SCALE)).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn zero_scale_fields_fall_back_to_measured_defaults() {
+        // A Px2Model deserialized from a snapshot that predates the int8
+        // path has both scale fields at serde's 0.0 default.
+        let mut px2 = m();
+        px2.int8_stem_scale = 0.0;
+        px2.int8_branch_scale = 0.0;
+        assert_eq!(px2.stem_scale(Precision::Int8), INT8_STEM_SCALE);
+        assert_eq!(px2.branch_scale(Precision::Int8), INT8_BRANCH_SCALE);
+        assert_eq!(px2.stem_scale(Precision::F32), 1.0);
+        let b = [BranchSpec::Single(R)];
+        assert_eq!(
+            px2.config_energy_prec(&b, StemPolicy::Static, Precision::Int8),
+            m().config_energy_prec(&b, StemPolicy::Static, Precision::Int8)
+        );
     }
 }

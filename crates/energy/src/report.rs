@@ -28,12 +28,26 @@ impl EnergyBreakdown {
         branches: &[BranchSpec],
         policy: StemPolicy,
     ) -> Self {
+        Self::compute_prec(px2, sensors, branches, policy, crate::Precision::F32)
+    }
+
+    /// [`compute`](Self::compute) under a given precision: the platform
+    /// share scales its stem/branch components by the measured int8
+    /// ratios; sensor energy is precision-invariant (the sensors measure
+    /// the same either way).
+    pub fn compute_prec(
+        px2: &Px2Model,
+        sensors: &SensorPowerModel,
+        branches: &[BranchSpec],
+        policy: StemPolicy,
+        precision: crate::Precision,
+    ) -> Self {
         let active: Vec<SensorKind> = Px2Model::sensors_used(branches);
         EnergyBreakdown {
-            platform: px2.config_energy(branches, policy),
+            platform: px2.config_energy_prec(branches, policy, precision),
             sensors_gated: sensors.total_frame_energy(&active),
             sensors_all_active: sensors.total_frame_energy_all_active(),
-            latency: px2.config_latency(branches, policy),
+            latency: px2.config_latency_prec(branches, policy, precision),
         }
     }
 

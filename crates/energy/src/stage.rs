@@ -8,6 +8,7 @@
 //! is an accounting view of the same Eq. 6/10/11 numbers, never a second
 //! model that could drift from the first.
 
+use crate::precision::Precision;
 use crate::px2::{BranchSpec, Px2Model, StemPolicy};
 use crate::report::EnergyBreakdown;
 use crate::sensors::SensorPowerModel;
@@ -121,25 +122,43 @@ impl StageTrace {
         branches: &[BranchSpec],
         policy: StemPolicy,
     ) -> Self {
+        Self::compute_prec(px2, sensors, branches, policy, Precision::F32)
+    }
+
+    /// [`compute`](Self::compute) under a given precision: the `Stems` and
+    /// `Branch` stages carry the int8-scaled costs
+    /// ([`Px2Model::stem_scale`] / [`Px2Model::branch_scale`]); every
+    /// other stage is precision-invariant. The decomposition still sums
+    /// exactly to [`EnergyBreakdown::compute_prec`] at the same precision.
+    pub fn compute_prec(
+        px2: &Px2Model,
+        sensors: &SensorPowerModel,
+        branches: &[BranchSpec],
+        policy: StemPolicy,
+        precision: Precision,
+    ) -> Self {
         let active: Vec<SensorKind> = Px2Model::sensors_used(branches);
         let stems = match policy {
             StemPolicy::Static => branches.iter().map(|b| b.arity()).sum(),
             StemPolicy::Adaptive => SensorKind::COUNT,
         };
+        let stem_scale = px2.stem_scale(precision);
         let stem_cost = StageCost {
-            energy: px2.stem_energy * stems as f64,
+            energy: px2.stem_energy * (stems as f64 * stem_scale),
             latency: match policy {
-                StemPolicy::Static => px2.stem_latency * stems as f64,
+                StemPolicy::Static => px2.stem_latency * (stems as f64 * stem_scale),
                 // All four stems run concurrently in the adaptive engine.
-                StemPolicy::Adaptive => px2.stem_latency,
+                StemPolicy::Adaptive => px2.stem_latency * stem_scale,
             },
         };
         let gate_cost = match policy {
             StemPolicy::Static => StageCost::default(),
             StemPolicy::Adaptive => StageCost { energy: px2.gate.0, latency: px2.gate.1 },
         };
-        let branch_energy: Joules = branches.iter().map(|b| px2.branch_cost(b).0).sum();
-        let branch_sum: Millis = branches.iter().map(|b| px2.branch_cost(b).1).sum();
+        let branch_energy: Joules =
+            branches.iter().map(|b| px2.branch_cost_prec(b, precision).0).sum();
+        let branch_sum: Millis =
+            branches.iter().map(|b| px2.branch_cost_prec(b, precision).1).sum();
         let branch_latency =
             if branches.len() >= 2 { branch_sum * px2.ensemble_overlap } else { branch_sum };
         let fuse_cost = if branches.len() >= 2 {
@@ -275,6 +294,65 @@ mod tests {
                     breakdown.latency
                 );
             }
+        }
+    }
+
+    #[test]
+    fn int8_trace_sums_to_int8_breakdown() {
+        let px2 = Px2Model::default();
+        let sensors = SensorPowerModel::default();
+        for branches in configs() {
+            for policy in [StemPolicy::Static, StemPolicy::Adaptive] {
+                let breakdown = EnergyBreakdown::compute_prec(
+                    &px2,
+                    &sensors,
+                    &branches,
+                    policy,
+                    Precision::Int8,
+                );
+                let trace =
+                    StageTrace::compute_prec(&px2, &sensors, &branches, policy, Precision::Int8);
+                assert!(
+                    trace.matches(&breakdown),
+                    "{branches:?} {policy:?}: trace {} J / {} vs breakdown {} J / {}",
+                    trace.total_energy(),
+                    trace.total_latency(),
+                    breakdown.total_gated(),
+                    breakdown.latency
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn int8_scales_only_stems_and_branch_stages() {
+        let px2 = Px2Model::default();
+        let sensors = SensorPowerModel::default();
+        let branches = [BranchSpec::Single(CL), BranchSpec::Single(R)];
+        let f32_trace = StageTrace::compute_prec(
+            &px2,
+            &sensors,
+            &branches,
+            StemPolicy::Adaptive,
+            Precision::F32,
+        );
+        let i8_trace = StageTrace::compute_prec(
+            &px2,
+            &sensors,
+            &branches,
+            StemPolicy::Adaptive,
+            Precision::Int8,
+        );
+        assert!(
+            i8_trace.cost(StageKind::Stems).energy.joules()
+                < f32_trace.cost(StageKind::Stems).energy.joules()
+        );
+        assert!(
+            i8_trace.cost(StageKind::Branch).latency.millis()
+                < f32_trace.cost(StageKind::Branch).latency.millis()
+        );
+        for stage in [StageKind::Sense, StageKind::GateScore, StageKind::Select, StageKind::Fuse] {
+            assert_eq!(i8_trace.cost(stage), f32_trace.cost(stage), "{stage:?}");
         }
     }
 

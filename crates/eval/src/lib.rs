@@ -13,10 +13,12 @@
 pub mod experiments;
 pub mod gate_quality;
 pub mod map;
+pub mod parity;
 pub mod summary;
 pub mod tables;
 
 pub use gate_quality::{assess_gate, spearman, GateQualityReport};
 pub use map::{average_precision, map_voc, per_class_ap, GtFrame};
+pub use parity::{ParityReport, ParityRow, DEFAULT_MAX_DRIFT_PP};
 pub use summary::{evaluate_frames, EvalSummary, FrameOutcome};
 pub use tables::Table;

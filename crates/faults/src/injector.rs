@@ -285,6 +285,52 @@ mod tests {
     }
 
     #[test]
+    fn storm_schedule_runs_through_both_paths() {
+        // A storm: every fault kind active at once, frozen frames
+        // included. The stateful path (injector) freezes; the stateless
+        // path (apply_stateless, used by schedule sweeps that replay
+        // events without injector state) passes frozen events through
+        // instead of panicking mid-sweep.
+        let schedule = FaultSchedule::empty()
+            .with_frozen(SensorKind::CameraLeft, 1, 3)
+            .with_dropout(SensorKind::Lidar, 1, 3)
+            .with_event(SensorKind::Radar, FaultKind::NoiseBurst, 1, 3, 0.8)
+            .with_event(SensorKind::CameraRight, FaultKind::CalibrationDrift, 1, 3, 1.0)
+            .with_event(SensorKind::Lidar, FaultKind::WeatherAttenuation, 1, 3, 0.5);
+        let (scenes, clean) = render(17, 4);
+
+        // Stateful path: the injector applies the whole storm; the frozen
+        // camera repeats frame 0's grid.
+        let mut inj = FaultInjector::new(schedule.clone(), 5);
+        let out: Vec<Observation> =
+            scenes.iter().zip(&clean).map(|(s, o)| inj.apply(o.clone(), s.context)).collect();
+        assert_eq!(out[2].grid(SensorKind::CameraLeft), clean[0].grid(SensorKind::CameraLeft));
+        assert_eq!(out[1].grid(SensorKind::Lidar).sum(), 0.0, "dropout at severity 1 blanks");
+        assert_eq!(inj.frames_faulted(), 3);
+
+        // Stateless path: replay frame 2's events directly. Frozen passes
+        // through unchanged; every other kind still bites.
+        for (idx, event) in schedule.active_at(2) {
+            let mut grid = clean[2].grid(event.sensor).clone();
+            let before = grid.clone();
+            crate::model::apply_stateless(
+                &mut grid,
+                event.kind,
+                event.severity,
+                scenes[2].context,
+                event.sensor.index(),
+                2 - event.onset,
+                &mut Rng::new(idx as u64),
+            );
+            if event.kind == FaultKind::FrozenFrame {
+                assert_eq!(grid, before, "frozen is a stateless pass-through");
+            } else {
+                assert_ne!(grid, before, "{:?} must still modify the grid", event.kind);
+            }
+        }
+    }
+
+    #[test]
     fn composed_faults_apply_in_schedule_order() {
         // Dropout then noise burst on the same sensor: the burst writes
         // over a blank grid, so output energy is pure noise.

@@ -84,14 +84,20 @@ impl fmt::Display for FaultKind {
 ///
 /// [`FaultKind::FrozenFrame`] is *not* stateless (it needs the previous
 /// observation) and is handled by the
-/// [`FaultInjector`](crate::FaultInjector); passing it here panics.
+/// [`FaultInjector`](crate::FaultInjector); here it is a documented
+/// pass-through — the grid is left untouched. Freezing to the *current*
+/// frame is indistinguishable from no fault on a single grid, so the
+/// identity is the only behavior this signature can implement, and
+/// panicking instead used to take down whole schedule sweeps whose storm
+/// composition happened to route a frozen event through the stateless
+/// path.
 ///
 /// `frames_since_onset` drives time-growing faults (calibration drift);
 /// `rng` must be a per-`(frame, event)` seeded stream so injection stays
 /// reproducible regardless of schedule composition.
 ///
 /// # Panics
-/// Panics on [`FaultKind::FrozenFrame`] or a severity outside `[0, 1]`.
+/// Panics on a severity outside `[0, 1]`.
 pub fn apply_stateless(
     grid: &mut Tensor,
     kind: FaultKind,
@@ -111,7 +117,8 @@ pub fn apply_stateless(
             }
         }
         FaultKind::FrozenFrame => {
-            panic!("FrozenFrame is stateful; apply it through the FaultInjector")
+            // Stateful kind, stateless path: pass through unchanged (see
+            // the function docs). The FaultInjector owns real freezing.
         }
         FaultKind::NoiseBurst => {
             grid::add_gaussian_noise(grid, 0.6 * sev, rng);
@@ -248,10 +255,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "stateful")]
-    fn frozen_frame_rejected_here() {
+    fn frozen_frame_is_stateless_passthrough() {
+        // The stateful kind must not panic the stateless path: it passes
+        // the grid through untouched and draws no random numbers.
         let mut t = ramp_grid(8);
-        apply_stateless(&mut t, FaultKind::FrozenFrame, 1.0, Context::City, 0, 0, &mut Rng::new(7));
+        let before = t.clone();
+        let mut rng = Rng::new(7);
+        apply_stateless(&mut t, FaultKind::FrozenFrame, 1.0, Context::City, 0, 0, &mut rng);
+        assert_eq!(t, before);
+        let mut fresh = Rng::new(7);
+        assert_eq!(rng.uniform(0.0, 1.0), fresh.uniform(0.0, 1.0), "no RNG draws");
     }
 
     #[test]

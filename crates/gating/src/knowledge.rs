@@ -6,10 +6,37 @@ use ecofusion_scene::Context;
 use ecofusion_sensors::SensorMask;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
 
 /// Loss value assigned to configurations the knowledge gate did not pick:
 /// large enough that the joint optimizer never selects them.
 pub const KNOWLEDGE_REJECT_LOSS: f32 = 1.0e6;
+
+/// Typed error from strict knowledge-gate construction
+/// ([`KnowledgeGate::try_new`]) or lookup ([`KnowledgeGate::try_choice`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateError {
+    /// No rule maps this context to a configuration.
+    MissingRule(Context),
+    /// A context's rule points beyond the configuration space.
+    RuleOutOfRange(Context, usize),
+}
+
+impl fmt::Display for GateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateError::MissingRule(c) => {
+                write!(f, "knowledge gate missing rule for context {c:?}")
+            }
+            GateError::RuleOutOfRange(c, idx) => {
+                write!(f, "knowledge gate rule for {c:?} points at config {idx}, out of range")
+            }
+        }
+    }
+}
+
+impl Error for GateError {}
 
 /// Static, rule-based gate: domain knowledge maps each rigidly defined
 /// driving context to one configuration. The context is assumed to come
@@ -31,6 +58,17 @@ pub const KNOWLEDGE_REJECT_LOSS: f32 = 1.0e6;
 /// available — e.g. "City normally runs `{E(C_L+C_R+L)}`, but with the
 /// cameras dead, run lidar+radar instead". With no mask (or an
 /// all-available one) behavior is bit-identical to the plain gate.
+///
+/// # Missing-rule fallback
+///
+/// A rule map may be incomplete (a deployment that never trained rules
+/// for a context it now encounters). Lookups for an unmapped context do
+/// not panic: they degrade to [`KnowledgeGate::fallback_choice`] — the
+/// configuration with the fewest required sensors (the cheapest
+/// single-sensor branch when degraded rules are configured, index 0
+/// otherwise) — and [`Gate::predict`] counts the event in
+/// [`KnowledgeGate::fallback_events`]. Use [`KnowledgeGate::try_new`]
+/// when an incomplete map should be a hard error instead.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct KnowledgeGate {
     rules: BTreeMap<Context, usize>,
@@ -42,22 +80,49 @@ pub struct KnowledgeGate {
     /// `i` required); empty when degraded rules are not configured.
     #[serde(default)]
     config_sensors: Vec<u8>,
+    /// Times a prediction hit a context with no rule and degraded to the
+    /// fallback choice.
+    #[serde(default)]
+    fallback_events: u64,
 }
 
 impl KnowledgeGate {
     /// Creates a gate from explicit context → configuration-index rules.
+    /// Contexts absent from `rules` degrade at lookup time (see the
+    /// missing-rule fallback above) instead of failing here.
     ///
     /// # Panics
-    /// Panics if any rule points beyond `num_configs` or if no rule exists
-    /// for some context in [`Context::ALL`].
+    /// Panics if any rule points beyond `num_configs`.
     pub fn new(rules: BTreeMap<Context, usize>, num_configs: usize) -> Self {
-        for c in Context::ALL {
-            let idx = rules
-                .get(&c)
-                .unwrap_or_else(|| panic!("knowledge gate missing rule for context {c:?}"));
+        for (c, idx) in &rules {
             assert!(*idx < num_configs, "rule for {c:?} out of range");
         }
-        KnowledgeGate { rules, num_configs, fallbacks: BTreeMap::new(), config_sensors: Vec::new() }
+        KnowledgeGate {
+            rules,
+            num_configs,
+            fallbacks: BTreeMap::new(),
+            config_sensors: Vec::new(),
+            fallback_events: 0,
+        }
+    }
+
+    /// Strict construction: every context in [`Context::ALL`] must have an
+    /// in-range rule.
+    ///
+    /// # Errors
+    /// Returns [`GateError::MissingRule`] for the first unmapped context
+    /// or [`GateError::RuleOutOfRange`] for the first bad index.
+    pub fn try_new(rules: BTreeMap<Context, usize>, num_configs: usize) -> Result<Self, GateError> {
+        for c in Context::ALL {
+            match rules.get(&c) {
+                None => return Err(GateError::MissingRule(c)),
+                Some(&idx) if idx >= num_configs => {
+                    return Err(GateError::RuleOutOfRange(c, idx));
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(Self::new(rules, num_configs))
     }
 
     /// Equips the gate with degraded-context rules: `fallbacks` lists, per
@@ -88,9 +153,42 @@ impl KnowledgeGate {
         self
     }
 
-    /// The configured choice for a context.
+    /// Whether a rule exists for the context.
+    pub fn has_rule(&self, context: Context) -> bool {
+        self.rules.contains_key(&context)
+    }
+
+    /// The choice an unmapped context degrades to: the configuration with
+    /// the fewest required sensors (ties broken by lowest index), or
+    /// config 0 when degraded rules — and thus sensor usage — are not
+    /// configured.
+    pub fn fallback_choice(&self) -> usize {
+        self.config_sensors
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, bits)| (bits.count_ones(), *i))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// The configured choice for a context, degrading to
+    /// [`KnowledgeGate::fallback_choice`] when no rule exists.
     pub fn choice(&self, context: Context) -> usize {
-        self.rules[&context]
+        self.rules.get(&context).copied().unwrap_or_else(|| self.fallback_choice())
+    }
+
+    /// Strict lookup of a context's rule.
+    ///
+    /// # Errors
+    /// Returns [`GateError::MissingRule`] when the context is unmapped.
+    pub fn try_choice(&self, context: Context) -> Result<usize, GateError> {
+        self.rules.get(&context).copied().ok_or(GateError::MissingRule(context))
+    }
+
+    /// Predictions that degraded to the fallback choice because the
+    /// context had no rule.
+    pub fn fallback_events(&self) -> u64 {
+        self.fallback_events
     }
 
     /// The choice for a context given an availability mask: the primary
@@ -98,7 +196,7 @@ impl KnowledgeGate {
     /// configured), otherwise the first healthy fallback. Falls back to
     /// the primary rule when nothing in the list is fully healthy.
     pub fn choice_with_health(&self, context: Context, mask: SensorMask) -> usize {
-        let primary = self.rules[&context];
+        let primary = self.choice(context);
         if self.config_sensors.is_empty() || mask.is_all_available() {
             return primary;
         }
@@ -131,9 +229,12 @@ impl Gate for KnowledgeGate {
     fn predict(&mut self, input: &GateInput<'_>) -> Vec<f32> {
         let context =
             input.context.expect("knowledge gating requires an externally identified context");
+        if !self.has_rule(context) {
+            self.fallback_events += 1;
+        }
         let chosen = match input.sensor_health {
             Some(mask) => self.choice_with_health(context, mask),
-            None => self.rules[&context],
+            None => self.choice(context),
         };
         let mut out = vec![KNOWLEDGE_REJECT_LOSS; self.num_configs];
         out[chosen] = 0.0;
@@ -169,11 +270,54 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "missing rule")]
-    fn incomplete_rules_panics() {
+    fn incomplete_rules_degrade_instead_of_panicking() {
         let mut r = rules();
         r.remove(&Context::Snow);
-        let _ = KnowledgeGate::new(r, 3);
+        let mut g = KnowledgeGate::new(r, 3);
+        assert!(!g.has_rule(Context::Snow));
+        assert_eq!(g.try_choice(Context::Snow), Err(GateError::MissingRule(Context::Snow)));
+        // Without sensor usage configured, the fallback is config 0.
+        assert_eq!(g.choice(Context::Snow), 0);
+        let t = Tensor::zeros(&[1, 1, 2, 2]);
+        let pred = g.predict(&GateInput::with_context(&t, Context::Snow));
+        assert_eq!(pred[0], 0.0);
+        assert_eq!(g.fallback_events(), 1);
+        // Mapped contexts do not count as fallbacks.
+        let _ = g.predict(&GateInput::with_context(&t, Context::City));
+        assert_eq!(g.fallback_events(), 1);
+    }
+
+    #[test]
+    fn try_new_rejects_incomplete_or_out_of_range_rules() {
+        let mut r = rules();
+        r.remove(&Context::Snow);
+        assert_eq!(
+            KnowledgeGate::try_new(r, 3).unwrap_err(),
+            GateError::MissingRule(Context::Snow)
+        );
+        let mut bad = rules();
+        bad.insert(Context::City, 99);
+        assert_eq!(
+            KnowledgeGate::try_new(bad, 3).unwrap_err(),
+            GateError::RuleOutOfRange(Context::City, 99)
+        );
+        assert!(KnowledgeGate::try_new(rules(), 3).is_ok());
+        assert!(!GateError::MissingRule(Context::Snow).to_string().is_empty());
+    }
+
+    #[test]
+    fn missing_rule_fallback_prefers_fewest_sensors() {
+        // Sensor usage configured: the fallback is the cheapest
+        // single-sensor config (lidar-only, index 1), not index 0.
+        let mut g = degraded_gate_missing(Context::Snow);
+        assert_eq!(g.fallback_choice(), 1);
+        assert_eq!(g.choice(Context::Snow), 1);
+        let t = Tensor::zeros(&[1, 1, 2, 2]);
+        let pred = g.predict(
+            &GateInput::with_context(&t, Context::Snow).with_health(SensorMask::all_available()),
+        );
+        assert_eq!(pred[1], 0.0);
+        assert_eq!(g.fallback_events(), 1);
     }
 
     #[test]
@@ -195,6 +339,20 @@ mod tests {
         ];
         let mut rules: BTreeMap<Context, usize> = Context::ALL.iter().map(|c| (*c, 0)).collect();
         rules.insert(Context::Night, 2);
+        let fallbacks: BTreeMap<Context, Vec<usize>> =
+            Context::ALL.iter().map(|c| (*c, vec![2, 1])).collect();
+        KnowledgeGate::new(rules, 3).with_degraded_rules(fallbacks, sensors)
+    }
+
+    /// [`degraded_gate`] with one context's rule removed.
+    fn degraded_gate_missing(missing: Context) -> KnowledgeGate {
+        let sensors = vec![
+            (1 << SensorKind::CameraLeft.index()) | (1 << SensorKind::CameraRight.index()),
+            1 << SensorKind::Lidar.index(),
+            (1 << SensorKind::Lidar.index()) | (1 << SensorKind::Radar.index()),
+        ];
+        let mut rules: BTreeMap<Context, usize> = Context::ALL.iter().map(|c| (*c, 0)).collect();
+        rules.remove(&missing);
         let fallbacks: BTreeMap<Context, Vec<usize>> =
             Context::ALL.iter().map(|c| (*c, vec![2, 1])).collect();
         KnowledgeGate::new(rules, 3).with_degraded_rules(fallbacks, sensors)

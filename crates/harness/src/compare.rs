@@ -33,14 +33,29 @@ pub struct Tolerances {
     pub energy_growth_frac: f64,
     /// Maximum allowed fractional growth of latency mean/percentiles.
     pub latency_growth_frac: f64,
+    /// Absolute floor added to every relative energy band, Joules. A
+    /// purely relative band collapses to nothing on a zero baseline (any
+    /// positive charge — even modeling dust — fails), so each band is
+    /// `base * (1 + frac) + floor`.
+    pub energy_floor_j: f64,
+    /// Absolute floor added to every relative latency band, ms (one
+    /// histogram bucket by default, the percentile resolution).
+    pub latency_floor_ms: f64,
 }
 
 impl Default for Tolerances {
     /// The CI gate defaults: accuracy must not regress measurably
     /// (1e-6 percentage points absorbs only float-formatting dust), and
-    /// energy/latency may not grow more than 2%.
+    /// energy/latency may not grow more than 2% plus a small absolute
+    /// floor (so zero baselines stay gated but don't trip on dust).
     fn default() -> Self {
-        Tolerances { map_drop_pct: 1e-6, energy_growth_frac: 0.02, latency_growth_frac: 0.02 }
+        Tolerances {
+            map_drop_pct: 1e-6,
+            energy_growth_frac: 0.02,
+            latency_growth_frac: 0.02,
+            energy_floor_j: 0.05,
+            latency_floor_ms: 0.25,
+        }
     }
 }
 
@@ -216,6 +231,16 @@ fn compare_suite(
         base.masked_frames == fresh.masked_frames,
         format!("{} vs {}", base.masked_frames, fresh.masked_frames),
     );
+    strict(
+        "int8_frames",
+        base.int8_frames == fresh.int8_frames,
+        format!("{} vs {}", base.int8_frames, fresh.int8_frames),
+    );
+    strict(
+        "gate_fallbacks",
+        base.gate_fallbacks == fresh.gate_fallbacks,
+        format!("{} vs {}", base.gate_fallbacks, fresh.gate_fallbacks),
+    );
 
     // Accuracy: may not regress beyond the tolerance.
     if fresh.map_pct < base.map_pct - tol.map_drop_pct {
@@ -239,44 +264,56 @@ fn compare_suite(
         });
     }
 
-    // Energy: may not grow beyond the noise band.
-    let mut banded = |metric: &str, base_v: f64, fresh_v: f64, frac: f64| {
-        if fresh_v > base_v * (1.0 + frac) + f64::EPSILON {
+    // Energy / latency: may not grow beyond the noise band. The band is
+    // relative *plus* an absolute floor: a zero baseline (a stage a suite
+    // never exercises, an empty-histogram percentile) would otherwise
+    // make the relative part vanish and fail on any positive dust — or,
+    // with a NaN baseline, pass vacuously. The `!(<=)` form fails on NaN
+    // on either side instead of silently waving it through.
+    let mut banded = |metric: &str, base_v: f64, fresh_v: f64, frac: f64, floor: f64| {
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(fresh_v <= base_v * (1.0 + frac) + floor) {
             out.push(Violation {
                 suite: base.suite.clone(),
                 metric: metric.to_string(),
-                detail: format!("grew {base_v:.6} → {fresh_v:.6} (band +{:.1}%)", frac * 100.0),
+                detail: format!(
+                    "grew {base_v:.6} → {fresh_v:.6} (band +{:.1}% + {floor})",
+                    frac * 100.0
+                ),
             });
         }
     };
-    banded("energy.total_gated_j", base.total_gated_j, fresh.total_gated_j, tol.energy_growth_frac);
+    let (e_frac, e_floor) = (tol.energy_growth_frac, tol.energy_floor_j);
+    let (l_frac, l_floor) = (tol.latency_growth_frac, tol.latency_floor_ms);
+    banded("energy.total_gated_j", base.total_gated_j, fresh.total_gated_j, e_frac, e_floor);
     banded(
         "energy.total_platform_j",
         base.total_platform_j,
         fresh.total_platform_j,
-        tol.energy_growth_frac,
+        e_frac,
+        e_floor,
     );
     for (stage, base_j) in &base.stage_energy.per_stage_j {
         let fresh_j = fresh.stage_energy.per_stage_j.get(stage).copied().unwrap_or(0.0);
-        banded(&format!("energy.stage.{stage}"), *base_j, fresh_j, tol.energy_growth_frac);
+        banded(&format!("energy.stage.{stage}"), *base_j, fresh_j, e_frac, e_floor);
     }
     // Mirror the suite-presence symmetry for stage keys: a stage the
     // fresh report charges but the baseline has never seen (renamed or
     // newly added StageKind) would otherwise run ungated while the old
     // key vacuously compares against 0. Banding against a 0.0 baseline
-    // flags any positive charge.
+    // flags any charge above the absolute floor.
     for (stage, fresh_j) in &fresh.stage_energy.per_stage_j {
         if !base.stage_energy.per_stage_j.contains_key(stage) {
-            banded(&format!("energy.stage.{stage}"), 0.0, *fresh_j, tol.energy_growth_frac);
+            banded(&format!("energy.stage.{stage}"), 0.0, *fresh_j, e_frac, e_floor);
         }
     }
 
     // Latency: mean and tail, banded.
-    banded("latency.mean_ms", base.latency.mean_ms, fresh.latency.mean_ms, tol.latency_growth_frac);
-    banded("latency.p50_ms", base.latency.p50_ms, fresh.latency.p50_ms, tol.latency_growth_frac);
-    banded("latency.p95_ms", base.latency.p95_ms, fresh.latency.p95_ms, tol.latency_growth_frac);
-    banded("latency.p99_ms", base.latency.p99_ms, fresh.latency.p99_ms, tol.latency_growth_frac);
-    banded("latency.max_ms", base.latency.max_ms, fresh.latency.max_ms, tol.latency_growth_frac);
+    banded("latency.mean_ms", base.latency.mean_ms, fresh.latency.mean_ms, l_frac, l_floor);
+    banded("latency.p50_ms", base.latency.p50_ms, fresh.latency.p50_ms, l_frac, l_floor);
+    banded("latency.p95_ms", base.latency.p95_ms, fresh.latency.p95_ms, l_frac, l_floor);
+    banded("latency.p99_ms", base.latency.p99_ms, fresh.latency.p99_ms, l_frac, l_floor);
+    banded("latency.max_ms", base.latency.max_ms, fresh.latency.max_ms, l_frac, l_floor);
 
     // throughput_fps / wall_ms: intentionally not gated (host-dependent).
 }
@@ -332,11 +369,14 @@ mod tests {
                 max_final_level: 0,
                 degraded_frames: 0,
                 masked_frames: 0,
+                int8_frames: 0,
+                gate_fallbacks: 0,
                 contexts_visited: vec!["City".to_string()],
                 config_histogram: BTreeMap::new(),
                 determinism_digest: "00000000000000aa".to_string(),
                 fleet: Vec::new(),
             }],
+            int8_speedup: None,
         }
     }
 
@@ -450,6 +490,78 @@ mod tests {
         fresh.suites[0].stage_energy.per_stage_j.insert("branch_v2".to_string(), j);
         let violations = compare(&base, &fresh, &Tolerances::default());
         assert!(violations.iter().any(|v| v.metric == "energy.stage.branch_v2"), "{violations:?}");
+    }
+
+    #[test]
+    fn zero_baseline_band_has_absolute_floor() {
+        // The "select" stage carries 0.0 J in the fixture. A purely
+        // relative band around a zero baseline is `fresh > 0 + ε`, which
+        // fails on modeling dust — the absolute floor absorbs it.
+        let base = report();
+        let mut dust = report();
+        dust.suites[0].stage_energy.per_stage_j.insert("select".to_string(), 0.01);
+        assert!(
+            compare(&base, &dust, &Tolerances::default()).is_empty(),
+            "charge under the floor must pass on a zero baseline"
+        );
+        // Real growth past the floor still fails.
+        let mut grown = report();
+        grown.suites[0].stage_energy.per_stage_j.insert("select".to_string(), 0.06);
+        assert!(compare(&base, &grown, &Tolerances::default())
+            .iter()
+            .any(|v| v.metric == "energy.stage.select"));
+        // Same shape for a zero-latency baseline (an empty histogram).
+        let mut zero_lat = report();
+        zero_lat.suites[0].latency = crate::report::LatencyStats {
+            mean_ms: 0.0,
+            p50_ms: 0.0,
+            p95_ms: 0.0,
+            p99_ms: 0.0,
+            max_ms: 0.0,
+        };
+        let mut bucket = zero_lat.clone();
+        bucket.suites[0].latency.p99_ms = 0.2;
+        assert!(
+            compare(&zero_lat, &bucket, &Tolerances::default()).is_empty(),
+            "sub-bucket latency on a zero baseline must pass"
+        );
+        let mut tail = zero_lat.clone();
+        tail.suites[0].latency.p99_ms = 5.0;
+        assert!(compare(&zero_lat, &tail, &Tolerances::default())
+            .iter()
+            .any(|v| v.metric == "latency.p99_ms"));
+    }
+
+    #[test]
+    fn nan_metrics_never_pass_vacuously() {
+        // `fresh > band` is false when either side is NaN, which used to
+        // wave a poisoned metric through; the NaN-safe form must flag it.
+        let base = report();
+        let mut fresh = report();
+        fresh.suites[0].latency.p99_ms = f64::NAN;
+        assert!(compare(&base, &fresh, &Tolerances::default())
+            .iter()
+            .any(|v| v.metric == "latency.p99_ms"));
+        let mut nan_base = report();
+        nan_base.suites[0].total_gated_j = f64::NAN;
+        assert!(compare(&nan_base, &report(), &Tolerances::default())
+            .iter()
+            .any(|v| v.metric == "energy.total_gated_j"));
+    }
+
+    #[test]
+    fn counter_fields_are_strict() {
+        let base = report();
+        let mut fresh = report();
+        fresh.suites[0].int8_frames = 3;
+        assert!(compare(&base, &fresh, &Tolerances::default())
+            .iter()
+            .any(|v| v.metric == "determinism.int8_frames"));
+        let mut fb = report();
+        fb.suites[0].gate_fallbacks = 1;
+        assert!(compare(&base, &fb, &Tolerances::default())
+            .iter()
+            .any(|v| v.metric == "determinism.gate_fallbacks"));
     }
 
     #[test]

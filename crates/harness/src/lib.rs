@@ -60,7 +60,8 @@ pub mod suites;
 
 pub use compare::{compare, Tolerances, Violation};
 pub use report::{
-    BenchReport, BuildMeta, FleetPoint, LatencyStats, ShardPoint, SuiteReport, SCHEMA_VERSION,
+    BenchReport, BuildMeta, FleetPoint, Int8Speedup, LatencyStats, ShardPoint, SuiteReport,
+    SCHEMA_VERSION,
 };
 pub use run::{run_report, run_suite, ModelProvider};
 pub use suites::{

@@ -135,6 +135,13 @@ pub struct SuiteReport {
     pub degraded_frames: u64,
     /// Frames processed with at least one sensor masked out of gating.
     pub masked_frames: u64,
+    /// Frames whose perception stages ran int8-quantized (0 in reports
+    /// that predate the precision axis).
+    #[serde(default)]
+    pub int8_frames: u64,
+    /// Knowledge-gate missing-rule fallbacks (0 in older reports).
+    #[serde(default)]
+    pub gate_fallbacks: u64,
     /// Driving contexts the suite's scenes actually visited (labels,
     /// sorted).
     pub contexts_visited: Vec<String>,
@@ -177,6 +184,16 @@ pub struct BuildMeta {
     pub shards: usize,
 }
 
+/// Measured int8-vs-f32 kernel speedups, recorded by the parity harness.
+/// Wall-clock ratios on the build host — informational, never gated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Int8Speedup {
+    /// f32 stem forward time / int8 stem forward time.
+    pub stem: f64,
+    /// f32 branch (backbone + head) time / int8 branch time.
+    pub branch: f64,
+}
+
 /// A full harness run: metadata plus one report per suite.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -186,6 +203,10 @@ pub struct BenchReport {
     pub build: BuildMeta,
     /// Per-suite reports, in [`SuiteId::ALL`](crate::SuiteId::ALL) order.
     pub suites: Vec<SuiteReport>,
+    /// Int8 kernel speedups when the parity harness measured them
+    /// (`None` in ordinary gate runs and older reports; not gated).
+    #[serde(default)]
+    pub int8_speedup: Option<Int8Speedup>,
 }
 
 impl BenchReport {
@@ -273,6 +294,8 @@ mod tests {
             max_final_level: 0,
             degraded_frames: 0,
             masked_frames: 0,
+            int8_frames: 0,
+            gate_fallbacks: 0,
             contexts_visited: vec!["City".to_string()],
             config_histogram,
             determinism_digest: "cbf29ce484222325".to_string(),
@@ -324,6 +347,7 @@ mod tests {
                 }];
                 fleet
             }],
+            int8_speedup: None,
         }
     }
 

@@ -87,6 +87,7 @@ pub fn run_report(scale: Scale, only: &[String], shards: usize) -> Result<BenchR
     }
     Ok(BenchReport {
         schema: SCHEMA_VERSION,
+        int8_speedup: None,
         build: BuildMeta {
             backend: match backend::backend_kind() {
                 BackendKind::Reference => "reference".to_string(),
@@ -177,6 +178,8 @@ struct SuiteAccum {
     max_final_level: usize,
     degraded: u64,
     masked: u64,
+    int8_frames: u64,
+    gate_fallbacks: u64,
     histogram: BTreeMap<String, usize>,
     digest: Fnv1a,
     wall_ms: f64,
@@ -196,6 +199,8 @@ impl SuiteAccum {
             self.max_final_level = self.max_final_level.max(s.final_level);
             self.degraded += s.degraded_frames;
             self.masked += s.masked_frames;
+            self.int8_frames += s.int8_frames;
+            self.gate_fallbacks += s.gate_fallbacks;
             for (label, count) in &s.summary.config_histogram {
                 *self.histogram.entry(label.clone()).or_default() += count;
             }
@@ -296,6 +301,8 @@ impl SuiteAccum {
             max_final_level: self.max_final_level,
             degraded_frames: self.degraded,
             masked_frames: self.masked,
+            int8_frames: self.int8_frames,
+            gate_fallbacks: self.gate_fallbacks,
             contexts_visited: self.contexts.iter().map(|s| s.to_string()).collect(),
             config_histogram: self.histogram,
             determinism_digest: format!("{:016x}", self.digest.finish()),

@@ -171,8 +171,20 @@ pub fn stream_specs(
 
 /// The inference options every suite starts from (the paper defaults; the
 /// budget ladder may move a stream off them mid-run).
+///
+/// The `ECOFUSION_PRECISION` environment variable (`int8` / `f32`,
+/// case-insensitive) overrides the perception precision — the CI
+/// int8-parity step uses it to drive the whole gate quantized without
+/// touching every suite definition. Unset or unrecognized values keep the
+/// f32 default, so ordinary runs are unchanged.
 pub fn base_options() -> InferenceOptions {
-    InferenceOptions::new(0.01, 0.5)
+    let mut opts = InferenceOptions::new(0.01, 0.5);
+    if let Ok(v) = std::env::var("ECOFUSION_PRECISION") {
+        if v.eq_ignore_ascii_case("int8") {
+            opts.precision = ecofusion_core::Precision::Int8;
+        }
+    }
+    opts
 }
 
 #[cfg(test)]

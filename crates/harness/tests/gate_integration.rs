@@ -49,6 +49,7 @@ fn steady_city_quick_rerun_is_report_identical() {
             shards: 1,
         },
         suites: vec![suite],
+        int8_speedup: None,
     };
     let (base, fresh) = (wrap(a), wrap(b));
     let violations = compare(&base, &fresh, &Tolerances::default());
@@ -76,6 +77,7 @@ fn hand_edited_baseline_map_fails_the_gate() {
             shards: 1,
         },
         suites: vec![suite],
+        int8_speedup: None,
     };
     // Simulate a baseline whose mAP was edited upward by hand: the
     // honest fresh run must fail the accuracy gate with exactly that
@@ -95,10 +97,12 @@ fn hand_edited_baseline_map_fails_the_gate() {
 fn budget_squeeze_reaches_the_emergency_rung() {
     let provider = ModelProvider::prepare(Scale::Quick);
     let suite = run_suite(&provider, SuiteId::BudgetSqueeze, Scale::Quick, 1).expect("run");
-    // The ladder for the paper-default base options has 4 rungs; the
-    // squeeze must end pinned at the last (knowledge-gate emergency) one.
-    assert_eq!(suite.max_final_level, 3, "budget squeeze never hit the emergency rung");
-    assert!(suite.escalations >= 3);
+    // The ladder for the paper-default base options has 5 rungs; the
+    // squeeze must end pinned at the last (int8 knowledge-gate emergency)
+    // one, and the frames served there are counted as quantized.
+    assert_eq!(suite.max_final_level, 4, "budget squeeze never hit the int8 emergency rung");
+    assert!(suite.escalations >= 4);
+    assert!(suite.int8_frames > 0, "emergency rung must serve quantized frames");
 }
 
 #[test]

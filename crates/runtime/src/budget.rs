@@ -1,7 +1,7 @@
 //! Per-stream energy budgeting: rolling spend vs. target, with a policy
 //! ladder that trades accuracy for energy when a stream runs hot.
 
-use ecofusion_core::InferenceOptions;
+use ecofusion_core::{InferenceOptions, Precision};
 use ecofusion_gating::GateKind;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -63,21 +63,34 @@ pub struct PolicyStep {
     /// Candidate margin `γ` at this level (wider = more energy headroom
     /// for the joint optimizer, at some accuracy risk).
     pub gamma: f32,
+    /// Numeric precision the perception stages run at on this rung.
+    /// Defaults to [`Precision::F32`] so ladders serialized before the
+    /// precision axis existed deserialize unchanged.
+    #[serde(default)]
+    pub precision: Precision,
 }
 
 impl PolicyStep {
     /// Applies this step to a stream's base options.
     pub fn apply(&self, base: &InferenceOptions) -> InferenceOptions {
-        InferenceOptions { gate: self.gate, lambda_e: self.lambda_e, gamma: self.gamma, ..*base }
+        InferenceOptions {
+            gate: self.gate,
+            lambda_e: self.lambda_e,
+            gamma: self.gamma,
+            precision: self.precision,
+            ..*base
+        }
     }
 }
 
 /// Default ladder for a stream whose base options are `base`: keep the
 /// base gate while raising `λ_E`, then widen the candidate margin so the
-/// energy weight has real choices, and finally drop to an emergency rung —
+/// energy weight has real choices, then drop to an emergency rung —
 /// knowledge gate (a static context lookup, the cheapest to evaluate) with
 /// every configuration a candidate and `λ_E = 1`, which executes the
-/// single cheapest branch.
+/// single cheapest branch — and finally run that same emergency rung with
+/// int8-quantized stems and branch heads, so the last escalation runs one
+/// stem *quantized* at the measured int8 stage costs.
 ///
 /// Consecutive rungs that the `max` clamps make identical to their
 /// predecessor (a base `λ_E` already at 0.7, say) are dropped, so every
@@ -85,14 +98,36 @@ impl PolicyStep {
 /// window on a no-op.
 pub fn default_ladder(base: &InferenceOptions) -> Vec<PolicyStep> {
     let candidates = [
-        PolicyStep { gate: base.gate, lambda_e: base.lambda_e, gamma: base.gamma },
-        PolicyStep { gate: base.gate, lambda_e: base.lambda_e.max(0.35), gamma: base.gamma },
+        PolicyStep {
+            gate: base.gate,
+            lambda_e: base.lambda_e,
+            gamma: base.gamma,
+            precision: base.precision,
+        },
+        PolicyStep {
+            gate: base.gate,
+            lambda_e: base.lambda_e.max(0.35),
+            gamma: base.gamma,
+            precision: base.precision,
+        },
         PolicyStep {
             gate: base.gate,
             lambda_e: base.lambda_e.max(0.7),
             gamma: base.gamma.max(WIDE_GAMMA),
+            precision: base.precision,
         },
-        PolicyStep { gate: GateKind::Knowledge, lambda_e: 1.0, gamma: EMERGENCY_GAMMA },
+        PolicyStep {
+            gate: GateKind::Knowledge,
+            lambda_e: 1.0,
+            gamma: EMERGENCY_GAMMA,
+            precision: base.precision,
+        },
+        PolicyStep {
+            gate: GateKind::Knowledge,
+            lambda_e: 1.0,
+            gamma: EMERGENCY_GAMMA,
+            precision: Precision::Int8,
+        },
     ];
     let mut ladder: Vec<PolicyStep> = Vec::with_capacity(candidates.len());
     for step in candidates {
@@ -408,21 +443,45 @@ mod tests {
         }
         assert_eq!(c.level(), default_ladder(&base_opts()).len() - 1);
         assert_eq!(c.current().gate, GateKind::Knowledge);
+        assert_eq!(c.current().precision, Precision::Int8, "top rung runs quantized");
+    }
+
+    #[test]
+    fn apply_threads_precision_into_options() {
+        let base = base_opts();
+        let ladder = default_ladder(&base);
+        let emergency = *ladder.last().unwrap();
+        let opts = emergency.apply(&base);
+        assert_eq!(opts.precision, Precision::Int8);
+        // Every non-final rung keeps the base precision.
+        for step in &ladder[..ladder.len() - 1] {
+            assert_eq!(step.apply(&base).precision, Precision::F32);
+        }
+    }
+
+    #[test]
+    fn policy_step_without_precision_deserializes_to_f32() {
+        // A ladder serialized before the precision axis existed must load
+        // unchanged (serde default).
+        let json = r#"{"gate":"Knowledge","lambda_e":1.0,"gamma":2.0}"#;
+        let step: PolicyStep = serde_json::from_str(json).expect("legacy step parses");
+        assert_eq!(step.precision, Precision::F32);
     }
 
     #[test]
     fn ladder_dedupes_noop_rungs() {
         // Base options already at the mid-ladder values: the clamped
-        // rungs collapse and only base + emergency remain.
+        // rungs collapse and only base + the two emergency rungs remain.
         let base = InferenceOptions::new(0.8, 3.0);
         let ladder = default_ladder(&base);
-        assert_eq!(ladder.len(), 2, "{ladder:?}");
+        assert_eq!(ladder.len(), 3, "{ladder:?}");
         for w in ladder.windows(2) {
             assert_ne!(w[0], w[1], "consecutive duplicate rung");
         }
         assert_eq!(ladder.last().unwrap().gate, GateKind::Knowledge);
-        // A low base keeps all four distinct rungs.
-        assert_eq!(default_ladder(&base_opts()).len(), 4);
+        assert_eq!(ladder.last().unwrap().precision, Precision::Int8);
+        // A low base keeps all five distinct rungs.
+        assert_eq!(default_ladder(&base_opts()).len(), 5);
     }
 
     #[test]

@@ -47,6 +47,10 @@ pub struct LatencyHistogram {
     count: u64,
     sum_ms: f64,
     max_ms: f64,
+    /// Smallest recorded (clamped) sample; 0 when empty. `serde(default)`
+    /// so histograms serialized before the field existed still load.
+    #[serde(default)]
+    min_ms: f64,
 }
 
 impl Default for LatencyHistogram {
@@ -58,7 +62,13 @@ impl Default for LatencyHistogram {
 impl LatencyHistogram {
     /// An empty histogram.
     pub fn new() -> Self {
-        LatencyHistogram { counts: vec![0; NUM_BUCKETS + 1], count: 0, sum_ms: 0.0, max_ms: 0.0 }
+        LatencyHistogram {
+            counts: vec![0; NUM_BUCKETS + 1],
+            count: 0,
+            sum_ms: 0.0,
+            max_ms: 0.0,
+            min_ms: 0.0,
+        }
     }
 
     /// Records one latency sample. Negative or NaN samples clamp to the
@@ -71,6 +81,13 @@ impl LatencyHistogram {
         // Float→usize casts saturate, so +∞ maps to the overflow bucket.
         let idx = if ms > 0.0 { ((ms / BUCKET_WIDTH_MS) as usize).min(NUM_BUCKETS) } else { 0 };
         self.counts[idx] += 1;
+        // Track the min of the clamped sample (negative/NaN → 0, matching
+        // the bucket it landed in) so `percentile(0)` is exact, the way
+        // `max()` already is for the tail.
+        let clamped = if ms > 0.0 { ms } else { 0.0 };
+        if self.count == 0 || clamped < self.min_ms {
+            self.min_ms = clamped;
+        }
         self.count += 1;
         if ms.is_finite() {
             self.sum_ms += ms;
@@ -100,13 +117,25 @@ impl LatencyHistogram {
         self.max_ms
     }
 
+    /// Smallest recorded sample after clamping (negative/NaN samples
+    /// clamp to 0, as in [`LatencyHistogram::record`]). Zero when empty.
+    pub fn min(&self) -> f64 {
+        self.min_ms
+    }
+
     /// The `p`-th percentile (`p` in `[0, 100]`), reported as the upper
-    /// edge of the bucket holding the rank-`⌈p/100·n⌉` sample. The
-    /// overflow bucket reports the exact observed maximum. Zero when
-    /// empty.
+    /// edge of the bucket holding the rank-`⌈p/100·n⌉` sample. Two exact
+    /// corners: `p ≤ 0` reports the observed minimum (not a bucket edge —
+    /// under an all-overflow distribution the bucket walk would otherwise
+    /// report the *maximum* for every `p`, an unbounded over-report of
+    /// p0), and the overflow bucket reports the exact observed maximum.
+    /// Zero when empty.
     pub fn percentile(&self, p: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
+        }
+        if p <= 0.0 {
+            return self.min_ms;
         }
         let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
@@ -125,6 +154,9 @@ impl LatencyHistogram {
     /// Folds another histogram into this one (for rolling per-stream
     /// histograms into a suite- or fleet-level distribution).
     pub fn merge(&mut self, other: &LatencyHistogram) {
+        if other.count > 0 && (self.count == 0 || other.min_ms < self.min_ms) {
+            self.min_ms = other.min_ms;
+        }
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
@@ -179,6 +211,77 @@ mod tests {
             assert!((h.percentile(p) - 7.25).abs() < 1e-12);
         }
         assert!((h.max() - 7.1).abs() < 1e-12);
+        // p0 is the exact observed minimum, like max() is for the tail.
+        assert!((h.percentile(0.0) - 7.1).abs() < 1e-12);
+        assert!((h.min() - 7.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p0_reports_exact_minimum() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.percentile(0.0), 0.0, "empty");
+        h.record(42.9);
+        h.record(3.7);
+        h.record(100.0);
+        assert!((h.percentile(0.0) - 3.7).abs() < 1e-12);
+        // Negative/NaN samples clamp to the floor bucket and drag the
+        // minimum to 0, consistently with where they were counted.
+        h.record(-5.0);
+        assert_eq!(h.percentile(0.0), 0.0);
+    }
+
+    #[test]
+    fn all_overflow_keeps_p0_at_min_not_max() {
+        // Every sample beyond the covered range: the bucket walk can only
+        // say "overflow", but p0 must still report the true minimum, not
+        // the maximum.
+        let mut h = LatencyHistogram::new();
+        h.record(5_000.0);
+        h.record(10_000.0);
+        h.record(20_000.0);
+        assert!((h.percentile(0.0) - 5_000.0).abs() < 1e-12);
+        assert!((h.percentile(50.0) - 20_000.0).abs() < 1e-12, "overflow reports exact max");
+        assert!((h.max() - 20_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_percentiles_match_combined_in_corners() {
+        // Satellite contract: merge(a, b) percentiles equal a histogram
+        // fed the combined samples, in the corner cases — p = 0, a
+        // single-sample side, and an all-overflow side.
+        let cases: [(&[f64], &[f64]); 4] = [
+            // Single sample vs. single sample.
+            (&[7.1], &[2.3]),
+            // Single sample vs. empty.
+            (&[7.1], &[]),
+            // All-overflow on one side, regular on the other.
+            (&[5_000.0, 20_000.0], &[1.0, 2.0, 3.0]),
+            // All-overflow on both sides.
+            (&[9_000.0], &[400.0, 123_456.0]),
+        ];
+        for (xs, ys) in cases {
+            let mut a = LatencyHistogram::new();
+            let mut b = LatencyHistogram::new();
+            let mut combined = LatencyHistogram::new();
+            for &x in xs {
+                a.record(x);
+                combined.record(x);
+            }
+            for &y in ys {
+                b.record(y);
+                combined.record(y);
+            }
+            a.merge(&b);
+            assert_eq!(a, combined, "merged state != combined state for {xs:?} + {ys:?}");
+            for p in [0.0, 1.0, 50.0, 95.0, 99.0, 100.0] {
+                let m = a.percentile(p);
+                let c = combined.percentile(p);
+                assert!(
+                    (m - c).abs() < 1e-12,
+                    "p{p} diverges after merge: {m} vs {c} for {xs:?} + {ys:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -13,7 +13,9 @@ use crate::shard::{execute_units, shard_of, ShardReport, ShardState, StepUnit, U
 use crate::stream::{StreamSpec, VehicleStream};
 use crate::telemetry::StreamTelemetry;
 use ecofusion_core::model::InferError;
-use ecofusion_core::{CandidateRule, EcoFusionModel, Frame, InferenceOptions, StemFeatureCache};
+use ecofusion_core::{
+    CandidateRule, EcoFusionModel, Frame, InferenceOptions, Precision, StemFeatureCache,
+};
 use ecofusion_eval::EvalSummary;
 use ecofusion_faults::SensorHealthMonitor;
 use ecofusion_gating::GateKind;
@@ -106,6 +108,7 @@ struct OptionsKey {
     score_bits: u32,
     nms_bits: u32,
     health_bits: u8,
+    precision: u8,
 }
 
 impl OptionsKey {
@@ -121,6 +124,7 @@ impl OptionsKey {
             score_bits: opts.score_thresh.to_bits(),
             nms_bits: opts.nms_iou.to_bits(),
             health_bits: opts.health.bits(),
+            precision: opts.precision.discriminant(),
         }
     }
 }
@@ -216,6 +220,14 @@ pub struct StreamReport {
     pub stems_cached: u64,
     /// Stems pruned by the demand-driven plan (never run at all).
     pub stems_skipped: u64,
+    /// Frames whose perception stages ran int8-quantized (the emergency
+    /// rung of the default ladder, or an explicit `Precision::Int8`).
+    pub int8_frames: u64,
+    /// Frames on which the knowledge gate was missing a context rule and
+    /// degraded to its cheapest-configuration fallback.
+    pub gate_fallbacks: u64,
+    /// Numeric precision in force at the end of the run.
+    pub final_precision: Precision,
     /// Stem-cache lookups that found a matching grid.
     pub stem_cache_hits: u64,
     /// Stem-cache lookups that missed.
@@ -252,6 +264,10 @@ pub struct RuntimeReport {
     pub total_gated_j: f64,
     /// Stems executed across all streams.
     pub total_stems_executed: u64,
+    /// Frames that ran int8-quantized, across all streams.
+    pub total_int8_frames: u64,
+    /// Knowledge-gate missing-rule fallbacks, across all streams.
+    pub total_gate_fallbacks: u64,
     /// Stems pruned or served from caches across all streams (the
     /// compute the staged pipeline saved vs. always-run-four).
     pub total_stems_saved: u64,
@@ -715,6 +731,9 @@ impl PerceptionServer {
                     stems_executed: lane.telemetry.stems_executed(),
                     stems_cached: lane.telemetry.stems_cached(),
                     stems_skipped: lane.telemetry.stems_skipped(),
+                    int8_frames: lane.telemetry.int8_frames(),
+                    gate_fallbacks: lane.telemetry.gate_fallbacks(),
+                    final_precision: lane.opts.precision,
                     stem_cache_hits: self.stem_caches[i].hits(),
                     stem_cache_misses: self.stem_caches[i].misses(),
                     stage_energy_j,
@@ -760,6 +779,8 @@ impl PerceptionServer {
             total_platform_j: per_stream.iter().map(|s| s.total_platform_j).sum(),
             total_gated_j: per_stream.iter().map(|s| s.total_gated_j).sum(),
             total_stems_executed: per_stream.iter().map(|s| s.stems_executed).sum(),
+            total_int8_frames: per_stream.iter().map(|s| s.int8_frames).sum(),
+            total_gate_fallbacks: per_stream.iter().map(|s| s.gate_fallbacks).sum(),
             total_stems_saved: per_stream.iter().map(|s| s.stems_cached + s.stems_skipped).sum(),
             latency_mean_ms: fleet_hist.mean(),
             latency_p50_ms: fleet_hist.percentile(50.0),

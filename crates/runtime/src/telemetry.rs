@@ -2,7 +2,7 @@
 //! [`EvalSummary`] the offline experiment harness reports.
 
 use crate::hist::LatencyHistogram;
-use ecofusion_core::{ConfigId, InferenceOutput};
+use ecofusion_core::{ConfigId, InferenceOutput, Precision};
 use ecofusion_detect::{fusion_loss, Detection};
 use ecofusion_energy::StageKind;
 use ecofusion_eval::{map_voc, EvalSummary, GtFrame};
@@ -36,6 +36,8 @@ pub struct StreamTelemetry {
     stems_executed: u64,
     stems_cached: u64,
     stems_skipped: u64,
+    int8_frames: u64,
+    gate_fallbacks: u64,
     stage_energy_j: [f64; StageKind::COUNT],
     stage_latency_ms: [f64; StageKind::COUNT],
 }
@@ -60,6 +62,10 @@ impl StreamTelemetry {
         self.stems_executed += trace.stems_executed as u64;
         self.stems_cached += trace.stems_cached as u64;
         self.stems_skipped += trace.stems_skipped as u64;
+        if output.precision == Precision::Int8 {
+            self.int8_frames += 1;
+        }
+        self.gate_fallbacks += u64::from(output.gate_fallbacks);
         for (i, stage) in StageKind::ALL.into_iter().enumerate() {
             self.stage_energy_j[i] += trace.cost(stage).energy.joules();
             self.stage_latency_ms[i] += trace.cost(stage).latency.millis();
@@ -128,6 +134,18 @@ impl StreamTelemetry {
     /// Total stems pruned by the demand-driven plan.
     pub fn stems_skipped(&self) -> u64 {
         self.stems_skipped
+    }
+
+    /// Frames whose perception stages ran int8-quantized (the emergency
+    /// ladder rung, or an explicit [`Precision::Int8`] option).
+    pub fn int8_frames(&self) -> u64 {
+        self.int8_frames
+    }
+
+    /// Frames on which the knowledge gate had no rule for the scene
+    /// context and degraded to its cheapest-configuration fallback.
+    pub fn gate_fallbacks(&self) -> u64 {
+        self.gate_fallbacks
     }
 
     /// Total modeled per-stage energy, Joules, in [`StageKind::ALL`]
@@ -249,6 +267,26 @@ mod tests {
         let p50 = t.latency_percentile_ms(50.0);
         let p99 = t.latency_percentile_ms(99.0);
         assert!(p50 > 0.0 && p99 >= p50);
+        Ok(())
+    }
+
+    #[test]
+    fn precision_and_fallback_counters_accumulate() -> Result<(), ecofusion_core::model::InferError>
+    {
+        let data = Dataset::generate(&DatasetSpec::small(22));
+        let mut model = EcoFusionModel::new(32, 8, &mut Rng::new(2));
+        let mut t = StreamTelemetry::new();
+        let frame = &data.test()[0];
+        let f32_out = model.infer(frame, &InferenceOptions::new(0.01, 0.5))?;
+        t.record(&f32_out, frame.gt_boxes(), 0);
+        assert_eq!(t.int8_frames(), 0);
+        let int8_opts = InferenceOptions::new(0.01, 0.5).with_precision(Precision::Int8);
+        let mut int8_out = model.infer(frame, &int8_opts)?;
+        int8_out.gate_fallbacks = 2;
+        t.record(&int8_out, frame.gt_boxes(), 0);
+        assert_eq!(t.frames(), 2);
+        assert_eq!(t.int8_frames(), 1);
+        assert_eq!(t.gate_fallbacks(), 2);
         Ok(())
     }
 

@@ -39,7 +39,7 @@ pub enum BackendKind {
 }
 
 /// Shape parameters of a 2-D convolution (NCHW, square kernel).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ConvSpec {
     /// Input channels.
     pub in_channels: usize,

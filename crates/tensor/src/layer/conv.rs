@@ -73,6 +73,17 @@ impl Conv2d {
     pub fn spec(&self) -> ConvSpec {
         self.spec
     }
+
+    /// The weight tensor, shape `(C_out, C_in·k·k)` (read-only view for
+    /// serialization and quantization).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// The bias tensor, shape `(C_out)`.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias.value
+    }
 }
 
 impl Layer for Conv2d {
@@ -126,6 +137,10 @@ impl Layer for Conv2d {
 
     fn name(&self) -> &'static str {
         "Conv2d"
+    }
+
+    fn as_conv2d(&self) -> Option<&Conv2d> {
+        Some(self)
     }
 }
 

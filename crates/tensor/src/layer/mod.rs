@@ -58,6 +58,26 @@ pub trait Layer: Send {
     /// Human-readable layer name for diagnostics.
     fn name(&self) -> &'static str;
 
+    /// Downcast hook for the post-training quantizer: layers that are a
+    /// 2-D convolution return themselves so their weights can be
+    /// re-expressed in int8. Everything else keeps the `None` default.
+    fn as_conv2d(&self) -> Option<&Conv2d> {
+        None
+    }
+
+    /// Downcast hook for the quantizer: batch-norm layers return
+    /// themselves so their eval-mode affine can be folded into an
+    /// explicit per-channel scale/shift stage.
+    fn as_batchnorm(&self) -> Option<&BatchNorm2d> {
+        None
+    }
+
+    /// Downcast hook for the quantizer: max-pool layers return themselves
+    /// so the pooling geometry can be mirrored into the int8 pipe.
+    fn as_maxpool(&self) -> Option<&MaxPool2d> {
+        None
+    }
+
     /// Clears accumulated gradients on all parameters.
     fn zero_grad(&mut self) {
         self.visit_params(&mut |p| p.zero_grad());

@@ -48,6 +48,21 @@ impl BatchNorm2d {
         self.running_var.data()
     }
 
+    /// Per-channel scale γ (for inspection/quantization).
+    pub fn gamma(&self) -> &[f32] {
+        self.gamma.value.data()
+    }
+
+    /// Per-channel shift β (for inspection/quantization).
+    pub fn beta(&self) -> &[f32] {
+        self.beta.value.data()
+    }
+
+    /// The numerical-stability epsilon added to the variance.
+    pub fn eps(&self) -> f32 {
+        self.eps
+    }
+
     /// Overwrites the running statistics (used by deserialization).
     ///
     /// # Panics
@@ -188,6 +203,10 @@ impl Layer for BatchNorm2d {
 
     fn name(&self) -> &'static str {
         "BatchNorm2d"
+    }
+
+    fn as_batchnorm(&self) -> Option<&BatchNorm2d> {
+        Some(self)
     }
 }
 

@@ -22,6 +22,11 @@ impl MaxPool2d {
         assert!(kernel > 0, "kernel must be positive");
         MaxPool2d { kernel, argmax: None, in_shape: None }
     }
+
+    /// The pooling kernel side (stride equals the kernel).
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
 }
 
 impl Layer for MaxPool2d {
@@ -101,6 +106,10 @@ impl Layer for MaxPool2d {
 
     fn name(&self) -> &'static str {
         "MaxPool2d"
+    }
+
+    fn as_maxpool(&self) -> Option<&MaxPool2d> {
+        Some(self)
     }
 }
 

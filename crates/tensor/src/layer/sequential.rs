@@ -56,6 +56,12 @@ impl Sequential {
     pub fn is_empty(&self) -> bool {
         self.layers.is_empty()
     }
+
+    /// Read-only view of the composed layers (used by the post-training
+    /// quantizer to walk the chain).
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
 }
 
 impl Layer for Sequential {

@@ -52,6 +52,7 @@ pub mod layer;
 pub mod loss;
 pub mod optim;
 pub mod param;
+pub mod quant;
 pub mod rng;
 pub mod serialize;
 pub mod tensor;
@@ -62,5 +63,6 @@ pub use layer::{
     Sigmoid,
 };
 pub use param::Param;
+pub use quant::{QuantConv2d, QuantPipe, QuantStage, QuantizeError};
 pub use rng::Rng;
 pub use tensor::Tensor;

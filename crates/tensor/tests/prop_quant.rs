@@ -1,0 +1,115 @@
+//! Property-based tests for the int8 quantization path: the symmetric
+//! per-channel scheme must round-trip every weight within half a
+//! quantization step, the int8 GEMM must agree exactly with a naive i32
+//! reduction, and the activation quantizer must saturate instead of
+//! wrapping.
+
+use ecofusion_tensor::quant::{gemm_i8_nt, quantize_activations, quantize_per_channel, QMAX};
+use ecofusion_tensor::rng::Rng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Quantize→dequantize error is bounded by scale/2 per channel (the
+    /// round-to-nearest guarantee), for every element.
+    #[test]
+    fn quantize_roundtrip_within_scale_bound(
+        rows in 1usize..12,
+        cols in 1usize..48,
+        amp in 0.01f32..50.0,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = Rng::new(seed);
+        let w: Vec<f32> =
+            (0..rows * cols).map(|_| rng.uniform(-amp as f64, amp as f64) as f32).collect();
+        let qw = quantize_per_channel(&w, rows, cols);
+        prop_assert_eq!(qw.scales.len(), rows);
+        for r in 0..rows {
+            let scale = qw.scales[r];
+            prop_assert!(scale > 0.0);
+            for i in 0..cols {
+                let orig = w[r * cols + i];
+                let deq = qw.q[r * cols + i] as f32 * scale;
+                prop_assert!(
+                    (deq - orig).abs() <= scale * 0.5 + scale * 1e-4,
+                    "row {} elem {}: {} vs {} (scale {})", r, i, deq, orig, scale
+                );
+            }
+        }
+    }
+
+    /// The per-row max-abs element quantizes to exactly ±127, so the full
+    /// int8 range is used for every channel.
+    #[test]
+    fn quantization_saturates_range(
+        rows in 1usize..8,
+        cols in 2usize..32,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = Rng::new(seed);
+        let w: Vec<f32> =
+            (0..rows * cols).map(|_| rng.uniform(-3.0, 3.0) as f32).collect();
+        let qw = quantize_per_channel(&w, rows, cols);
+        for r in 0..rows {
+            let row = &qw.q[r * cols..(r + 1) * cols];
+            let max_q = row.iter().map(|&v| (v as i32).abs()).max().unwrap();
+            // All-zero rows keep scale 1.0 and stay zero; anything else
+            // must hit the endpoint.
+            let all_zero = w[r * cols..(r + 1) * cols].iter().all(|&v| v == 0.0);
+            if !all_zero {
+                prop_assert_eq!(max_q, QMAX as i32, "row {} under-uses the range", r);
+            }
+        }
+    }
+
+    /// Activation quantization clamps out-of-range values instead of
+    /// wrapping, and round-trips in-range values within scale/2.
+    #[test]
+    fn activation_quantization_saturates_and_roundtrips(
+        len in 1usize..128,
+        scale in 0.001f32..2.0,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = Rng::new(seed);
+        let x: Vec<f32> =
+            (0..len).map(|_| rng.uniform(-400.0, 400.0) as f32).collect();
+        let mut q = Vec::new();
+        quantize_activations(&x, scale, &mut q);
+        prop_assert_eq!(q.len(), len);
+        for (&orig, &qv) in x.iter().zip(&q) {
+            let limit = scale * QMAX;
+            if orig.abs() <= limit {
+                prop_assert!(((qv as f32 * scale) - orig).abs() <= scale * 0.5 + 1e-5);
+            } else {
+                prop_assert_eq!(qv as f32, QMAX.copysign(orig));
+            }
+        }
+    }
+
+    /// The packed-panel microtiled int8 GEMM agrees EXACTLY with the
+    /// naive i32 triple loop — integer accumulation leaves no rounding
+    /// slack.
+    #[test]
+    fn gemm_i8_exact_vs_naive(
+        m in 1usize..24,
+        k in 1usize..40,
+        n in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = Rng::new(seed);
+        let a: Vec<i8> = (0..m * k).map(|_| rng.uniform(-127.0, 128.0).floor() as i8).collect();
+        let b: Vec<i8> = (0..n * k).map(|_| rng.uniform(-127.0, 128.0).floor() as i8).collect();
+        let mut c = vec![0i32; m * n];
+        gemm_i8_nt(m, k, n, &a, &b, &mut c);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0i32;
+                for p in 0..k {
+                    acc += a[i * k + p] as i32 * b[j * k + p] as i32;
+                }
+                prop_assert_eq!(c[i * n + j], acc, "({}, {})", i, j);
+            }
+        }
+    }
+}
