@@ -33,10 +33,24 @@
 //! an N-shard report still compares cleanly against a 1-shard baseline —
 //! the CI shard-matrix step relies on exactly that. Only wall-clock
 //! throughput and the per-shard breakdown change.
+//!
+//! `compare --flight-recorder` arms the flight recorder: each suite runs
+//! with a bounded trace ring (the last few thousand events), and when the
+//! gate **fails** the recorder dumps one Chrome-trace JSON plus one
+//! Prometheus text snapshot per suite under `--flight-dir` (default
+//! `results/flight`) — load the `.trace.json` in Perfetto to see exactly
+//! which stage, ladder move, or fault preceded the drift. On a passing
+//! gate nothing is written. The traced run is bit-identical to the
+//! untraced one (tracing observes the serial accounting phases only), so
+//! arming the recorder never changes the gate verdict.
 
 use ecofusion_eval::experiments::common::Scale;
-use ecofusion_harness::{compare, run_report, BenchReport, Tolerances, DEFAULT_BASELINE_PATH};
-use std::path::PathBuf;
+use ecofusion_harness::{
+    compare, run_report_traced, BenchReport, Tolerances, DEFAULT_BASELINE_PATH,
+    FLIGHT_RECORDER_EVENTS,
+};
+use ecofusion_trace::{chrome_trace_json, prometheus_snapshot, TraceSink};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Flags that consume the following argument as their value.
@@ -49,6 +63,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--map-band",
     "--energy-band",
     "--latency-band",
+    "--flight-dir",
 ];
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -165,6 +180,16 @@ fn print_fleet_speedup(report: &BenchReport) {
 }
 
 fn fresh_report(scale: Scale, args: &[String]) -> BenchReport {
+    fresh_report_traced(scale, args, None).0
+}
+
+/// Runs the suites, optionally with the flight recorder armed
+/// (`trace_capacity = Some(..)` attaches a bounded `TraceSink` per suite).
+fn fresh_report_traced(
+    scale: Scale,
+    args: &[String],
+    trace_capacity: Option<usize>,
+) -> (BenchReport, Vec<(String, TraceSink)>) {
     let only = flag_values(args, "--suite");
     let shards = match flag_value(args, "--shards") {
         None => 1,
@@ -186,13 +211,41 @@ fn fresh_report(scale: Scale, args: &[String]) -> BenchReport {
             std::process::exit(2);
         }
     }
-    eprintln!("running workload suites ({scale:?}, {shards} shard(s))...");
-    match run_report(scale, &only, shards) {
-        Ok(r) => r,
+    let armed = if trace_capacity.is_some() { ", flight recorder armed" } else { "" };
+    eprintln!("running workload suites ({scale:?}, {shards} shard(s){armed})...");
+    match run_report_traced(scale, &only, shards, trace_capacity) {
+        Ok(pair) => pair,
         Err(e) => {
             eprintln!("error: suite run failed: {e:?}");
             std::process::exit(1);
         }
+    }
+}
+
+/// Writes one Chrome trace and one Prometheus snapshot per suite into
+/// `dir`. Only called on a failed gate — a passing run leaves no files.
+fn dump_flight(dir: &Path, sinks: &[(String, TraceSink)]) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("error: cannot create flight dir {}: {e}", dir.display());
+        return;
+    }
+    for (suite, sink) in sinks {
+        let trace_path = dir.join(format!("{suite}.trace.json"));
+        let prom_path = dir.join(format!("{suite}.prom"));
+        if let Err(e) = std::fs::write(&trace_path, chrome_trace_json(sink)) {
+            eprintln!("error: cannot write {}: {e}", trace_path.display());
+            continue;
+        }
+        if let Err(e) = std::fs::write(&prom_path, prometheus_snapshot(sink)) {
+            eprintln!("error: cannot write {}: {e}", prom_path.display());
+        }
+        eprintln!(
+            "flight recorder: {} ({} events, {} dropped) + {}",
+            trace_path.display(),
+            sink.len(),
+            sink.dropped(),
+            prom_path.display(),
+        );
     }
 }
 
@@ -254,15 +307,19 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let fresh = match flag_value(&args, "--report") {
+            let flight = args.iter().any(|a| a == "--flight-recorder");
+            let flight_dir = PathBuf::from(
+                flag_value(&args, "--flight-dir").unwrap_or_else(|| "results/flight".into()),
+            );
+            let (fresh, flight_sinks) = match flag_value(&args, "--report") {
                 Some(path) => match BenchReport::load_json(&PathBuf::from(&path)) {
-                    Ok(r) => r,
+                    Ok(r) => (r, Vec::new()),
                     Err(e) => {
                         eprintln!("error: cannot load report {path}: {e}");
                         return ExitCode::FAILURE;
                     }
                 },
-                None => fresh_report(scale, &args),
+                None => fresh_report_traced(scale, &args, flight.then_some(FLIGHT_RECORDER_EVENTS)),
             };
             let violations = compare(&baseline, &fresh, &tol);
             if violations.is_empty() {
@@ -279,6 +336,9 @@ fn main() -> ExitCode {
                 eprintln!("perf gate FAIL: {} violation(s)", violations.len());
                 for v in &violations {
                     eprintln!("  {v}");
+                }
+                if !flight_sinks.is_empty() {
+                    dump_flight(&flight_dir, &flight_sinks);
                 }
                 eprintln!(
                     "if this drift is deliberate, refresh the baseline:\n\

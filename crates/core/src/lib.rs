@@ -39,7 +39,7 @@ pub use model::{
     EcoFusionModel, GateSet, InferenceOptions, InferenceOutput, UNAVAILABLE_SENSOR_PENALTY,
 };
 pub use optimizer::{joint_loss, select_candidates, select_config, CandidateRule};
-pub use pipeline::{PipelinePlan, StemCacheRouter, StemFeatureCache, ALL_SENSOR_BITS};
+pub use pipeline::{trace_frame, PipelinePlan, StemCacheRouter, StemFeatureCache, ALL_SENSOR_BITS};
 pub use snapshot::{ModelSnapshot, QuantSnapshot, RestoreModelError};
 pub use temporal::{ClockGatingController, EpisodeEnergyReport, SensorSchedule};
 pub use trainer::{TrainConfig, TrainError, Trainer};

@@ -63,7 +63,10 @@ pub use report::{
     BenchReport, BuildMeta, FleetPoint, Int8Speedup, LatencyStats, ShardPoint, SuiteReport,
     SCHEMA_VERSION,
 };
-pub use run::{run_report, run_suite, ModelProvider};
+pub use run::{
+    run_report, run_report_traced, run_suite, run_suite_traced, ModelProvider,
+    FLIGHT_RECORDER_EVENTS,
+};
 pub use suites::{
     base_options, plan, stream_specs, SuiteId, SuitePlan, MODEL_SEED, SUITE_CLASSES, SUITE_GRID,
 };

@@ -8,7 +8,9 @@ use crate::suites::{
     base_options, plan, stream_specs, SuiteId, MODEL_SEED, SUITE_CLASSES, SUITE_GRID,
 };
 use ecofusion_core::model::InferError;
-use ecofusion_core::{Dataset, DatasetSpec, EcoFusionModel, ModelSnapshot, TrainConfig, Trainer};
+use ecofusion_core::{
+    Dataset, DatasetSpec, EcoFusionModel, Frame, ModelSnapshot, TrainConfig, Trainer,
+};
 use ecofusion_energy::StageRollup;
 use ecofusion_eval::experiments::common::Scale;
 use ecofusion_runtime::{
@@ -17,8 +19,14 @@ use ecofusion_runtime::{
 };
 use ecofusion_tensor::backend::{self, BackendKind};
 use ecofusion_tensor::rng::Rng;
+use ecofusion_trace::TraceSink;
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
+
+/// Default ring capacity of the flight recorder: the last few thousand
+/// events per suite — enough to cover the decision trail of a quick-scale
+/// run end to end, bounded enough to attach to a CI artifact.
+pub const FLIGHT_RECORDER_EVENTS: usize = 4096;
 
 /// Builds the serving model for every suite of a run.
 ///
@@ -77,15 +85,38 @@ impl ModelProvider {
 /// # Errors
 /// Propagates [`InferError`] from the serving model.
 pub fn run_report(scale: Scale, only: &[String], shards: usize) -> Result<BenchReport, InferError> {
+    run_report_traced(scale, only, shards, None).map(|(report, _)| report)
+}
+
+/// [`run_report`] with an optional flight recorder: with
+/// `trace_capacity` set, every suite runs with an enabled
+/// [`TraceSink`] of that ring capacity and the per-suite sinks (suite
+/// label, sink) are returned alongside the report for export. With
+/// `None` the servers run without any tracer — the zero-overhead path
+/// the perf gate's bit-identical baseline comparison relies on.
+///
+/// # Errors
+/// Propagates [`InferError`] from the serving model.
+pub fn run_report_traced(
+    scale: Scale,
+    only: &[String],
+    shards: usize,
+    trace_capacity: Option<usize>,
+) -> Result<(BenchReport, Vec<(String, TraceSink)>), InferError> {
     let provider = ModelProvider::prepare(scale);
     let mut suites = Vec::new();
+    let mut sinks = Vec::new();
     for id in SuiteId::ALL {
         if !only.is_empty() && !only.iter().any(|s| s == id.label()) {
             continue;
         }
-        suites.push(run_suite(&provider, id, scale, shards)?);
+        let (suite, sink) = run_suite_traced(&provider, id, scale, shards, trace_capacity)?;
+        suites.push(suite);
+        if let Some(sink) = sink {
+            sinks.push((id.label().to_string(), sink));
+        }
     }
-    Ok(BenchReport {
+    let report = BenchReport {
         schema: SCHEMA_VERSION,
         int8_speedup: None,
         build: BuildMeta {
@@ -104,7 +135,8 @@ pub fn run_report(scale: Scale, only: &[String], shards: usize) -> Result<BenchR
             shards,
         },
         suites,
-    })
+    };
+    Ok((report, sinks))
 }
 
 /// Runs one suite end to end and aggregates its report.
@@ -117,8 +149,28 @@ pub fn run_suite(
     scale: Scale,
     shards: usize,
 ) -> Result<SuiteReport, InferError> {
+    run_suite_traced(provider, id, scale, shards, None).map(|(report, _)| report)
+}
+
+/// [`run_suite`] with an optional tracer: with `trace_capacity` set, one
+/// enabled [`TraceSink`] rides through every fleet sub-run of the suite
+/// (installed on each server, taken back after its drive) and is
+/// returned for export. Trace timestamps restart per sub-run — only
+/// `fleet_scale` has more than one — and the ring keeps the most recent
+/// events, the flight-recorder property.
+///
+/// # Errors
+/// Propagates [`InferError`] from the serving model.
+pub fn run_suite_traced(
+    provider: &ModelProvider,
+    id: SuiteId,
+    scale: Scale,
+    shards: usize,
+    trace_capacity: Option<usize>,
+) -> Result<(SuiteReport, Option<TraceSink>), InferError> {
     let plan = plan(id, scale);
     let mut agg = SuiteAccum::default();
+    let mut sink = trace_capacity.map(TraceSink::with_capacity);
     for &fleet in &plan.fleets {
         let specs_faults = stream_specs(id, fleet, plan.ticks);
         // Patch the base options exactly once; server and streams must be
@@ -142,17 +194,21 @@ pub fn run_suite(
         }
         .with_shards(shards);
         let mut server = PerceptionServer::new(provider.model(), &specs, cfg);
+        if let Some(s) = sink.take() {
+            server.set_tracer(s);
+        }
         let started = Instant::now();
         // The real runtime loop, observed only to record which contexts
         // the workload's scenes actually visited.
         let contexts = &mut agg.contexts;
-        run_simulation_observed(&mut server, &mut streams, plan.ticks, |frame| {
+        run_simulation_observed(&mut server, &mut streams, plan.ticks, |frame: &Frame| {
             contexts.insert(frame.scene.context.label());
         })?;
         let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        sink = server.take_tracer();
         agg.absorb(&server, specs.len(), wall_ms);
     }
-    Ok(agg.into_report(id, &plan))
+    Ok((agg.into_report(id, &plan), sink))
 }
 
 /// Accumulates per-sub-run server state into suite-level aggregates.

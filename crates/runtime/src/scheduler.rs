@@ -14,12 +14,14 @@ use crate::stream::{StreamSpec, VehicleStream};
 use crate::telemetry::StreamTelemetry;
 use ecofusion_core::model::InferError;
 use ecofusion_core::{
-    CandidateRule, EcoFusionModel, Frame, InferenceOptions, Precision, StemFeatureCache,
+    trace_frame, CandidateRule, EcoFusionModel, Frame, InferenceOptions, InferenceOutput,
+    Precision, StemFeatureCache,
 };
 use ecofusion_eval::EvalSummary;
-use ecofusion_faults::SensorHealthMonitor;
+use ecofusion_faults::{HealthState, SensorHealthMonitor};
 use ecofusion_gating::GateKind;
-use ecofusion_sensors::SensorMask;
+use ecofusion_sensors::{SensorKind, SensorMask};
+use ecofusion_trace::{ns_from_ms, ArgValue, TraceSink, Track, TICK_NS};
 use serde::Serialize;
 use std::collections::BTreeMap;
 
@@ -175,6 +177,13 @@ pub struct StreamReport {
     pub stream: usize,
     /// The harness-compatible accuracy/energy/latency summary.
     pub summary: EvalSummary,
+    /// Frames actually inside the summary's mAP window. Telemetry keeps
+    /// at most [`crate::telemetry::HISTORY_CAP`] per-frame records (the
+    /// oldest half is discarded beyond that), so on runs longer than the
+    /// cap `summary.map_pct` covers only these most recent frames while
+    /// the scalar counters stay exact over the whole run. Equal to
+    /// `summary.frames` until the cap is first hit.
+    pub map_window_frames: usize,
     /// Frames evicted by drop-oldest backpressure.
     pub dropped: u64,
     /// Producer stalls under stall backpressure.
@@ -333,6 +342,45 @@ pub struct PerceptionServer {
     tick: u64,
     batches: u64,
     batched_frames: u64,
+    /// Optional event sink (see [`PerceptionServer::set_tracer`]). Only
+    /// the serial scheduler phases write to it — never the worker
+    /// threads — which is what keeps the event sequence deterministic
+    /// and the sink lock-free.
+    tracer: Option<TraceSink>,
+    /// Per-stream virtual clocks, ns: where the next frame span on each
+    /// stream track may begin (floored to the current tick).
+    stream_clock_ns: Vec<u64>,
+    /// Per-shard virtual clocks, ns, for the unit spans on shard tracks.
+    shard_clock_ns: Vec<u64>,
+    /// Scheduler-track clock, ns: disambiguates the multiple processing
+    /// steps a drain runs within one tick.
+    sched_clock_ns: u64,
+}
+
+/// What one [`PerceptionServer::process_step_stats`] call did — the
+/// per-step scheduler stats shared by the [`SimObserver`] hook and the
+/// tracer, so the harness and the flight recorder observe the runtime
+/// through one path.
+///
+/// All fields except `steals`/`stolen_frames` are shard-count-invariant;
+/// steal counts depend on thread timing (like
+/// [`crate::ShardReport::busy_ms`]) and are always 0 with a single shard.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StepStats {
+    /// Scheduler tick the step ran at.
+    pub tick: u64,
+    /// Frames processed (0 when every queue was empty).
+    pub frames: usize,
+    /// Work units (micro-batches) the frames were grouped into.
+    pub units: usize,
+    /// Frames per executed micro-batch, in unit order.
+    pub batch_sizes: Vec<usize>,
+    /// Units claimed by a non-home worker during this step.
+    pub steals: u64,
+    /// Frames inside those stolen units.
+    pub stolen_frames: u64,
+    /// Frames still queued across all streams after the step.
+    pub queued_after: usize,
 }
 
 impl PerceptionServer {
@@ -365,6 +413,7 @@ impl PerceptionServer {
             }
         }
         shards.insert(0, ShardState::new(model));
+        let num_shards = shards.len();
         PerceptionServer {
             shards,
             lanes: specs.iter().map(Lane::new).collect(),
@@ -373,7 +422,34 @@ impl PerceptionServer {
             tick: 0,
             batches: 0,
             batched_frames: 0,
+            tracer: None,
+            stream_clock_ns: vec![0; specs.len()],
+            shard_clock_ns: vec![0; num_shards],
+            sched_clock_ns: 0,
         }
+    }
+
+    /// Installs an event sink; every subsequent step emits frame/stage
+    /// spans, scheduler unit spans, and decision events into it. Pass
+    /// [`TraceSink::disabled`] (or never call this) for the zero-overhead
+    /// path — instrumentation is skipped at its first branch.
+    pub fn set_tracer(&mut self, sink: TraceSink) {
+        self.tracer = Some(sink);
+    }
+
+    /// Removes and returns the installed sink (for export after a run).
+    pub fn take_tracer(&mut self) -> Option<TraceSink> {
+        self.tracer.take()
+    }
+
+    /// The installed sink, if any.
+    pub fn tracer(&self) -> Option<&TraceSink> {
+        self.tracer.as_ref()
+    }
+
+    /// Whether an enabled sink is installed.
+    fn tracing(&self) -> bool {
+        self.tracer.as_ref().is_some_and(|t| t.is_enabled())
     }
 
     /// Number of streams served.
@@ -480,10 +556,23 @@ impl PerceptionServer {
     /// Propagates [`InferError`] from the model (a queued frame rendered
     /// at the wrong grid size).
     pub fn process_step(&mut self) -> Result<usize, InferError> {
+        self.process_step_stats().map(|stats| stats.frames)
+    }
+
+    /// [`PerceptionServer::process_step`] returning the per-step
+    /// scheduler stats ([`StepStats`]) instead of just the frame count.
+    /// The simulation driver feeds these to its [`SimObserver`] — the
+    /// same observation the tracer's scheduler track records.
+    ///
+    /// # Errors
+    /// Propagates [`InferError`] from the model.
+    pub fn process_step_stats(&mut self) -> Result<StepStats, InferError> {
+        let tick = self.tick;
         let picked = self.coalesce();
         if picked.is_empty() {
-            return Ok(0);
+            return Ok(StepStats { tick, ..StepStats::default() });
         }
+        let tracing = self.tracing();
         // Health monitoring: every popped frame updates its lane's monitor
         // before options are grouped, so the mask each micro-batch runs
         // with reflects the newest evidence. When several frames of one
@@ -494,8 +583,18 @@ impl PerceptionServer {
         // monitor still tracks health for telemetry but the lane's
         // options — and therefore every inference result — stay
         // untouched.
+        let mut transitions: Vec<(usize, usize, HealthState, HealthState)> = Vec::new();
         for (lane_idx, queued) in &picked {
-            self.lanes[*lane_idx].monitor.update(&queued.frame.obs);
+            let monitor = &mut self.lanes[*lane_idx].monitor;
+            let before = monitor.states();
+            monitor.update(&queued.frame.obs);
+            if tracing {
+                for (sensor, (b, a)) in before.into_iter().zip(monitor.states()).enumerate() {
+                    if b != a {
+                        transitions.push((*lane_idx, sensor, b, a));
+                    }
+                }
+            }
         }
         for lane in &mut self.lanes {
             if lane.health_gating {
@@ -507,12 +606,67 @@ impl PerceptionServer {
             let mask = lane.active_mask();
             lane.telemetry.note_health(lane.monitor.degraded_count() > 0, !mask.is_all_available());
         }
+        // Monitor updates run in pick order, so the transition events do
+        // too — deterministic for any shard count.
+        if let Some(tr) = self.tracer.as_mut() {
+            for (lane, sensor, from, to) in transitions {
+                tr.instant(
+                    Track::Stream(lane as u32),
+                    tick * TICK_NS,
+                    "health",
+                    vec![
+                        ("sensor", ArgValue::Str(SensorKind::ALL[sensor].abbrev())),
+                        ("from", ArgValue::Str(health_label(from))),
+                        ("to", ArgValue::Str(health_label(to))),
+                        ("tick", ArgValue::U64(tick)),
+                    ],
+                );
+                tr.bump("ecofusion_health_transitions_total", 1.0);
+            }
+        }
         let processed = picked.len();
+        let step_ns = self.sched_clock_ns.max(tick * TICK_NS);
+        let steals_before: (u64, u64) =
+            self.shards.iter().fold((0, 0), |(s, f), sh| (s + sh.steals, f + sh.stolen_frames));
         let units = self.build_units(picked);
+        let num_units = units.len();
         execute_units(&mut self.shards, &units, self.cfg.work_stealing);
-        self.account_units(units)?;
+        let (steals, stolen_frames) = {
+            let after: (u64, u64) =
+                self.shards.iter().fold((0, 0), |(s, f), sh| (s + sh.steals, f + sh.stolen_frames));
+            (after.0 - steals_before.0, after.1 - steals_before.1)
+        };
+        let batch_sizes = self.account_units(units, step_ns)?;
         self.coordinate_fleet_budget();
-        Ok(processed)
+        let queued_after = self.queued();
+        if let Some(tr) = self.tracer.as_mut().filter(|_| tracing) {
+            tr.instant(
+                Track::Scheduler,
+                step_ns,
+                "step",
+                vec![
+                    ("tick", ArgValue::U64(tick)),
+                    ("frames", ArgValue::U64(processed as u64)),
+                    ("units", ArgValue::U64(num_units as u64)),
+                    ("steals", ArgValue::U64(steals)),
+                ],
+            );
+            tr.counter(Track::Scheduler, step_ns, "queued", queued_after as f64);
+            tr.bump("ecofusion_steps_total", 1.0);
+            if steals > 0 {
+                tr.bump("ecofusion_steals_total", steals as f64);
+            }
+        }
+        self.sched_clock_ns = step_ns + 1;
+        Ok(StepStats {
+            tick,
+            frames: processed,
+            units: num_units,
+            batch_sizes,
+            steals,
+            stolen_frames,
+            queued_after,
+        })
     }
 
     /// Partitions picked frames into work units keyed on `(home shard,
@@ -534,10 +688,11 @@ impl PerceptionServer {
             lane_ids: Vec<usize>,
             frames: Vec<Frame>,
             waits: Vec<u64>,
+            picks: Vec<u64>,
         }
         let mut index: BTreeMap<(usize, OptionsKey), usize> = BTreeMap::new();
         let mut builds: Vec<UnitBuild> = Vec::new();
-        for (lane_idx, queued) in picked {
+        for (pick, (lane_idx, queued)) in picked.into_iter().enumerate() {
             let opts = self.lanes[lane_idx].opts;
             let shard = shard_of(lane_idx, num_shards);
             let wait = tick.saturating_sub(queued.enqueue_tick);
@@ -548,6 +703,7 @@ impl PerceptionServer {
                     lane_ids: Vec::new(),
                     frames: Vec::new(),
                     waits: Vec::new(),
+                    picks: Vec::new(),
                 });
                 builds.len() - 1
             });
@@ -555,10 +711,11 @@ impl PerceptionServer {
             entry.lane_ids.push(lane_idx);
             entry.frames.push(queued.frame);
             entry.waits.push(wait);
+            entry.picks.push(pick as u64);
         }
         builds
             .into_iter()
-            .map(|UnitBuild { shard, opts, lane_ids, frames, waits }| {
+            .map(|UnitBuild { shard, opts, lane_ids, frames, waits, picks }| {
                 // Move the distinct lanes' stem caches into the unit so a
                 // stolen unit still serves its streams' caches (hit/miss
                 // counters stay invariant under stealing).
@@ -582,6 +739,8 @@ impl PerceptionServer {
                         lane_ids,
                         frames,
                         waits,
+                        picks,
+                        executed_by: shard,
                         caches,
                         cache_lanes,
                         cache_slot,
@@ -592,12 +751,34 @@ impl PerceptionServer {
             .collect()
     }
 
-    /// Serial post-join accounting, in unit (= first-seen group) order:
-    /// restores the moved stem caches, then records telemetry and budget
-    /// spend per frame exactly as the single-core scheduler did.
-    fn account_units(&mut self, units: Vec<StepUnit>) -> Result<(), InferError> {
+    /// Serial post-join accounting: restores the moved stem caches and
+    /// emits the shard-track unit spans in unit (= first-seen group)
+    /// order, then records telemetry and budget spend per frame in
+    /// **global pick order**. Per-lane accounting state is identical
+    /// either way (each lane's frames stay in its own FIFO order inside
+    /// one unit), but replaying the flat pick order also makes the
+    /// emitted stream-track event sequence — and any future cross-lane
+    /// accounting — independent of how units were grouped across shards.
+    /// Returns the executed batch sizes, in unit order.
+    fn account_units(
+        &mut self,
+        units: Vec<StepUnit>,
+        step_ns: u64,
+    ) -> Result<Vec<usize>, InferError> {
+        let tick = self.tick;
+        let tracing = self.tracing();
         let mut first_err = None;
+        let mut batch_sizes = Vec::with_capacity(units.len());
+        struct Row {
+            pick: u64,
+            lane: usize,
+            frame: Frame,
+            output: InferenceOutput,
+            wait: u64,
+        }
+        let mut rows: Vec<Row> = Vec::new();
         for unit in units {
+            let home = unit.shard;
             let payload = unit.into_payload();
             // Caches go back even when a unit failed: a lost step must
             // not silently reset a stream's stem cache.
@@ -613,24 +794,117 @@ impl PerceptionServer {
             };
             self.batches += 1;
             self.batched_frames += outputs.len() as u64;
-            for (((lane_idx, frame), output), wait) in
-                payload.lane_ids.into_iter().zip(&payload.frames).zip(&outputs).zip(payload.waits)
+            batch_sizes.push(outputs.len());
+            if tracing {
+                // Unit span on the executing worker's shard track; with
+                // stealing on and several shards the executor (and so
+                // this span's track and any steal marker) is
+                // schedule-dependent — documented as outside the
+                // determinism invariant, like `ShardReport::busy_ms`.
+                let worker = payload.executed_by;
+                let tr = self.tracer.as_mut().expect("tracing implies a sink");
+                let track = Track::Shard(worker as u32);
+                let start = self.shard_clock_ns[worker].max(step_ns);
+                let dur: u64 = outputs.iter().map(|o| ns_from_ms(o.energy.latency.millis())).sum();
+                let streams =
+                    payload.lane_ids.iter().map(usize::to_string).collect::<Vec<_>>().join(",");
+                tr.begin(
+                    track,
+                    start,
+                    "unit",
+                    vec![
+                        ("home", ArgValue::U64(home as u64)),
+                        ("worker", ArgValue::U64(worker as u64)),
+                        ("frames", ArgValue::U64(outputs.len() as u64)),
+                        ("streams", ArgValue::Text(streams)),
+                        ("tick", ArgValue::U64(tick)),
+                    ],
+                );
+                if worker != home {
+                    tr.instant(
+                        track,
+                        start,
+                        "steal",
+                        vec![
+                            ("victim", ArgValue::U64(home as u64)),
+                            ("thief", ArgValue::U64(worker as u64)),
+                            ("frames", ArgValue::U64(outputs.len() as u64)),
+                        ],
+                    );
+                }
+                tr.end(track, start + dur, "unit");
+                self.shard_clock_ns[worker] = start + dur;
+            }
+            for ((((lane, frame), output), wait), pick) in payload
+                .lane_ids
+                .into_iter()
+                .zip(payload.frames)
+                .zip(outputs)
+                .zip(payload.waits)
+                .zip(payload.picks)
             {
-                let lane = &mut self.lanes[lane_idx];
-                lane.telemetry.record(output, frame.gt_boxes(), wait);
-                if let Some(step) = lane.controller.record(output.energy.total_gated().joules()) {
-                    lane.opts = step.apply(&lane.base_opts);
-                    // Policy rungs are built from the base options; the
-                    // health mask must survive ladder moves.
-                    if lane.health_gating {
-                        lane.opts.health = lane.monitor.mask();
-                    }
+                rows.push(Row { pick, lane, frame, output, wait });
+            }
+        }
+        rows.sort_by_key(|r| r.pick);
+        for row in rows {
+            let lane = &mut self.lanes[row.lane];
+            lane.telemetry.record(&row.output, row.frame.gt_boxes(), row.wait);
+            let mut frame_end_ns = 0;
+            if tracing {
+                let tr = self.tracer.as_mut().expect("tracing implies a sink");
+                let start = self.stream_clock_ns[row.lane].max(tick * TICK_NS);
+                frame_end_ns = trace_frame(tr, row.lane as u32, tick, start, &row.output);
+                self.stream_clock_ns[row.lane] = frame_end_ns;
+                if row.output.gate_fallbacks > 0 {
+                    tr.instant(
+                        Track::Stream(row.lane as u32),
+                        start,
+                        "gate_fallback",
+                        vec![("tick", ArgValue::U64(tick))],
+                    );
+                }
+            }
+            let level_before = lane.controller.level();
+            if let Some(step) = lane.controller.record(row.output.energy.total_gated().joules()) {
+                lane.opts = step.apply(&lane.base_opts);
+                // Policy rungs are built from the base options; the
+                // health mask must survive ladder moves.
+                if lane.health_gating {
+                    lane.opts.health = lane.monitor.mask();
+                }
+                if tracing {
+                    let level = lane.controller.level();
+                    let (direction, reason) = if level > level_before {
+                        ("escalate", "rolling energy over target")
+                    } else {
+                        ("relax", "rolling energy under relax margin")
+                    };
+                    let tr = self.tracer.as_mut().expect("tracing implies a sink");
+                    tr.instant(
+                        Track::Stream(row.lane as u32),
+                        frame_end_ns,
+                        "ladder",
+                        vec![
+                            ("from", ArgValue::U64(level_before as u64)),
+                            ("to", ArgValue::U64(level as u64)),
+                            ("direction", ArgValue::Str(direction)),
+                            ("reason", ArgValue::Str(reason)),
+                            ("gate", ArgValue::Text(step.gate.to_string())),
+                            ("lambda_e", ArgValue::F64(step.lambda_e)),
+                            ("precision", ArgValue::Str(step.precision.label())),
+                        ],
+                    );
+                    tr.bump(
+                        &format!("ecofusion_ladder_moves_total{{direction=\"{direction}\"}}"),
+                        1.0,
+                    );
                 }
             }
         }
         match first_err {
             Some(e) => Err(e),
-            None => Ok(()),
+            None => Ok(batch_sizes),
         }
     }
 
@@ -673,6 +947,22 @@ impl PerceptionServer {
         }
     }
 
+    /// Emits a fault-activation marker for `stream` (the simulation
+    /// driver calls this when a stream's [`VehicleStream::fault_counts`]
+    /// advanced while producing a frame). No-op without an enabled sink.
+    fn trace_fault(&mut self, stream: usize, tick: u64, events: u64) {
+        let Some(tr) = self.tracer.as_mut().filter(|t| t.is_enabled()) else {
+            return;
+        };
+        tr.instant(
+            Track::Stream(stream as u32),
+            tick * TICK_NS,
+            "fault",
+            vec![("tick", ArgValue::U64(tick)), ("events", ArgValue::U64(events))],
+        );
+        tr.bump("ecofusion_fault_events_total", events as f64);
+    }
+
     /// Round-robin pick of up to `max_batch` queued frames across lanes.
     fn coalesce(&mut self) -> Vec<(usize, QueuedFrame)> {
         let mut picked = Vec::with_capacity(self.cfg.max_batch);
@@ -706,6 +996,7 @@ impl PerceptionServer {
                 StreamReport {
                     stream: i,
                     summary,
+                    map_window_frames: lane.telemetry.retained_frames(),
                     dropped: lane.queue.dropped(),
                     // Producer stalls surface two ways: the simulation driver
                     // defers generation (record_stall), while direct ingest
@@ -810,13 +1101,36 @@ pub fn run_simulation(
     streams: &mut [VehicleStream],
     ticks: u64,
 ) -> Result<(), InferError> {
-    run_simulation_observed(server, streams, ticks, |_| {})
+    run_simulation_observed(server, streams, ticks, |_: &Frame| {})
 }
 
-/// [`run_simulation`] with a per-frame observer: `on_frame` sees every
-/// produced frame just before it is offered to the server (whether or not
-/// backpressure later drops it). The workload-suite harness uses this to
-/// record visited contexts without duplicating the scheduling loop.
+/// Observer of a [`run_simulation_observed`] drive: sees every produced
+/// frame and the scheduler stats of every non-empty processing step.
+/// Both hooks default to no-ops, and any `FnMut(&Frame)` closure is an
+/// observer (frame hook only), so the pre-existing closure call sites
+/// keep working unchanged. The workload-suite harness and the tracer
+/// share this single observation path.
+pub trait SimObserver {
+    /// Called with every produced frame, just before it is offered to
+    /// the server (whether or not backpressure later drops it).
+    fn on_frame(&mut self, _frame: &Frame) {}
+
+    /// Called after every processing step that handled at least one
+    /// frame, with that step's scheduler stats.
+    fn on_step(&mut self, _stats: &StepStats) {}
+}
+
+impl<F: FnMut(&Frame)> SimObserver for F {
+    fn on_frame(&mut self, frame: &Frame) {
+        self(frame)
+    }
+}
+
+/// [`run_simulation`] with a [`SimObserver`]: the observer sees every
+/// produced frame and the per-step scheduler stats (tick, batch sizes,
+/// steals). Fault-schedule activations are also surfaced here — the
+/// driver is the only place that can see a stream's injector counters
+/// advance — as `fault` trace events when the server has a tracer.
 ///
 /// # Errors
 /// Propagates [`InferError`] from the model.
@@ -827,9 +1141,10 @@ pub fn run_simulation_observed(
     server: &mut PerceptionServer,
     streams: &mut [VehicleStream],
     ticks: u64,
-    mut on_frame: impl FnMut(&Frame),
+    mut observer: impl SimObserver,
 ) -> Result<(), InferError> {
     assert_eq!(streams.len(), server.num_streams(), "stream/server mismatch");
+    let mut fault_events: Vec<u64> = streams.iter().map(|s| s.fault_counts().1).collect();
     for tick in 0..ticks {
         for (i, stream) in streams.iter_mut().enumerate() {
             if !stream.emits_at(tick) {
@@ -842,12 +1157,37 @@ pub fn run_simulation_observed(
                 continue;
             }
             let frame = stream.next_frame();
-            on_frame(&frame);
+            let (_, events) = stream.fault_counts();
+            if events > fault_events[i] {
+                server.trace_fault(i, tick, events - fault_events[i]);
+                fault_events[i] = events;
+            }
+            observer.on_frame(&frame);
             server.ingest(i, frame);
         }
-        server.process_step()?;
+        let stats = server.process_step_stats()?;
+        if stats.frames > 0 {
+            observer.on_step(&stats);
+        }
         server.advance_tick();
     }
-    server.drain()?;
+    // Drain every remaining queued frame so the report covers everything
+    // accepted, still surfacing each step to the observer.
+    loop {
+        let stats = server.process_step_stats()?;
+        if stats.frames == 0 {
+            break;
+        }
+        observer.on_step(&stats);
+    }
     Ok(())
+}
+
+/// Static label of a health state for trace event arguments.
+fn health_label(state: HealthState) -> &'static str {
+    match state {
+        HealthState::Healthy => "healthy",
+        HealthState::Degraded => "degraded",
+        HealthState::Failed => "failed",
+    }
 }

@@ -91,6 +91,18 @@ pub(crate) struct UnitPayload {
     pub(crate) frames: Vec<Frame>,
     /// Queue-wait ticks per frame.
     pub(crate) waits: Vec<u64>,
+    /// Global pick index per frame within the step. Accounting sorts all
+    /// frames of a step by this, so telemetry, budget moves, and trace
+    /// events replay in the single global pick order regardless of how
+    /// the frames were grouped into units (= regardless of shard count).
+    pub(crate) picks: Vec<u64>,
+    /// The worker that actually executed the unit (differs from the home
+    /// shard exactly when the unit was stolen). Recorded by the worker,
+    /// read by the serial accounting phase for shard-track trace spans;
+    /// with stealing enabled it is schedule-dependent, like
+    /// [`ShardReport::busy_ms`], and explicitly outside the determinism
+    /// invariant.
+    pub(crate) executed_by: usize,
     /// Stem caches of the distinct lanes in this unit, moved out of the
     /// server for the duration of the step.
     pub(crate) caches: Vec<StemFeatureCache>,
@@ -178,10 +190,11 @@ pub(crate) fn execute_units(shards: &mut [ShardState], units: &[StepUnit], steal
 /// executing worker's counters.
 fn run_unit(unit: &StepUnit, state: &mut ShardState, worker: usize) {
     let mut payload = unit.payload.lock().expect("unit payload lock");
-    let UnitPayload { opts, frames, caches, cache_slot, outputs, .. } = &mut *payload;
+    let UnitPayload { opts, frames, caches, cache_slot, outputs, executed_by, .. } = &mut *payload;
     let result = state.model.infer_batch_cached(frames, opts, caches, cache_slot);
     let n = frames.len() as u64;
     *outputs = Some(result);
+    *executed_by = worker;
     state.frames += n;
     state.batches += 1;
     if unit.shard != worker {

@@ -176,6 +176,16 @@ impl StreamTelemetry {
         self.frames
     }
 
+    /// Frames currently inside the retained mAP window — what
+    /// [`StreamTelemetry::summary`] actually computes accuracy over.
+    /// Equal to [`StreamTelemetry::frames`] until [`HISTORY_CAP`] is
+    /// first exceeded; bounded by the cap afterwards. Surfaced as
+    /// [`StreamReport::map_window_frames`](crate::StreamReport::map_window_frames)
+    /// so long-run reports say which frames their mAP covers.
+    pub fn retained_frames(&self) -> usize {
+        self.dets_per_frame.len()
+    }
+
     /// Total platform (PX2) energy spent, Joules.
     pub fn platform_j(&self) -> f64 {
         self.platform_j
@@ -200,6 +210,12 @@ impl StreamTelemetry {
     /// whole-run means for loss/energy/latency, and the full
     /// configuration histogram. Returns a zeroed summary when no frames
     /// were recorded.
+    ///
+    /// On runs longer than [`HISTORY_CAP`] frames the summary's
+    /// `map_pct` is therefore a *windowed* accuracy — it covers the
+    /// most recent [`StreamTelemetry::retained_frames`] frames, not the
+    /// whole run — while every scalar mean in the summary stays exact
+    /// over all [`StreamTelemetry::frames`] frames.
     pub fn summary(&self, num_classes: usize) -> EvalSummary {
         let n = self.frames.max(1) as f64;
         let map = if self.frames == 0 {

@@ -128,6 +128,23 @@
 //! [`runtime::StreamSpec::health_gating`] is on, and the
 //! `eval` robustness experiment sweeps the fault matrix clean vs.
 //! fault-blind vs. fault-aware. See `examples/fault_injection.rs`.
+//!
+//! ## Observability
+//!
+//! The [`trace`] crate is a deterministic flight recorder: a bounded
+//! ring of typed events ([`trace::TraceSink`]) on virtual, tick-derived
+//! time, so a seeded run emits a *bit-identical* event sequence on every
+//! host, every rerun, and (for the stream tracks) every shard count.
+//! Install a sink on a server with
+//! [`runtime::PerceptionServer::set_tracer`] and every layer reports in:
+//! per-stage pipeline spans with exact modeled energy/latency, scheduler
+//! steps and work-steal markers, budget-ladder moves, knowledge-gate
+//! fallbacks, sensor-health transitions, and fault activations. Export
+//! with [`trace::chrome_trace_json`] (load in Perfetto) or
+//! [`trace::prometheus_snapshot`]; with no sink installed (or a
+//! [`trace::TraceSink::disabled`] one) every hook is a branch on a
+//! `bool` — gated bench numbers are unchanged, which CI asserts. See
+//! `examples/trace_observability.rs` and the `trace_dump` binary.
 
 pub use ecofusion_core as core;
 pub use ecofusion_detect as detect;
@@ -139,6 +156,7 @@ pub use ecofusion_runtime as runtime;
 pub use ecofusion_scene as scene;
 pub use ecofusion_sensors as sensors;
 pub use ecofusion_tensor as tensor;
+pub use ecofusion_trace as trace;
 
 /// Convenient single-import surface for the most common types.
 pub mod prelude {
@@ -156,9 +174,11 @@ pub mod prelude {
     };
     pub use ecofusion_gating::{AttentionGate, DeepGate, GateKind, KnowledgeGate, LossBasedGate};
     pub use ecofusion_runtime::{
-        run_simulation, BackpressurePolicy, EnergyBudget, PerceptionServer, RuntimeConfig,
-        RuntimeReport, StreamSpec, VehicleStream,
+        run_simulation, run_simulation_observed, BackpressurePolicy, EnergyBudget,
+        PerceptionServer, RuntimeConfig, RuntimeReport, SimObserver, StepStats, StreamSpec,
+        VehicleStream,
     };
     pub use ecofusion_scene::{Context, ObjectClass, ScenarioGenerator, Scene};
     pub use ecofusion_sensors::{SensorKind, SensorMask, SensorSuite};
+    pub use ecofusion_trace::{chrome_trace_json, prometheus_snapshot, TraceSink};
 }
