@@ -248,6 +248,83 @@ fn bench_stage_breakdown(c: &mut Criterion) {
     group.finish();
 }
 
+/// Eager vs fused-compiled execution of the Stems and Branch stage
+/// kernels on batch-8 shapes, f32 and int8 — the graph compiler's
+/// speedup, read as adjacent pairs. The compiled rows run
+/// `CompiledPlan::execute_into` on a warm plan: one im2col + GEMM per
+/// conv block with the BN+ReLU epilogue fused into the write-back, zero
+/// steady-state allocations.
+fn bench_fused_pipeline(c: &mut Criterion) {
+    use ecofusion_tensor::graph::compile_quant_pipe;
+    use ecofusion_tensor::layer::Layer;
+    use ecofusion_tensor::tensor::Tensor;
+
+    let (mut model, _) = bench_fixture(13);
+    let grid = model.grid();
+    let mut rng = Rng::new(0xF05E);
+    let mut group = c.benchmark_group("fused_pipeline");
+
+    // Stems stage: one 1-channel sensor, batch 8 (the scheduler's
+    // micro-batch cap).
+    let x = Tensor::randn(&[8, 1, grid, grid], 1.0, &mut rng);
+    {
+        let stem = &mut model.stems_mut()[SensorKind::Lidar.index()];
+        let mut plan = stem.compile(x.shape()).expect("stem compiles");
+        let mut out = Tensor::zeros(plan.out_shape());
+        group.bench_function("stem_batch8_eager", |bench| {
+            bench.iter(|| black_box(Layer::forward(stem, &x, false)));
+        });
+        group.bench_function("stem_batch8_compiled", |bench| {
+            bench.iter(|| plan.execute_into(black_box(&x), &mut out));
+        });
+    }
+
+    // Branch stage: the single-camera branch on batch-8 stem features.
+    let side = grid / 2;
+    let feats = Tensor::randn(&[8, 8, side, side], 1.0, &mut rng);
+    {
+        let mut bplan = {
+            let branch = &model.branches_mut()[0];
+            branch.compile(feats.shape()).expect("branch compiles")
+        };
+        let mut bout = Tensor::zeros(bplan.out_shape());
+        let branch = &mut model.branches_mut()[0];
+        group.bench_function("branch_batch8_eager", |bench| {
+            bench.iter(|| black_box(branch.forward(&feats, false)));
+        });
+        group.bench_function("branch_batch8_compiled", |bench| {
+            bench.iter(|| bplan.execute_into(black_box(&feats), &mut bout));
+        });
+    }
+
+    // Int8 counterparts off the model's quantized image.
+    model.ensure_quant().expect("model quantizes");
+    let qsnap = model.quantized().expect("quant image cached").clone();
+    {
+        let pipe = qsnap.stem(SensorKind::Lidar.index());
+        let mut qplan = compile_quant_pipe(pipe, x.shape()).expect("stem pipe compiles");
+        let mut out = Tensor::zeros(qplan.out_shape());
+        group.bench_function("stem_batch8_int8_eager", |bench| {
+            bench.iter(|| black_box(pipe.forward(&x)));
+        });
+        group.bench_function("stem_batch8_int8_compiled", |bench| {
+            bench.iter(|| qplan.execute_into(black_box(&x), &mut out));
+        });
+    }
+    {
+        let qbranch = qsnap.branch(0);
+        let mut qbplan = qbranch.compile(feats.shape()).expect("quant branch compiles");
+        let mut bout = Tensor::zeros(qbplan.out_shape());
+        group.bench_function("branch_batch8_int8_eager", |bench| {
+            bench.iter(|| black_box(qbranch.forward(&feats)));
+        });
+        group.bench_function("branch_batch8_int8_compiled", |bench| {
+            bench.iter(|| qbplan.execute_into(black_box(&feats), &mut bout));
+        });
+    }
+    group.finish();
+}
+
 /// Per-frame cost of the fault subsystem next to the inference it rides
 /// along with: injector passthrough (clean frame), injector with three
 /// active faults, and one health-monitor update. All three must be
@@ -293,6 +370,7 @@ criterion_group!(
     bench_batched_inference,
     bench_multistream_runtime,
     bench_stage_breakdown,
+    bench_fused_pipeline,
     bench_fault_pipeline
 );
 criterion_main!(benches);

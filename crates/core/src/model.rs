@@ -194,6 +194,10 @@ pub struct EcoFusionModel {
     /// any mutable weight access ([`EcoFusionModel::stems_mut`] /
     /// [`EcoFusionModel::branches_mut`]).
     pub(crate) quant: Option<crate::snapshot::QuantSnapshot>,
+    /// Memoized fused-operator plans for the staged pipeline, keyed by
+    /// (structural fingerprint, input shape, precision). Invalidation
+    /// mirrors the int8 image: every mutable weight access clears it.
+    pub(crate) plans: ecofusion_tensor::graph::PlanCache,
 }
 
 impl EcoFusionModel {
@@ -253,6 +257,7 @@ impl EcoFusionModel {
             grid,
             num_classes,
             quant: None,
+            plans: ecofusion_tensor::graph::PlanCache::new(),
         }
     }
 
@@ -332,6 +337,7 @@ impl EcoFusionModel {
     /// image: the quantized weights must track the f32 ones.
     pub fn stems_mut(&mut self) -> &mut [Stem] {
         self.quant = None;
+        self.plans.clear();
         &mut self.stems
     }
 
@@ -339,6 +345,7 @@ impl EcoFusionModel {
     /// image: the quantized weights must track the f32 ones.
     pub fn branches_mut(&mut self) -> &mut [BranchDetector] {
         self.quant = None;
+        self.plans.clear();
         &mut self.branches
     }
 
@@ -551,6 +558,7 @@ impl EcoFusionModel {
         f: &mut dyn FnMut(&mut ecofusion_tensor::param::Param),
     ) {
         self.quant = None;
+        self.plans.clear();
         for s in &mut self.stems {
             s.visit_params(f);
         }
@@ -623,7 +631,27 @@ impl EcoFusionModel {
             });
         }
         self.quant = Some(snap);
+        // Int8 plans captured from the previous image are stale now.
+        self.plans.clear();
         Ok(())
+    }
+
+    /// Cumulative plan-cache counters (hits / misses / compiles) of the
+    /// fused-execution layer. See [`ecofusion_tensor::graph`].
+    pub fn plan_cache_stats(&self) -> ecofusion_tensor::graph::PlanCacheStats {
+        self.plans.stats()
+    }
+
+    /// Compiled plans currently resident (drops to zero after any mutable
+    /// weight access, like the int8 image).
+    pub fn plan_cache_len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Plan-cache counter deltas since the previous call; the sharded
+    /// runtime flushes these into `TraceSink::bump` once per step.
+    pub fn take_plan_delta(&mut self) -> ecofusion_tensor::graph::PlanCacheStats {
+        self.plans.take_delta()
     }
 }
 
@@ -879,6 +907,47 @@ mod tests {
         m.ensure_quant().expect("rebuilds");
         m.visit_perception_params(&mut |_| {});
         assert!(m.quantized().is_none(), "param visitor must drop the image");
+    }
+
+    /// Mirror of [`quant_image_invalidated_by_weight_access`] for the
+    /// fused-plan cache: every mutable weight access drops the resident
+    /// plans, and the next compiled run rebuilds them against the new
+    /// weights (a stale plan must never serve).
+    #[test]
+    fn plan_cache_invalidated_by_weight_access() {
+        if !ecofusion_tensor::graph::compiled_enabled() {
+            return; // ECOFUSION_COMPILED=0 CI leg: nothing to invalidate.
+        }
+        let mut m = tiny_model();
+        let data = Dataset::generate(&DatasetSpec::small(9));
+        let opts = InferenceOptions::new(0.01, 0.5);
+        m.infer(&data.test()[0], &opts).expect("infers");
+        assert!(m.plan_cache_len() > 0, "compiled run must populate the plan cache");
+        let warm = m.plan_cache_stats();
+        assert!(warm.compiles > 0 && warm.compiles == warm.misses);
+
+        let _ = m.stems_mut();
+        assert_eq!(m.plan_cache_len(), 0, "stems_mut must drop compiled plans");
+        m.infer(&data.test()[0], &opts).expect("infers");
+        let rebuilt = m.plan_cache_stats();
+        assert!(rebuilt.compiles > warm.compiles, "stale plans must be recompiled");
+        assert!(m.plan_cache_len() > 0);
+
+        let _ = m.branches_mut();
+        assert_eq!(m.plan_cache_len(), 0, "branches_mut must drop compiled plans");
+        m.infer(&data.test()[0], &opts).expect("infers");
+        assert!(m.plan_cache_stats().compiles > rebuilt.compiles);
+
+        m.visit_perception_params(&mut |_| {});
+        assert_eq!(m.plan_cache_len(), 0, "param visitor must drop compiled plans");
+
+        // Steady state: a re-run with untouched weights only hits.
+        m.infer(&data.test()[0], &opts).expect("infers");
+        let cold = m.plan_cache_stats();
+        m.infer(&data.test()[0], &opts).expect("infers");
+        let steady = m.plan_cache_stats();
+        assert_eq!(steady.compiles, cold.compiles, "warm re-run must not recompile");
+        assert!(steady.hits > cold.hits, "warm re-run must hit the cache");
     }
 
     #[test]

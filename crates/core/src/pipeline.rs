@@ -82,18 +82,69 @@ use crate::dataset::Frame;
 use crate::model::{EcoFusionModel, InferError, InferenceOptions, InferenceOutput};
 use crate::snapshot::QuantSnapshot;
 use ecofusion_detect::stem::STEM_CHANNELS;
-use ecofusion_detect::{Detection, Stem};
+use ecofusion_detect::{Detection, HeadOutput, Stem};
 use ecofusion_energy::{
     EnergyBreakdown, Precision, Px2Model, SensorPowerModel, StageKind, StageTrace, StemPolicy,
 };
 use ecofusion_gating::{Gate, GateInput, GateKind};
 use ecofusion_sensors::{Observation, SensorKind};
+use ecofusion_tensor::graph::{self, PlanCache, PlanKey, PlanPrecision};
 use ecofusion_tensor::layer::Layer;
 use ecofusion_tensor::tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
 /// Bitmask covering every canonical sensor.
 pub const ALL_SENSOR_BITS: u8 = (1 << SensorKind::COUNT) - 1;
+
+/// Plan-cache fingerprint salts. Stems are salted by their sensor index
+/// and branches by an offset range so two units with identical
+/// architecture (every stem, arity-equal branches) still get distinct
+/// cache keys — a plan owns one unit's weight snapshot.
+const STEM_SALT_BASE: u64 = 0;
+const BRANCH_SALT_BASE: u64 = 0x100;
+
+/// Runs stem `s` over a stacked input through the fused-execution layer
+/// when the `ECOFUSION_COMPILED` gate allows: the matching compiled plan
+/// is fetched from (or built into) `plans`, keyed by structural
+/// fingerprint + shape + precision. Falls back to the eager forward when
+/// compiled execution is disabled or lowering fails — both paths are
+/// bit-identical by the graph compiler's contract.
+fn stem_forward(
+    plans: &mut PlanCache,
+    stems: &mut [Stem],
+    quant: Option<&QuantSnapshot>,
+    s: usize,
+    x: &Tensor,
+) -> Tensor {
+    if graph::compiled_enabled() {
+        let salt = STEM_SALT_BASE + s as u64;
+        let attempt = match quant {
+            Some(q) => {
+                let key = PlanKey {
+                    fingerprint: graph::fingerprint_quant_pipe(&q.stems[s], salt),
+                    shape: x.shape().to_vec(),
+                    precision: PlanPrecision::Int8,
+                };
+                plans.try_get_or_compile(key, || graph::compile_quant_pipe(&q.stems[s], x.shape()))
+            }
+            None => {
+                let key = PlanKey {
+                    fingerprint: stems[s].plan_fingerprint(salt),
+                    shape: x.shape().to_vec(),
+                    precision: PlanPrecision::F32,
+                };
+                plans.try_get_or_compile(key, || stems[s].compile(x.shape()))
+            }
+        };
+        if let Ok(plan) = attempt {
+            return plan.execute(x);
+        }
+    }
+    match quant {
+        Some(q) => q.stems[s].forward(x),
+        None => stems[s].forward(x, false),
+    }
+}
 
 /// What the stage graph will execute for one set of inference options,
 /// derived *before* execution so pruned stems never run at all.
@@ -267,7 +318,8 @@ impl BatchStemBank {
     /// stems are batch-invariant, so subsets are bit-identical). With
     /// `quant` set, the int8 stem pipes execute instead of the f32 stems
     /// (the caller guarantees the router is disabled then — caches hold
-    /// f32 features).
+    /// f32 features). Stem compute routes through `plans` (the model's
+    /// fused-plan cache) unless compiled execution is gated off.
     fn ensure(
         &mut self,
         stems: &mut [Stem],
@@ -275,6 +327,7 @@ impl BatchStemBank {
         need_bits: &[u8],
         mut router: Option<&mut StemCacheRouter<'_>>,
         quant: Option<&QuantSnapshot>,
+        plans: &mut PlanCache,
     ) {
         for k in SensorKind::ALL {
             let s = k.index();
@@ -315,10 +368,7 @@ impl BatchStemBank {
             if !misses.is_empty() {
                 let grids: Vec<&Tensor> = misses.iter().map(|&i| observations[i].grid(k)).collect();
                 let stacked_in = Tensor::stack_batch(&grids);
-                let out = match quant {
-                    Some(q) => q.stems[s].forward(&stacked_in),
-                    None => stems[s].forward(&stacked_in, false),
-                };
+                let out = stem_forward(plans, stems, quant, s, &stacked_in);
                 if whole_batch && router.is_none() {
                     // Fast path (the default all-healthy learned-gate
                     // batch): keep the stacked output whole — the exact
@@ -486,7 +536,14 @@ impl EcoFusionModel {
         // Stems demanded before gating, across the whole batch.
         let pre_gate = vec![plan.pre_gate_bits(); n];
         let quant = if quant_active { self.quant.as_ref() } else { None };
-        bank.ensure(&mut self.stems, &observations, &pre_gate, router.as_mut(), quant);
+        bank.ensure(
+            &mut self.stems,
+            &observations,
+            &pre_gate,
+            router.as_mut(),
+            quant,
+            &mut self.plans,
+        );
         // Oracle detections + losses if the loss-based gate is active
         // (kept: Branch reuses them instead of re-running branches).
         let oracle_dets: Option<Vec<Vec<Vec<Detection>>>> = if plan.needs_oracle {
@@ -541,7 +598,14 @@ impl EcoFusionModel {
         // demanded branch over exactly the frames that selected it.
         let need_bits: Vec<u8> = selected.iter().map(|s| self.config_sensors[s.0]).collect();
         let quant = if quant_active { self.quant.as_ref() } else { None };
-        bank.ensure(&mut self.stems, &observations, &need_bits, router.as_mut(), quant);
+        bank.ensure(
+            &mut self.stems,
+            &observations,
+            &need_bits,
+            router.as_mut(),
+            quant,
+            &mut self.plans,
+        );
         let n_branches = self.branches.len();
         let mut demand: Vec<Vec<usize>> = vec![Vec::new(); n_branches];
         for (i, sel) in selected.iter().enumerate() {
@@ -647,19 +711,56 @@ impl EcoFusionModel {
                 Tensor::concat_channels(&refs)
             }
         };
+        let n = input.shape()[0];
+        let salt = BRANCH_SALT_BASE + branch as u64;
         if opts.precision == Precision::Int8 {
             // Int8 backbone + head produce the same raw map layout; the
             // f32 head decodes it (sigmoid/softmax/NMS stay full
-            // precision).
-            let out = {
-                let q = self.quant.as_ref().expect("int8 image built before the Branch stage");
-                q.branches[branch].forward(&input)
+            // precision). The fused plan applies dequant + folded-BN +
+            // ReLU straight to the i32 accumulators — bit-identical to
+            // the eager pipe.
+            let q = self.quant.as_ref().expect("int8 image built before the Branch stage");
+            let qb = &q.branches[branch];
+            let map = if graph::compiled_enabled() {
+                let key = PlanKey {
+                    fingerprint: qb.plan_fingerprint(salt),
+                    shape: input.shape().to_vec(),
+                    precision: PlanPrecision::Int8,
+                };
+                match self.plans.try_get_or_compile(key, || qb.compile(input.shape())) {
+                    Ok(plan) => plan.execute(&input),
+                    Err(_) => qb.forward(&input).map,
+                }
+            } else {
+                qb.forward(&input).map
             };
-            return (0..input.shape()[0])
+            let out = HeadOutput { map };
+            return (0..n)
                 .map(|i| {
                     self.branches[branch].decode_sample(&out, i, opts.score_thresh, opts.nms_iou)
                 })
                 .collect();
+        }
+        if graph::compiled_enabled() {
+            let det = &self.branches[branch];
+            let key = PlanKey {
+                fingerprint: det.plan_fingerprint(salt),
+                shape: input.shape().to_vec(),
+                precision: PlanPrecision::F32,
+            };
+            if let Ok(plan) = self.plans.try_get_or_compile(key, || det.compile(input.shape())) {
+                let out = HeadOutput { map: plan.execute(&input) };
+                return (0..n)
+                    .map(|i| {
+                        self.branches[branch].decode_sample(
+                            &out,
+                            i,
+                            opts.score_thresh,
+                            opts.nms_iou,
+                        )
+                    })
+                    .collect();
+            }
         }
         self.branches[branch].detect_batch(&input, opts.score_thresh, opts.nms_iou)
     }

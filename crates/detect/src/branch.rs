@@ -101,6 +101,32 @@ impl BranchDetector {
         Ok(crate::quant::QuantBranch { backbone, head })
     }
 
+    /// Lowers the branch (backbone blocks + 1×1 head convolution) into a
+    /// fused [`CompiledPlan`] for stem features of `in_shape`: each
+    /// Conv+BN+ReLU block becomes one im2col + GEMM with a fused
+    /// epilogue, bit-identical to the eager eval forward. The plan's
+    /// output is the raw head map (construct a [`HeadOutput`] around it
+    /// and decode with [`BranchDetector::decode_sample`]).
+    ///
+    /// # Errors
+    /// Propagates the graph compiler's error.
+    pub fn compile(
+        &self,
+        in_shape: &[usize],
+    ) -> Result<ecofusion_tensor::graph::CompiledPlan, ecofusion_tensor::graph::CompileError> {
+        let mut b = ecofusion_tensor::graph::PlanBuilder::new(in_shape);
+        b.push_sequential(&self.backbone)?;
+        b.push_conv(self.head.conv(), None, false)?;
+        Ok(b.finish())
+    }
+
+    /// Structural plan-cache fingerprint of the branch (backbone + head
+    /// geometry), salted per unit.
+    pub fn plan_fingerprint(&self, salt: u64) -> u64 {
+        let base = ecofusion_tensor::graph::fingerprint_sequential(&self.backbone, salt);
+        mix_conv_spec(base, self.head.conv().spec())
+    }
+
     /// Runs the backbone + head over stem features of shape
     /// `(N, 8·m, raster/2, raster/2)`. Every layer is batch-aware, so one
     /// call amortizes the backbone GEMMs across all `N` frames.
@@ -171,6 +197,16 @@ impl BranchDetector {
         let grad_stem = self.backbone.backward(&grad_feats);
         (loss, grad_stem)
     }
+}
+
+/// Folds a head convolution's geometry into a backbone fingerprint
+/// (FNV-1a step per dimension).
+pub(crate) fn mix_conv_spec(base: u64, s: ecofusion_tensor::backend::ConvSpec) -> u64 {
+    let mut h = base;
+    for d in [s.in_channels, s.out_channels, s.kernel, s.stride, s.padding] {
+        h = (h ^ d as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 impl Layer for BranchDetector {

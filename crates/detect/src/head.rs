@@ -79,6 +79,11 @@ impl DenseHead {
         self.num_classes
     }
 
+    /// The 1×1 head convolution (read-only view for the graph compiler).
+    pub fn conv(&self) -> &Conv2d {
+        &self.conv
+    }
+
     /// Quantizes the 1×1 head convolution, calibrating the activation
     /// scale as the max-abs over `calib` (backbone output features).
     pub fn quantize(&self, calib: &[Tensor]) -> ecofusion_tensor::quant::QuantConv2d {

@@ -36,6 +36,31 @@ impl QuantBranch {
         let feats = self.backbone.forward(stem_features);
         HeadOutput { map: self.head.forward(&feats) }
     }
+
+    /// Lowers the quantized branch (int8 backbone + int8 1×1 head) into
+    /// a fused [`ecofusion_tensor::graph::CompiledPlan`]: each
+    /// Conv+Affine+ReLU run becomes one int8 GEMM with the dequant +
+    /// folded-BN + ReLU epilogue applied straight to the i32
+    /// accumulators, bit-identical to this eager forward.
+    ///
+    /// # Errors
+    /// Propagates the graph compiler's error.
+    pub fn compile(
+        &self,
+        in_shape: &[usize],
+    ) -> Result<ecofusion_tensor::graph::CompiledPlan, ecofusion_tensor::graph::CompileError> {
+        let mut b = ecofusion_tensor::graph::PlanBuilder::new(in_shape);
+        b.push_quant_pipe(&self.backbone)?;
+        b.push_quant_conv(&self.head, None, false)?;
+        Ok(b.finish())
+    }
+
+    /// Structural plan-cache fingerprint of the quantized branch, salted
+    /// per unit.
+    pub fn plan_fingerprint(&self, salt: u64) -> u64 {
+        let base = ecofusion_tensor::graph::fingerprint_quant_pipe(&self.backbone, salt);
+        crate::branch::mix_conv_spec(base, self.head.spec)
+    }
 }
 
 #[cfg(test)]
@@ -90,6 +115,69 @@ mod tests {
         for (a, b) in y_q.data().iter().zip(y_f32.data()) {
             assert!((a - b).abs() <= 0.08 * max_abs + 1e-2, "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn compiled_branch_is_bit_identical_to_eager() {
+        let mut rng = Rng::new(24);
+        let cfg = BranchConfig { num_sensors: 1, num_classes: 3, raster: 32 };
+        let mut branch = BranchDetector::new(cfg, &mut rng);
+        let warm = Tensor::randn(&[4, STEM_CHANNELS, 16, 16], 1.0, &mut rng);
+        for _ in 0..5 {
+            let _ = branch.forward(&warm, true);
+        }
+        let x = Tensor::randn(&[2, STEM_CHANNELS, 16, 16], 1.0, &mut rng);
+        let eager = branch.forward(&x, false);
+        let mut plan = branch.compile(x.shape()).expect("branch compiles");
+        let compiled = plan.execute(&x);
+        assert_eq!(compiled.shape(), eager.map.shape());
+        for (a, b) in compiled.data().iter().zip(eager.map.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn compiled_quant_branch_is_bit_identical_to_eager() {
+        let mut rng = Rng::new(25);
+        let cfg = BranchConfig { num_sensors: 1, num_classes: 3, raster: 32 };
+        let mut branch = BranchDetector::new(cfg, &mut rng);
+        let warm = Tensor::randn(&[4, STEM_CHANNELS, 16, 16], 1.0, &mut rng);
+        for _ in 0..5 {
+            let _ = branch.forward(&warm, true);
+        }
+        let calib: Vec<Tensor> =
+            (0..4).map(|_| Tensor::randn(&[1, STEM_CHANNELS, 16, 16], 1.0, &mut rng)).collect();
+        let qbranch = branch.quantize(&calib).expect("branch quantizes");
+        let x = Tensor::randn(&[2, STEM_CHANNELS, 16, 16], 1.0, &mut rng);
+        let eager = qbranch.forward(&x);
+        let mut plan = qbranch.compile(x.shape()).expect("quant branch compiles");
+        let compiled = plan.execute(&x);
+        assert_eq!(compiled.shape(), eager.map.shape());
+        for (a, b) in compiled.data().iter().zip(eager.map.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+        }
+        // Same structure, different salt → different cache keys.
+        assert_ne!(qbranch.plan_fingerprint(0), qbranch.plan_fingerprint(1));
+        assert_ne!(branch.plan_fingerprint(0), qbranch.plan_fingerprint(0));
+    }
+
+    #[test]
+    fn compiled_stem_is_bit_identical_to_eager() {
+        let mut rng = Rng::new(26);
+        let mut stem = Stem::new(2, &mut rng);
+        let warm = Tensor::randn(&[4, 2, 16, 16], 1.0, &mut rng);
+        for _ in 0..5 {
+            let _ = stem.forward(&warm, true);
+        }
+        let x = Tensor::randn(&[3, 2, 16, 16], 1.0, &mut rng);
+        let eager = stem.forward(&x, false);
+        let mut plan = stem.compile(x.shape()).expect("stem compiles");
+        let compiled = plan.execute(&x);
+        assert_eq!(compiled.shape(), eager.shape());
+        for (a, b) in compiled.data().iter().zip(eager.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+        }
+        assert_ne!(stem.plan_fingerprint(0), stem.plan_fingerprint(1));
     }
 
     #[test]

@@ -62,6 +62,26 @@ impl Stem {
     {
         ecofusion_tensor::quant::quantize_sequential(&self.net, calib)
     }
+
+    /// Lowers the stem into a fused [`CompiledPlan`] for inputs of
+    /// `in_shape` (batch included): the Conv+BN+ReLU block becomes one
+    /// im2col + GEMM with a fused epilogue, bit-identical to the eager
+    /// eval forward.
+    ///
+    /// # Errors
+    /// Propagates the graph compiler's error (never fires for the stem's
+    /// fixed architecture unless the shape does not feed it).
+    pub fn compile(
+        &self,
+        in_shape: &[usize],
+    ) -> Result<ecofusion_tensor::graph::CompiledPlan, ecofusion_tensor::graph::CompileError> {
+        ecofusion_tensor::graph::compile_sequential(&self.net, in_shape)
+    }
+
+    /// Structural plan-cache fingerprint of the stem, salted per unit.
+    pub fn plan_fingerprint(&self, salt: u64) -> u64 {
+        ecofusion_tensor::graph::fingerprint_sequential(&self.net, salt)
+    }
 }
 
 impl Layer for Stem {

@@ -377,6 +377,7 @@ mod tests {
                 fleet: Vec::new(),
             }],
             int8_speedup: None,
+            compiled_speedup: None,
         }
     }
 

@@ -60,8 +60,8 @@ pub mod suites;
 
 pub use compare::{compare, Tolerances, Violation};
 pub use report::{
-    BenchReport, BuildMeta, FleetPoint, Int8Speedup, LatencyStats, ShardPoint, SuiteReport,
-    SCHEMA_VERSION,
+    BenchReport, BuildMeta, CompiledSpeedup, FleetPoint, Int8Speedup, LatencyStats, ShardPoint,
+    SuiteReport, SCHEMA_VERSION,
 };
 pub use run::{
     run_report, run_report_traced, run_suite, run_suite_traced, ModelProvider,

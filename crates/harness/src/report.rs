@@ -194,6 +194,21 @@ pub struct Int8Speedup {
     pub branch: f64,
 }
 
+/// Measured eager-vs-compiled stage speedups of the fused-operator
+/// execution layer, recorded by `bench_report`'s default mode.
+/// Wall-clock ratios on the build host — informational, never gated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct CompiledSpeedup {
+    /// Eager f32 stem time / compiled f32 stem time (batch 8).
+    pub stem_f32: f64,
+    /// Eager f32 branch time / compiled f32 branch time (batch 8).
+    pub branch_f32: f64,
+    /// Eager int8 stem time / compiled int8 stem time (batch 8).
+    pub stem_int8: f64,
+    /// Eager int8 branch time / compiled int8 branch time (batch 8).
+    pub branch_int8: f64,
+}
+
 /// A full harness run: metadata plus one report per suite.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -207,6 +222,10 @@ pub struct BenchReport {
     /// (`None` in ordinary gate runs and older reports; not gated).
     #[serde(default)]
     pub int8_speedup: Option<Int8Speedup>,
+    /// Eager-vs-compiled stage speedups when `bench_report` measured
+    /// them (`None` in older reports and gate-only runs; not gated).
+    #[serde(default)]
+    pub compiled_speedup: Option<CompiledSpeedup>,
 }
 
 impl BenchReport {
@@ -348,6 +367,7 @@ mod tests {
                 fleet
             }],
             int8_speedup: None,
+            compiled_speedup: None,
         }
     }
 

@@ -639,6 +639,18 @@ impl PerceptionServer {
         let batch_sizes = self.account_units(units, step_ns)?;
         self.coordinate_fleet_budget();
         let queued_after = self.queued();
+        // Flush fused-plan-cache deltas from every replica. Deltas only
+        // drain while tracing so counters stay cumulative over a traced
+        // run; idle replicas contribute zero, which keeps the totals
+        // shard-count-invariant for single-stream golden suites.
+        let plans = if tracing {
+            self.shards.iter_mut().fold((0u64, 0u64, 0u64), |(h, m, c), sh| {
+                let d = sh.model.take_plan_delta();
+                (h + d.hits, m + d.misses, c + d.compiles)
+            })
+        } else {
+            (0, 0, 0)
+        };
         if let Some(tr) = self.tracer.as_mut().filter(|_| tracing) {
             tr.instant(
                 Track::Scheduler,
@@ -655,6 +667,15 @@ impl PerceptionServer {
             tr.bump("ecofusion_steps_total", 1.0);
             if steals > 0 {
                 tr.bump("ecofusion_steals_total", steals as f64);
+            }
+            if plans.0 > 0 {
+                tr.bump("ecofusion_plan_cache_hits_total", plans.0 as f64);
+            }
+            if plans.1 > 0 {
+                tr.bump("ecofusion_plan_cache_misses_total", plans.1 as f64);
+            }
+            if plans.2 > 0 {
+                tr.bump("ecofusion_plan_cache_compiles_total", plans.2 as f64);
             }
         }
         self.sched_clock_ns = step_ns + 1;

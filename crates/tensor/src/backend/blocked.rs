@@ -171,9 +171,19 @@ fn gemm_parallel(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f3
         c.fill(0.0);
         return;
     }
-    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+    // Threshold check before the parallelism probe: `available_parallelism`
+    // reads cgroup files on Linux (heap + syscalls), which would otherwise
+    // tax every small GEMM — and break the compiled path's zero-allocation
+    // steady state. The probe result itself is cached for the same reason.
     let flops = m.saturating_mul(k).saturating_mul(n);
-    if threads < 2 || flops < PAR_FLOP_THRESHOLD {
+    if flops < PAR_FLOP_THRESHOLD {
+        gemm_serial(m, k, n, a, b, c);
+        return;
+    }
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    let threads =
+        *THREADS.get_or_init(|| std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1));
+    if threads < 2 {
         gemm_serial(m, k, n, a, b, c);
         return;
     }
@@ -208,10 +218,22 @@ fn gemm_serial(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]
         if full8 > full16 {
             panel_region::<NR8>(k, n, full_rows, a, b, c, full16, full8);
         }
-    }
-    // Column tail for the full row blocks.
-    if full8 < n {
-        axpy_block(full_rows, k, n, a, b, c, full8, n - full8);
+        // Sub-8 column tail: narrow microtiles instead of streaming AXPY —
+        // same ascending-k accumulation chain per element, so identical
+        // bits, but the A row block stays register-resident. Matters for
+        // skinny outputs (e.g. a 13-channel head conv: n = 8 + 4 + 1).
+        let mut j = full8;
+        while n - j >= 4 {
+            panel_region::<4>(k, n, full_rows, a, b, c, j, j + 4);
+            j += 4;
+        }
+        while n - j >= 2 {
+            panel_region::<2>(k, n, full_rows, a, b, c, j, j + 2);
+            j += 2;
+        }
+        if j < n {
+            panel_region::<1>(k, n, full_rows, a, b, c, j, n);
+        }
     }
     // Row tail over all columns.
     if full_rows < m {

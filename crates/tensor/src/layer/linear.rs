@@ -34,6 +34,17 @@ impl Linear {
     pub fn out_features(&self) -> usize {
         self.out_features
     }
+
+    /// The weight tensor, shape `(out, in)` (read-only view for the
+    /// graph compiler).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// The bias tensor, shape `(out)`.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias.value
+    }
 }
 
 impl Layer for Linear {
@@ -78,6 +89,10 @@ impl Layer for Linear {
 
     fn name(&self) -> &'static str {
         "Linear"
+    }
+
+    fn as_linear(&self) -> Option<&Linear> {
+        Some(self)
     }
 }
 

@@ -78,6 +78,13 @@ pub trait Layer: Send {
         None
     }
 
+    /// Downcast hook for the graph compiler: fully-connected layers
+    /// return themselves so a trailing ReLU can be fused into the GEMM
+    /// write-back epilogue.
+    fn as_linear(&self) -> Option<&Linear> {
+        None
+    }
+
     /// Clears accumulated gradients on all parameters.
     fn zero_grad(&mut self) {
         self.visit_params(&mut |p| p.zero_grad());

@@ -17,6 +17,10 @@
 //!   [`optim::Adam`].
 //! * [`rng`] — seeded RNG with Box–Muller normal sampling so every
 //!   experiment is reproducible.
+//! * [`graph`] — the fused-operator graph compiler: lowers a trained
+//!   [`Sequential`] (or int8 [`QuantPipe`]) into a [`CompiledPlan`] of
+//!   fused steps that execute bit-identically to the eager eval path with
+//!   zero steady-state allocations.
 //!
 //! Gradients of every layer are validated against finite differences in the
 //! test suite (see `tests` in each module and `proptest` suites).
@@ -47,6 +51,7 @@
 //! ```
 
 pub mod backend;
+pub mod graph;
 pub mod init;
 pub mod layer;
 pub mod loss;
@@ -58,6 +63,9 @@ pub mod serialize;
 pub mod tensor;
 
 pub use backend::{Backend, BackendKind};
+pub use graph::{
+    CompileError, CompiledPlan, PlanBuilder, PlanCache, PlanCacheStats, PlanKey, PlanPrecision,
+};
 pub use layer::{
     BatchNorm2d, Conv2d, Layer, LeakyReLU, Linear, MaxPool2d, ReLU, SelfAttention2d, Sequential,
     Sigmoid,

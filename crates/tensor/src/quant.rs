@@ -44,6 +44,9 @@ thread_local! {
     static COLS_I8: RefCell<Vec<i8>> = const { RefCell::new(Vec::new()) };
     /// Per-thread i32 GEMM accumulator buffer.
     static ACC_I32: RefCell<Vec<i32>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread packed B panel for [`gemm_i8_nt`] (steady-state int8
+    /// inference must not allocate per call).
+    static PANEL_I8: RefCell<Vec<i8>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Largest representable quantized magnitude (symmetric int8).
@@ -161,45 +164,50 @@ pub fn gemm_i8_nt(m: usize, k: usize, n: usize, a: &[i8], b: &[i8], c: &mut [i32
     assert_eq!(b.len(), n * k, "B length mismatch");
     assert_eq!(c.len(), m * n, "C length mismatch");
     c.fill(0);
-    let mut panel = vec![0i8; k * NR_I8];
-    let mut j0 = 0;
-    while j0 < n {
-        let jw = NR_I8.min(n - j0);
-        if jw == NR_I8 {
-            // Pack the B column panel interleaved: panel[p*NR + j] holds
-            // B[(j0+j), p], so the microkernel streams one contiguous
-            // chunk per k step.
-            for p in 0..k {
-                for j in 0..NR_I8 {
-                    panel[p * NR_I8 + j] = b[(j0 + j) * k + p];
-                }
-            }
-            let mut i0 = 0;
-            while i0 < m {
-                let iw = MR_I8.min(m - i0);
-                if iw == MR_I8 {
-                    microkernel_i8(k, n, &a[i0 * k..], &panel, &mut c[i0 * n + j0..]);
-                } else {
-                    for i in i0..m {
-                        let arow = &a[i * k..(i + 1) * k];
-                        for j in 0..jw {
-                            c[i * n + j0 + j] = dot_i8(arow, &b[(j0 + j) * k..(j0 + j + 1) * k]);
-                        }
+    PANEL_I8.with(|panel_buf| {
+        let mut panel = panel_buf.borrow_mut();
+        panel.clear();
+        panel.resize(k * NR_I8, 0);
+        let mut j0 = 0;
+        while j0 < n {
+            let jw = NR_I8.min(n - j0);
+            if jw == NR_I8 {
+                // Pack the B column panel interleaved: panel[p*NR + j] holds
+                // B[(j0+j), p], so the microkernel streams one contiguous
+                // chunk per k step.
+                for p in 0..k {
+                    for j in 0..NR_I8 {
+                        panel[p * NR_I8 + j] = b[(j0 + j) * k + p];
                     }
                 }
-                i0 += iw;
-            }
-        } else {
-            // Narrow column tail: scalar dots.
-            for i in 0..m {
-                let arow = &a[i * k..(i + 1) * k];
-                for j in 0..jw {
-                    c[i * n + j0 + j] = dot_i8(arow, &b[(j0 + j) * k..(j0 + j + 1) * k]);
+                let mut i0 = 0;
+                while i0 < m {
+                    let iw = MR_I8.min(m - i0);
+                    if iw == MR_I8 {
+                        microkernel_i8(k, n, &a[i0 * k..], &panel, &mut c[i0 * n + j0..]);
+                    } else {
+                        for i in i0..m {
+                            let arow = &a[i * k..(i + 1) * k];
+                            for j in 0..jw {
+                                c[i * n + j0 + j] =
+                                    dot_i8(arow, &b[(j0 + j) * k..(j0 + j + 1) * k]);
+                            }
+                        }
+                    }
+                    i0 += iw;
+                }
+            } else {
+                // Narrow column tail: scalar dots.
+                for i in 0..m {
+                    let arow = &a[i * k..(i + 1) * k];
+                    for j in 0..jw {
+                        c[i * n + j0 + j] = dot_i8(arow, &b[(j0 + j) * k..(j0 + j + 1) * k]);
+                    }
                 }
             }
+            j0 += jw;
         }
-        j0 += jw;
-    }
+    })
 }
 
 /// `MR×NR` register microtile over a packed B panel: `acc[i][j] += A[i,p]
@@ -237,38 +245,107 @@ pub fn im2col_i8(
     spec: &ConvSpec,
     cols: &mut Vec<i8>,
 ) {
+    crate::backend::im2col_sweep(x, 0i8, [n, c, h, w], spec, cols);
+}
+
+/// Transposed int8 conv lowering for the compiled plan: quantized input
+/// → `(C_in·k·k, N·Ho·Wo)` columns ([`crate::backend::im2col_t`]) →
+/// channel-major i32 accumulators `acc[co][pos]`, so the fused dequant
+/// epilogue streams one contiguous run per (batch, channel). Integer
+/// accumulation is exact, so the j-blocked widening-AXPY order below is
+/// bit-identical to [`gemm_i8_nt`] on either operand order.
+pub fn conv_rows_t_i8(
+    qx: &[i8],
+    dims: [usize; 4],
+    spec: &ConvSpec,
+    q: &[i8],
+    cols: &mut Vec<i8>,
+    acc: &mut Vec<i32>,
+) {
+    let [n, _, h, w] = dims;
     let (ho, wo) = spec.out_size(h, w);
-    let k = spec.kernel;
-    let cols_w = spec.patch_len();
-    cols.clear();
-    cols.resize(n * ho * wo * cols_w, 0);
-    for b in 0..n {
-        for oy in 0..ho {
-            let iy0 = (oy * spec.stride) as isize - spec.padding as isize;
-            for ox in 0..wo {
-                let ix0 = (ox * spec.stride) as isize - spec.padding as isize;
-                let row = ((b * ho + oy) * wo + ox) * cols_w;
-                for ci in 0..c {
-                    let ch_base = (b * c + ci) * h * w;
-                    let col_base = row + ci * k * k;
-                    for ky in 0..k {
-                        let iy = iy0 + ky as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        let src_row = ch_base + iy as usize * w;
-                        let dst_row = col_base + ky * k;
-                        let kx_lo = (-ix0).clamp(0, k as isize) as usize;
-                        let kx_hi = (w as isize - ix0).clamp(0, k as isize) as usize;
-                        if kx_lo < kx_hi {
-                            let src0 = src_row + (ix0 + kx_lo as isize) as usize;
-                            cols[dst_row + kx_lo..dst_row + kx_hi]
-                                .copy_from_slice(&x[src0..src0 + (kx_hi - kx_lo)]);
-                        }
-                    }
+    let m = n * ho * wo;
+    let (co, ck) = (spec.out_channels, spec.patch_len());
+    assert_eq!(q.len(), co * ck, "weight length mismatch");
+    crate::backend::im2col_t(qx, 0i8, dims, spec, cols);
+    acc.clear();
+    acc.resize(co * m, 0);
+    use crate::backend::{IR_T, JR_T};
+    let jm = m - m % JR_T;
+    let mut i0 = 0;
+    while i0 < co {
+        let ir = IR_T.min(co - i0);
+        let q_grp = &q[i0 * ck..(i0 + ir) * ck];
+        let acc_grp = &mut acc[i0 * m..(i0 + ir) * m];
+        let mut j0 = 0;
+        while j0 < jm {
+            // Register-tiled block: broadcast-A widening multiply against
+            // contiguous B rows, so B streams once per channel group
+            // instead of once per channel. Full-height groups take the
+            // const-height tile (accumulators stay in registers).
+            if ir == IR_T {
+                tile_tn_i8::<IR_T>(ck, m, q_grp, cols, acc_grp, j0);
+            } else {
+                tile_tn_i8_partial(ir, ck, m, q_grp, cols, acc_grp, j0);
+            }
+            j0 += JR_T;
+        }
+        for ii in 0..ir {
+            let qrow = &q_grp[ii * ck..(ii + 1) * ck];
+            for j in jm..m {
+                let mut s = 0i32;
+                for (p, &qv) in qrow.iter().enumerate() {
+                    s += qv as i32 * cols[p * m + j] as i32;
                 }
+                acc_grp[ii * m + j] = s;
             }
         }
+        i0 += ir;
+    }
+}
+
+/// One `IR×JR_T` tile of [`conv_rows_t_i8`]'s accumulation.
+#[inline]
+fn tile_tn_i8<const IR: usize>(ck: usize, m: usize, q: &[i8], bt: &[i8], c: &mut [i32], j0: usize) {
+    use crate::backend::JR_T;
+    let mut acc = [[0i32; JR_T]; IR];
+    for p in 0..ck {
+        let b = &bt[p * m + j0..p * m + j0 + JR_T];
+        for ii in 0..IR {
+            let av = q[ii * ck + p] as i32;
+            for (x, &bv) in acc[ii].iter_mut().zip(b) {
+                *x += av * bv as i32;
+            }
+        }
+    }
+    for (ii, accr) in acc.iter().enumerate() {
+        c[ii * m + j0..ii * m + j0 + JR_T].copy_from_slice(accr);
+    }
+}
+
+/// Runtime-height tail variant of [`tile_tn_i8`].
+fn tile_tn_i8_partial(
+    ir: usize,
+    ck: usize,
+    m: usize,
+    q: &[i8],
+    bt: &[i8],
+    c: &mut [i32],
+    j0: usize,
+) {
+    use crate::backend::{IR_T, JR_T};
+    let mut acc = [[0i32; JR_T]; IR_T];
+    for p in 0..ck {
+        let b = &bt[p * m + j0..p * m + j0 + JR_T];
+        for (ii, accr) in acc[..ir].iter_mut().enumerate() {
+            let av = q[ii * ck + p] as i32;
+            for (x, &bv) in accr.iter_mut().zip(b) {
+                *x += av * bv as i32;
+            }
+        }
+    }
+    for (ii, accr) in acc[..ir].iter().enumerate() {
+        c[ii * m + j0..ii * m + j0 + JR_T].copy_from_slice(accr);
     }
 }
 
