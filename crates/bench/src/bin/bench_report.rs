@@ -16,8 +16,10 @@
 //! * *(default)* — run the suites at `--quick` (default) or `--full`
 //!   scale, print a summary table, and write the `BenchReport` JSON to
 //!   `--out` (default `results/bench_report.json`).
-//! * `compare` — obtain a fresh report (run the suites, or load
-//!   `--report <path>` if given), load the baseline from `--baseline`
+//! * `compare` — obtain fresh reports (run the suites, or load
+//!   `--report <path>` if given; the flag is repeatable, and every
+//!   report's band violations are printed in one run with a single
+//!   combined exit code), load the baseline from `--baseline`
 //!   (default `baselines/bench_baseline.json`), and diff under the gate
 //!   tolerances. Exits nonzero on any violation. Bands are tunable:
 //!   `--map-band <pp>`, `--energy-band <frac>`, `--latency-band <frac>`.
@@ -428,20 +430,40 @@ fn main() -> ExitCode {
             let flight_dir = PathBuf::from(
                 flag_value(&args, "--flight-dir").unwrap_or_else(|| "results/flight".into()),
             );
-            let (fresh, flight_sinks) = match flag_value(&args, "--report") {
-                Some(path) => match BenchReport::load_json(&PathBuf::from(&path)) {
-                    Ok(r) => (r, Vec::new()),
-                    Err(e) => {
-                        eprintln!("error: cannot load report {path}: {e}");
-                        return ExitCode::FAILURE;
+            // `--report` is repeatable: every given report is diffed
+            // against the baseline and ALL band violations are printed
+            // in one run, with a single exit at the end — so a matrix
+            // job can gate several recorded reports in one invocation.
+            let report_paths = flag_values(&args, "--report");
+            let (labeled, flight_sinks) = if report_paths.is_empty() {
+                let (fresh, sinks) =
+                    fresh_report_traced(scale, &args, flight.then_some(FLIGHT_RECORDER_EVENTS));
+                (vec![("fresh run".to_string(), fresh)], sinks)
+            } else {
+                let mut labeled = Vec::with_capacity(report_paths.len());
+                for path in &report_paths {
+                    match BenchReport::load_json(&PathBuf::from(path)) {
+                        Ok(r) => labeled.push((path.clone(), r)),
+                        Err(e) => {
+                            eprintln!("error: cannot load report {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
                     }
-                },
-                None => fresh_report_traced(scale, &args, flight.then_some(FLIGHT_RECORDER_EVENTS)),
+                }
+                (labeled, Vec::new())
             };
-            let violations = compare(&baseline, &fresh, &tol);
-            if violations.is_empty() {
+            let mut total_violations = 0usize;
+            for (label, fresh) in &labeled {
+                let violations = compare(&baseline, fresh, &tol);
+                for v in &violations {
+                    eprintln!("  [{label}] {v}");
+                }
+                total_violations += violations.len();
+            }
+            if total_violations == 0 {
                 println!(
-                    "perf gate PASS: {} suites vs {} (map band {} pp, energy band {:.1}%, latency band {:.1}%)",
+                    "perf gate PASS: {} report(s) x {} suites vs {} (map band {} pp, energy band {:.1}%, latency band {:.1}%)",
+                    labeled.len(),
                     baseline.suites.len(),
                     baseline_path.display(),
                     tol.map_drop_pct,
@@ -450,10 +472,10 @@ fn main() -> ExitCode {
                 );
                 ExitCode::SUCCESS
             } else {
-                eprintln!("perf gate FAIL: {} violation(s)", violations.len());
-                for v in &violations {
-                    eprintln!("  {v}");
-                }
+                eprintln!(
+                    "perf gate FAIL: {total_violations} violation(s) across {} report(s)",
+                    labeled.len()
+                );
                 if !flight_sinks.is_empty() {
                     dump_flight(&flight_dir, &flight_sinks);
                 }

@@ -198,6 +198,90 @@ impl FaultSchedule {
     /// the actual run simply never fire).
     pub const MIN_STORM_FRAMES: u64 = 12;
 
+    /// Removes event `idx`. Returns `false` (schedule untouched) when the
+    /// index is out of range.
+    pub fn remove_event(&mut self, idx: usize) -> bool {
+        if idx >= self.events.len() {
+            return false;
+        }
+        self.events.remove(idx);
+        true
+    }
+
+    /// Shifts event `idx` by `delta` frames (saturating at frame 0 and at
+    /// `u64::MAX`), keeping its duration. Returns `false` when the index
+    /// is out of range.
+    pub fn shift_event(&mut self, idx: usize, delta: i64) -> bool {
+        let Some(e) = self.events.get_mut(idx) else {
+            return false;
+        };
+        e.onset = if delta >= 0 {
+            e.onset.saturating_add(delta as u64)
+        } else {
+            e.onset.saturating_sub(delta.unsigned_abs())
+        };
+        true
+    }
+
+    /// Splits event `idx` into two back-to-back events at absolute frame
+    /// `at`. The pair covers exactly the original half-open interval with
+    /// the original severity, so the split alone is behavior-preserving —
+    /// it exists to give later mutations (shift, severity perturb) two
+    /// independent handles. Fails (`false`) when `at` is not strictly
+    /// inside the interval or the event is permanent.
+    pub fn split_event(&mut self, idx: usize, at: u64) -> bool {
+        let Some(e) = self.events.get(idx).copied() else {
+            return false;
+        };
+        if e.duration == u64::MAX || at <= e.onset || at >= e.end() {
+            return false;
+        }
+        self.events[idx].duration = at - e.onset;
+        self.events.insert(idx + 1, FaultEvent { onset: at, duration: e.end() - at, ..e });
+        true
+    }
+
+    /// Merges events `i` and `j` (same sensor and kind) into one event at
+    /// `i` spanning the union of both intervals, at the larger severity.
+    /// Fails (`false`) when the indices coincide, are out of range, or
+    /// the events differ in sensor or kind.
+    pub fn merge_events(&mut self, i: usize, j: usize) -> bool {
+        if i == j || i >= self.events.len() || j >= self.events.len() {
+            return false;
+        }
+        let (a, b) = (self.events[i], self.events[j]);
+        if a.sensor != b.sensor || a.kind != b.kind {
+            return false;
+        }
+        let onset = a.onset.min(b.onset);
+        let duration = if a.duration == u64::MAX || b.duration == u64::MAX {
+            u64::MAX
+        } else {
+            a.end().max(b.end()) - onset
+        };
+        self.events[i] = FaultEvent { onset, duration, severity: a.severity.max(b.severity), ..a };
+        self.events.remove(j);
+        true
+    }
+
+    /// Adds `delta` to event `idx`'s severity, clamped to `[0, 1]`.
+    /// Returns `false` when the index is out of range.
+    pub fn perturb_severity(&mut self, idx: usize, delta: f64) -> bool {
+        let Some(e) = self.events.get_mut(idx) else {
+            return false;
+        };
+        e.severity = (e.severity + delta).clamp(0.0, 1.0);
+        true
+    }
+
+    /// Whether every event holds the schedule invariants the injector
+    /// relies on: severity in `[0, 1]` and a non-empty (≥ 1 frame)
+    /// half-open interval. The mutation hooks above preserve this by
+    /// construction; the scenario-search property tests assert it.
+    pub fn is_structurally_valid(&self) -> bool {
+        self.events.iter().all(|e| (0.0..=1.0).contains(&e.severity) && e.duration >= 1)
+    }
+
     /// Whether any frozen-frame event could still need the observation of
     /// `frame` as its capture source. Only the frame just before an
     /// event's onset (or frames inside its interval, for bookkeeping) can
@@ -313,5 +397,99 @@ mod tests {
     #[should_panic(expected = "severity")]
     fn bad_severity_panics() {
         let _ = FaultEvent::new(SensorKind::Lidar, FaultKind::Dropout, 0, 1, -0.1);
+    }
+
+    #[test]
+    fn shift_moves_onset_and_saturates() {
+        let mut s = FaultSchedule::empty().with_dropout(SensorKind::Lidar, 10, 5);
+        assert!(s.shift_event(0, 7));
+        assert_eq!(s.events()[0].onset, 17);
+        assert_eq!(s.events()[0].duration, 5);
+        assert!(s.shift_event(0, -100));
+        assert_eq!(s.events()[0].onset, 0);
+        assert!(!s.shift_event(3, 1), "out of range leaves the schedule alone");
+        assert!(s.is_structurally_valid());
+    }
+
+    #[test]
+    fn split_preserves_the_covered_interval() {
+        let mut s =
+            FaultSchedule::empty().with_event(SensorKind::Radar, FaultKind::NoiseBurst, 10, 8, 0.6);
+        assert!(s.split_event(0, 13));
+        assert_eq!(s.events().len(), 2);
+        let (a, b) = (s.events()[0], s.events()[1]);
+        assert_eq!((a.onset, a.end()), (10, 13));
+        assert_eq!((b.onset, b.end()), (13, 18));
+        assert_eq!(b.severity, 0.6);
+        // Coverage is unchanged frame by frame.
+        for f in 8..20 {
+            assert_eq!(s.any_active_at(f), (10..18).contains(&f));
+        }
+        // Degenerate splits are refused.
+        assert!(!s.split_event(0, 10));
+        assert!(!s.split_event(0, 13));
+        let mut perm = FaultSchedule::empty().with_event(
+            SensorKind::Lidar,
+            FaultKind::Dropout,
+            0,
+            u64::MAX,
+            1.0,
+        );
+        assert!(!perm.split_event(0, 5), "permanent events cannot split");
+        assert!(s.is_structurally_valid());
+    }
+
+    #[test]
+    fn merge_unions_intervals_and_takes_max_severity() {
+        let mut s = FaultSchedule::empty()
+            .with_event(SensorKind::Lidar, FaultKind::Dropout, 4, 4, 0.3)
+            .with_event(SensorKind::Lidar, FaultKind::Dropout, 10, 6, 0.9)
+            .with_event(SensorKind::Radar, FaultKind::Dropout, 0, 2, 1.0);
+        assert!(!s.merge_events(0, 2), "different sensors refuse to merge");
+        assert!(!s.merge_events(1, 1));
+        assert!(s.merge_events(0, 1));
+        assert_eq!(s.events().len(), 2);
+        let m = s.events()[0];
+        assert_eq!((m.onset, m.end()), (4, 16));
+        assert_eq!(m.severity, 0.9);
+        assert!(s.is_structurally_valid());
+    }
+
+    #[test]
+    fn merge_with_permanent_event_stays_permanent() {
+        let mut s = FaultSchedule::empty()
+            .with_event(SensorKind::Lidar, FaultKind::NoiseBurst, 8, u64::MAX, 0.5)
+            .with_event(SensorKind::Lidar, FaultKind::NoiseBurst, 2, 3, 0.7);
+        assert!(s.merge_events(0, 1));
+        assert_eq!(s.events()[0].onset, 2);
+        assert_eq!(s.events()[0].duration, u64::MAX);
+        assert!(s.is_structurally_valid());
+    }
+
+    #[test]
+    fn perturb_severity_clamps() {
+        let mut s = FaultSchedule::empty().with_event(
+            SensorKind::CameraLeft,
+            FaultKind::CalibrationDrift,
+            0,
+            4,
+            0.5,
+        );
+        assert!(s.perturb_severity(0, 0.9));
+        assert_eq!(s.events()[0].severity, 1.0);
+        assert!(s.perturb_severity(0, -3.0));
+        assert_eq!(s.events()[0].severity, 0.0);
+        assert!(!s.perturb_severity(1, 0.1));
+        assert!(s.is_structurally_valid());
+    }
+
+    #[test]
+    fn remove_event_drops_exactly_one() {
+        let mut s = FaultSchedule::storm(60);
+        let n = s.events().len();
+        assert!(s.remove_event(1));
+        assert_eq!(s.events().len(), n - 1);
+        assert!(!s.remove_event(n));
+        assert!(s.is_structurally_valid());
     }
 }

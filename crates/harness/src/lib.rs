@@ -28,15 +28,23 @@
 //!              Vec<Violation> (empty = gate passes)
 //! ```
 //!
-//! ## The five suites
+//! ## The seven suites
 //!
 //! | suite | exercises |
 //! |---|---|
-//! | `steady_city`   | steady-state serving, one City stream |
-//! | `context_churn` | drift walk across the whole RADIATE context mix |
-//! | `fault_storm`   | scripted dropout/frozen/drift/noise faults with health gating |
-//! | `budget_squeeze`| budget ladder driven to the emergency rung |
-//! | `fleet_scale`   | 1/4/16-stream fleets, cross-stream batching |
+//! | `steady_city`      | steady-state serving, one City stream |
+//! | `context_churn`    | drift walk across the whole RADIATE context mix |
+//! | `fault_storm`      | scripted dropout/frozen/drift/noise faults with health gating |
+//! | `budget_squeeze`   | budget ladder driven to the emergency rung |
+//! | `fleet_scale`      | 1/4/16/64/256-stream fleets, cross-stream batching |
+//! | `queue_saturation` | stall-policy producers over-producing into short queues |
+//! | `mixed_policy`     | heterogeneous per-stream gates in one batch group |
+//!
+//! Beyond the hand-written suites, the [`scenario`] module defines
+//! serializable adversarial scenarios, their coverage signatures, and
+//! the distilled record–replay suites the `ecofusion-search` crate
+//! discovers; committed distilled suites under `suites/distilled/` are
+//! replayed by CI exactly like the table above.
 //!
 //! ## Determinism contract
 //!
@@ -54,8 +62,10 @@
 //! ```
 
 pub mod compare;
+pub mod digest;
 pub mod report;
 pub mod run;
+pub mod scenario;
 pub mod suites;
 
 pub use compare::{compare, Tolerances, Violation};
@@ -67,8 +77,14 @@ pub use run::{
     run_report, run_report_traced, run_suite, run_suite_traced, ModelProvider,
     FLIGHT_RECORDER_EVENTS,
 };
+pub use scenario::{
+    load_distilled_dir, replay_distilled, run_scenario, CoverageSignature, DistilledProvenance,
+    DistilledSuite, ReplayDrift, Scenario, ScenarioCounters, ScenarioOutcome, ScenarioSize,
+    ScenarioStream, DEFAULT_DISTILLED_DIR, DISTILLED_SCHEMA_VERSION,
+};
 pub use suites::{
-    base_options, plan, stream_specs, SuiteId, SuitePlan, MODEL_SEED, SUITE_CLASSES, SUITE_GRID,
+    apply_env_precision, base_options, plan, stream_specs, SuiteId, SuitePlan, MODEL_SEED,
+    SUITE_CLASSES, SUITE_GRID,
 };
 
 /// Default location of the committed baseline the CI perf gate compares

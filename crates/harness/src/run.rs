@@ -1,11 +1,12 @@
 //! Suite execution: drives the named workloads through the real
 //! [`PerceptionServer`] and rolls the results into a [`BenchReport`].
 
+use crate::digest::{absorb_stream, format_digest, Fnv1a};
 use crate::report::{
     BenchReport, BuildMeta, FleetPoint, LatencyStats, ShardPoint, SuiteReport, SCHEMA_VERSION,
 };
 use crate::suites::{
-    base_options, plan, stream_specs, SuiteId, MODEL_SEED, SUITE_CLASSES, SUITE_GRID,
+    apply_env_precision, plan, stream_specs, SuiteId, MODEL_SEED, SUITE_CLASSES, SUITE_GRID,
 };
 use ecofusion_core::model::InferError;
 use ecofusion_core::{
@@ -175,10 +176,12 @@ pub fn run_suite_traced(
     for &fleet in &plan.fleets {
         let specs_faults = stream_specs(id, fleet, plan.ticks);
         // Patch the base options exactly once; server and streams must be
-        // configured from the very same specs.
+        // configured from the very same specs. The env-precision override
+        // is applied to each spec's *own* options, so suites with
+        // heterogeneous per-stream policies (mixed_policy) keep them.
         let specs: Vec<StreamSpec> = specs_faults
             .iter()
-            .map(|(s, _)| StreamSpec { base_opts: base_options(), ..*s })
+            .map(|(s, _)| StreamSpec { base_opts: apply_env_precision(s.base_opts), ..*s })
             .collect();
         let mut streams: Vec<VehicleStream> = specs
             .iter()
@@ -281,12 +284,7 @@ impl SuiteAccum {
             self.cache_misses += cache.misses();
             // Behavioral digest: stream separator, then per retained
             // frame the selected configuration and detection count.
-            self.digest.byte(0xFF);
-            self.digest.u64(t.frames());
-            for (config, dets) in t.selected_configs().iter().zip(t.detections()) {
-                self.digest.u64(config.0 as u64);
-                self.digest.u64(dets.len() as u64);
-            }
+            absorb_stream(&mut self.digest, server, i);
         }
         self.frames += report.frames;
         self.streams += fleet_streams;
@@ -362,37 +360,11 @@ impl SuiteAccum {
             gate_fallbacks: self.gate_fallbacks,
             contexts_visited: self.contexts.iter().map(|s| s.to_string()).collect(),
             config_histogram: self.histogram,
-            determinism_digest: format!("{:016x}", self.digest.finish()),
+            determinism_digest: format_digest(&self.digest),
             // Single-fleet suites report the fleet table only when it
             // adds information (fleet_scale's scaling curve).
             fleet: if plan.fleets.len() > 1 { self.fleet } else { Vec::new() },
         }
-    }
-}
-
-/// FNV-1a 64-bit running hash.
-struct Fnv1a(u64);
-
-impl Default for Fnv1a {
-    fn default() -> Self {
-        Fnv1a(0xcbf2_9ce4_8422_2325)
-    }
-}
-
-impl Fnv1a {
-    fn byte(&mut self, b: u8) {
-        self.0 ^= b as u64;
-        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-
-    fn u64(&mut self, v: u64) {
-        for b in v.to_le_bytes() {
-            self.byte(b);
-        }
-    }
-
-    fn finish(&self) -> u64 {
-        self.0
     }
 }
 
@@ -421,14 +393,6 @@ fn git_rev() -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn fnv_matches_reference_vector() {
-        // FNV-1a("a") = 0xaf63dc4c8601ec8c.
-        let mut h = Fnv1a::default();
-        h.byte(b'a');
-        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
-    }
 
     #[test]
     fn git_rev_is_nonempty() {

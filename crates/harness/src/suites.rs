@@ -11,7 +11,8 @@
 use ecofusion_core::InferenceOptions;
 use ecofusion_eval::experiments::common::Scale;
 use ecofusion_faults::FaultSchedule;
-use ecofusion_runtime::{EnergyBudget, StreamSpec};
+use ecofusion_gating::GateKind;
+use ecofusion_runtime::{BackpressurePolicy, EnergyBudget, StreamSpec};
 use ecofusion_scene::Context;
 
 /// Observation grid side length every suite runs at (matches the
@@ -24,7 +25,7 @@ pub const SUITE_CLASSES: usize = 8;
 /// Seed of the serving model's weight initialization.
 pub const MODEL_SEED: u64 = 0xEC0F;
 
-/// The five named workload suites.
+/// The seven named workload suites.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SuiteId {
     /// One stream pinned to the City context: the steady-state serving
@@ -45,16 +46,28 @@ pub enum SuiteId {
     /// exercises cross-stream batching, sharded multi-core execution, and
     /// scheduler scaling.
     FleetScale,
+    /// Stall-policy producers emitting 2 frames per tick into short
+    /// queues behind a narrow batch cap: sustained saturation, so the
+    /// gate covers producer stalls, queue high-water, and queueing delay
+    /// under backpressure that *defers* instead of dropping.
+    QueueSaturation,
+    /// Four streams with heterogeneous per-stream gates (attention,
+    /// knowledge, deep, loss-based) coalesced into the same batch groups:
+    /// exercises options-keyed unit grouping with policies that can never
+    /// merge, including the knowledge gate's missing-rule fallback.
+    MixedPolicy,
 }
 
 impl SuiteId {
     /// All suites, in report order.
-    pub const ALL: [SuiteId; 5] = [
+    pub const ALL: [SuiteId; 7] = [
         SuiteId::SteadyCity,
         SuiteId::ContextChurn,
         SuiteId::FaultStorm,
         SuiteId::BudgetSqueeze,
         SuiteId::FleetScale,
+        SuiteId::QueueSaturation,
+        SuiteId::MixedPolicy,
     ];
 
     /// Stable machine-readable name (the report's `suite` field).
@@ -65,6 +78,8 @@ impl SuiteId {
             SuiteId::FaultStorm => "fault_storm",
             SuiteId::BudgetSqueeze => "budget_squeeze",
             SuiteId::FleetScale => "fleet_scale",
+            SuiteId::QueueSaturation => "queue_saturation",
+            SuiteId::MixedPolicy => "mixed_policy",
         }
     }
 
@@ -81,6 +96,8 @@ impl SuiteId {
             SuiteId::FaultStorm => 301,
             SuiteId::BudgetSqueeze => 401,
             SuiteId::FleetScale => 500,
+            SuiteId::QueueSaturation => 601,
+            SuiteId::MixedPolicy => 701,
         }
     }
 }
@@ -117,6 +134,11 @@ pub fn plan(id: SuiteId, scale: Scale) -> SuitePlan {
         // ~256 frames/tick); the wider batch cap keeps big fleets from
         // serializing on the per-step frame budget.
         SuiteId::FleetScale => (16, vec![1, 4, 16, 64, 256], 32),
+        // Three 2x producers against a 4-frame batch cap: 6 frames/tick
+        // offered, 4 processed, so the stall-policy queues saturate and
+        // stay saturated.
+        SuiteId::QueueSaturation => (48, vec![3], 4),
+        SuiteId::MixedPolicy => (64, vec![4], 8),
     };
     SuitePlan { id, ticks: ticks * mul, fleets, max_batch }
 }
@@ -166,6 +188,31 @@ pub fn stream_specs(
                 (spec, None)
             })
             .collect(),
+        SuiteId::QueueSaturation => {
+            let contexts = [Context::City, Context::Rain, Context::Night];
+            (0..fleet.max(3))
+                .map(|i| {
+                    let spec = StreamSpec::new(base + i as u64, SUITE_GRID)
+                        .with_context(contexts[i % contexts.len()])
+                        .with_queue(4, BackpressurePolicy::Stall)
+                        .with_frames_per_tick(2);
+                    (spec, None)
+                })
+                .collect()
+        }
+        SuiteId::MixedPolicy => {
+            let gates =
+                [GateKind::Attention, GateKind::Knowledge, GateKind::Deep, GateKind::LossBased];
+            (0..fleet.max(4))
+                .map(|i| {
+                    let opts = InferenceOptions::new(0.01, 0.5).with_gate(gates[i % gates.len()]);
+                    let spec = StreamSpec::new(base + i as u64, SUITE_GRID)
+                        .with_context(Context::ALL[(2 * i) % Context::ALL.len()])
+                        .with_opts(opts);
+                    (spec, None)
+                })
+                .collect()
+        }
     }
 }
 
@@ -178,7 +225,14 @@ pub fn stream_specs(
 /// touching every suite definition. Unset or unrecognized values keep the
 /// f32 default, so ordinary runs are unchanged.
 pub fn base_options() -> InferenceOptions {
-    let mut opts = InferenceOptions::new(0.01, 0.5);
+    apply_env_precision(InferenceOptions::new(0.01, 0.5))
+}
+
+/// Applies the `ECOFUSION_PRECISION` override to `opts` (see
+/// [`base_options`]). Suites with per-stream policies (e.g.
+/// `mixed_policy`'s heterogeneous gates) run their own options through
+/// this instead of replacing them wholesale with [`base_options`].
+pub fn apply_env_precision(mut opts: InferenceOptions) -> InferenceOptions {
     if let Ok(v) = std::env::var("ECOFUSION_PRECISION") {
         if v.eq_ignore_ascii_case("int8") {
             opts.precision = ecofusion_core::Precision::Int8;
@@ -227,6 +281,29 @@ mod tests {
             let schedule = schedule.as_ref().expect("storm schedule");
             assert!(!schedule.is_empty());
         }
+    }
+
+    #[test]
+    fn queue_saturation_overproduces_into_stall_queues() {
+        let specs = stream_specs(SuiteId::QueueSaturation, 3, 48);
+        assert_eq!(specs.len(), 3);
+        for (spec, schedule) in &specs {
+            assert!(schedule.is_none());
+            assert_eq!(spec.backpressure, BackpressurePolicy::Stall);
+            assert_eq!(spec.burst(), 2, "each producer offers 2 frames/tick");
+            assert!(spec.queue_capacity < 8, "short queues saturate quickly");
+        }
+        assert!(plan(SuiteId::QueueSaturation, Scale::Quick).max_batch < 6);
+    }
+
+    #[test]
+    fn mixed_policy_gates_are_heterogeneous() {
+        let specs = stream_specs(SuiteId::MixedPolicy, 4, 64);
+        assert_eq!(specs.len(), 4);
+        let mut gates: Vec<GateKind> = specs.iter().map(|(s, _)| s.base_opts.gate).collect();
+        gates.sort_by_key(|g| format!("{g:?}"));
+        gates.dedup();
+        assert_eq!(gates.len(), 4, "all four gate kinds in one batch group");
     }
 
     #[test]

@@ -43,6 +43,131 @@ impl EnergyBudget {
     }
 }
 
+/// One phase of a [`BudgetTimeline`]: from `start_tick` on, the stream's
+/// budget target is `target_j` Joules/frame (until a later phase takes
+/// over).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BudgetPhase {
+    /// First scheduler tick the phase applies at.
+    pub start_tick: u64,
+    /// Budget target in force from then on, Joules/frame.
+    pub target_j: f64,
+}
+
+/// A scripted budget-target schedule for one stream: squeeze ramps,
+/// oscillations, or any other piecewise-constant target trajectory.
+///
+/// The server applies the timeline at the top of every processing step
+/// ([`PerceptionServer::set_budget_timeline`](crate::PerceptionServer::set_budget_timeline)),
+/// retargeting the stream's [`BudgetController`] whenever the phase in
+/// force changes. Before the first phase's `start_tick` the stream keeps
+/// its spec budget. Purely tick-driven, so a timelined run is exactly as
+/// deterministic (and shard-invariant) as a fixed-budget one.
+///
+/// # Example
+///
+/// ```
+/// use ecofusion_runtime::{BudgetPhase, BudgetTimeline};
+/// let t = BudgetTimeline::new(vec![
+///     BudgetPhase { start_tick: 8, target_j: 4.0 },
+///     BudgetPhase { start_tick: 24, target_j: 0.5 },
+/// ]);
+/// assert_eq!(t.target_at(0), None);
+/// assert_eq!(t.target_at(10), Some(4.0));
+/// assert_eq!(t.target_at(24), Some(0.5));
+/// assert!(t.is_structurally_valid());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BudgetTimeline {
+    phases: Vec<BudgetPhase>,
+}
+
+impl BudgetTimeline {
+    /// Creates a timeline; phases are sorted by `start_tick` (stable, so
+    /// a later-listed phase wins a tie).
+    ///
+    /// # Panics
+    /// Panics if `phases` is empty or any target is not finite-positive.
+    pub fn new(mut phases: Vec<BudgetPhase>) -> Self {
+        phases.sort_by_key(|p| p.start_tick);
+        let t = BudgetTimeline { phases };
+        assert!(
+            t.is_structurally_valid(),
+            "budget timeline must be non-empty with finite positive targets"
+        );
+        t
+    }
+
+    /// The phases, sorted by start tick.
+    pub fn phases(&self) -> &[BudgetPhase] {
+        &self.phases
+    }
+
+    /// Target in force at `tick`: the last phase whose `start_tick` is at
+    /// or before it, `None` before the first phase.
+    pub fn target_at(&self, tick: u64) -> Option<f64> {
+        self.phases.iter().rev().find(|p| p.start_tick <= tick).map(|p| p.target_j)
+    }
+
+    /// Structural invariants: at least one phase, phases sorted by start
+    /// tick, every target finite and positive. The mutation hooks below
+    /// preserve this by construction.
+    pub fn is_structurally_valid(&self) -> bool {
+        !self.phases.is_empty()
+            && self.phases.windows(2).all(|w| w[0].start_tick <= w[1].start_tick)
+            && self.phases.iter().all(|p| p.target_j.is_finite() && p.target_j > 0.0)
+    }
+
+    // --- mutation hooks (scenario search) -------------------------------
+
+    /// Sets phase `idx`'s target, clamped to `[0.05, 1e4]` J/frame.
+    /// Returns `false` when the index is out of range.
+    pub fn set_target(&mut self, idx: usize, target_j: f64) -> bool {
+        let Some(p) = self.phases.get_mut(idx) else {
+            return false;
+        };
+        let clamped = if target_j.is_finite() { target_j } else { 1e4 };
+        p.target_j = clamped.clamp(0.05, 1e4);
+        true
+    }
+
+    /// Shifts phase `idx`'s start by `delta` ticks (saturating at 0),
+    /// then re-sorts. Returns `false` when the index is out of range.
+    pub fn shift_phase(&mut self, idx: usize, delta: i64) -> bool {
+        let Some(p) = self.phases.get_mut(idx) else {
+            return false;
+        };
+        p.start_tick = if delta >= 0 {
+            p.start_tick.saturating_add(delta as u64)
+        } else {
+            p.start_tick.saturating_sub(delta.unsigned_abs())
+        };
+        self.phases.sort_by_key(|p| p.start_tick);
+        true
+    }
+
+    /// Inserts a phase (kept sorted). Returns `false` when the target is
+    /// not finite-positive.
+    pub fn insert_phase(&mut self, phase: BudgetPhase) -> bool {
+        if !(phase.target_j.is_finite() && phase.target_j > 0.0) {
+            return false;
+        }
+        self.phases.push(phase);
+        self.phases.sort_by_key(|p| p.start_tick);
+        true
+    }
+
+    /// Removes phase `idx`. Refuses (`false`) to empty the timeline or
+    /// when the index is out of range (drop the whole timeline instead).
+    pub fn remove_phase(&mut self, idx: usize) -> bool {
+        if self.phases.len() <= 1 || idx >= self.phases.len() {
+            return false;
+        }
+        self.phases.remove(idx);
+        true
+    }
+}
+
 /// Candidate margin `γ` of the wider mid-ladder rungs: configurations up
 /// to this much predicted loss above the best become tradeable for energy.
 pub const WIDE_GAMMA: f32 = 2.0;
@@ -270,6 +395,15 @@ impl BudgetController {
     /// The configured budget.
     pub fn budget(&self) -> EnergyBudget {
         self.budget
+    }
+
+    /// Retargets the controller mid-run (a [`BudgetTimeline`] phase
+    /// change). Only the target moves; the window, its rolling spend, and
+    /// the current ladder level are kept — already-gathered evidence
+    /// stays valid, and the very next full-window check adapts against
+    /// the new target (the hysteretic relax margin applies as usual).
+    pub fn set_target_j(&mut self, target_j: f64) {
+        self.budget.target_j = target_j;
     }
 
     /// Times the controller moved to a cheaper policy.
@@ -582,6 +716,65 @@ mod tests {
         let grants = redistribute_headroom(&policy, &postures);
         assert!((grants[1] - 1.0).abs() < 1e-12, "capped at 0.25*4: {grants:?}");
         assert!((grants[2] - 2.25).abs() < 1e-12, "uncapped 1/4 share: {grants:?}");
+    }
+
+    #[test]
+    fn timeline_phases_take_over_in_tick_order() {
+        let t = BudgetTimeline::new(vec![
+            BudgetPhase { start_tick: 20, target_j: 1.0 },
+            BudgetPhase { start_tick: 5, target_j: 6.0 },
+        ]);
+        // Construction sorts.
+        assert_eq!(t.phases()[0].start_tick, 5);
+        assert_eq!(t.target_at(4), None);
+        assert_eq!(t.target_at(5), Some(6.0));
+        assert_eq!(t.target_at(19), Some(6.0));
+        assert_eq!(t.target_at(1000), Some(1.0));
+    }
+
+    #[test]
+    fn timeline_mutation_hooks_preserve_validity() {
+        let mut t = BudgetTimeline::new(vec![
+            BudgetPhase { start_tick: 0, target_j: 8.0 },
+            BudgetPhase { start_tick: 16, target_j: 2.0 },
+        ]);
+        assert!(t.set_target(1, -3.0), "target clamps instead of failing");
+        assert_eq!(t.phases()[1].target_j, 0.05);
+        assert!(t.set_target(0, f64::INFINITY));
+        assert_eq!(t.phases()[0].target_j, 1e4);
+        assert!(t.shift_phase(1, -100));
+        assert_eq!(t.phases()[0].start_tick, 0, "re-sorted after the shift");
+        assert!(t.insert_phase(BudgetPhase { start_tick: 8, target_j: 4.0 }));
+        assert!(!t.insert_phase(BudgetPhase { start_tick: 8, target_j: f64::NAN }));
+        assert!(t.remove_phase(0));
+        assert!(t.remove_phase(0));
+        assert!(!t.remove_phase(0), "the last phase is irremovable");
+        assert!(!t.set_target(9, 1.0));
+        assert!(t.is_structurally_valid());
+    }
+
+    #[test]
+    fn retarget_keeps_window_and_level() {
+        let mut c = controller(2.0, 4);
+        for _ in 0..4 {
+            c.record(3.0);
+        }
+        assert_eq!(c.level(), 1);
+        // Raise the target far above the spend: the next full window
+        // relaxes back against the *new* target.
+        c.set_target_j(100.0);
+        assert_eq!(c.budget().target_j, 100.0);
+        assert_eq!(c.level(), 1, "retarget alone moves no rung");
+        for _ in 0..4 {
+            c.record(3.0);
+        }
+        assert_eq!(c.level(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "timeline")]
+    fn empty_timeline_panics() {
+        let _ = BudgetTimeline::new(Vec::new());
     }
 
     #[test]

@@ -113,8 +113,8 @@ pub mod stream;
 pub mod telemetry;
 
 pub use budget::{
-    redistribute_headroom, BudgetController, BudgetPosture, EnergyBudget, FleetBudgetPolicy,
-    PolicyStep,
+    redistribute_headroom, BudgetController, BudgetPhase, BudgetPosture, BudgetTimeline,
+    EnergyBudget, FleetBudgetPolicy, PolicyStep,
 };
 pub use hist::LatencyHistogram;
 pub use queue::{BackpressurePolicy, FrameQueue, IngestOutcome};

@@ -5,7 +5,8 @@
 //! runtime report.
 
 use crate::budget::{
-    default_ladder, redistribute_headroom, BudgetController, BudgetPosture, FleetBudgetPolicy,
+    default_ladder, redistribute_headroom, BudgetController, BudgetPosture, BudgetTimeline,
+    FleetBudgetPolicy,
 };
 use crate::hist::LatencyHistogram;
 use crate::queue::{FrameQueue, IngestOutcome, QueuedFrame};
@@ -142,6 +143,9 @@ struct Lane {
     health_gating: bool,
     stalls: u64,
     malformed: u64,
+    /// Scripted budget retargets (see [`BudgetTimeline`]); applied at the
+    /// top of each processing step against the scheduler tick.
+    timeline: Option<BudgetTimeline>,
 }
 
 impl Lane {
@@ -156,6 +160,7 @@ impl Lane {
             health_gating: spec.health_gating,
             stalls: 0,
             malformed: 0,
+            timeline: None,
         }
     }
 
@@ -541,6 +546,48 @@ impl PerceptionServer {
         &self.stem_caches[stream]
     }
 
+    /// Installs a scripted budget timeline on `stream`: at the top of
+    /// every processing step, the phase in force at the current tick (if
+    /// any) retargets the stream's budget controller via
+    /// [`BudgetController::set_target_j`]. Retargeting moves only the
+    /// target — the rolling window and ladder level are kept, so the
+    /// controller adapts against the new target from existing evidence
+    /// exactly as it would against a real supply change.
+    ///
+    /// # Panics
+    /// Panics if `stream` is out of range or the timeline is invalid.
+    pub fn set_budget_timeline(&mut self, stream: usize, timeline: BudgetTimeline) {
+        assert!(timeline.is_structurally_valid(), "budget timeline must be valid");
+        self.lanes[stream].timeline = Some(timeline);
+    }
+
+    /// Applies every lane's scripted budget timeline at the current tick
+    /// (no-op for lanes without one or whose target is already in force).
+    fn apply_budget_timelines(&mut self) {
+        let tick = self.tick;
+        let mut retargets: Vec<(usize, f64)> = Vec::new();
+        for (i, lane) in self.lanes.iter_mut().enumerate() {
+            let Some(target) = lane.timeline.as_ref().and_then(|t| t.target_at(tick)) else {
+                continue;
+            };
+            if lane.controller.budget().target_j != target {
+                lane.controller.set_target_j(target);
+                retargets.push((i, target));
+            }
+        }
+        if let Some(tr) = self.tracer.as_mut().filter(|t| t.is_enabled()) {
+            for (stream, target) in retargets {
+                tr.instant(
+                    Track::Stream(stream as u32),
+                    tick * TICK_NS,
+                    "budget_retarget",
+                    vec![("tick", ArgValue::U64(tick)), ("target_j", ArgValue::F64(target))],
+                );
+                tr.bump("ecofusion_budget_retargets_total", 1.0);
+            }
+        }
+    }
+
     /// Runs one processing step: pops up to `max_batch` ready frames
     /// round-robin across streams (oldest first within each stream),
     /// groups them by `(home shard, current options)`, executes the
@@ -568,6 +615,7 @@ impl PerceptionServer {
     /// Propagates [`InferError`] from the model.
     pub fn process_step_stats(&mut self) -> Result<StepStats, InferError> {
         let tick = self.tick;
+        self.apply_budget_timelines();
         let picked = self.coalesce();
         if picked.is_empty() {
             return Ok(StepStats { tick, ..StepStats::default() });
@@ -884,6 +932,7 @@ impl PerceptionServer {
                         "gate_fallback",
                         vec![("tick", ArgValue::U64(tick))],
                     );
+                    tr.bump("ecofusion_gate_fallbacks_total", row.output.gate_fallbacks as f64);
                 }
             }
             let level_before = lane.controller.level();
@@ -920,6 +969,10 @@ impl PerceptionServer {
                         &format!("ecofusion_ladder_moves_total{{direction=\"{direction}\"}}"),
                         1.0,
                     );
+                    // Per-rung occupancy rides the metrics map (never
+                    // evicted, unlike ring events) so coverage scoring can
+                    // recover the set of rungs a run visited.
+                    tr.bump(&format!("ecofusion_ladder_rung_total{{level=\"{level}\"}}"), 1.0);
                 }
             }
         }
@@ -1173,18 +1226,24 @@ pub fn run_simulation_observed(
             }
             let stall_policy =
                 stream.spec().backpressure == crate::queue::BackpressurePolicy::Stall;
-            if stall_policy && server.queue_full(i) {
-                server.record_stall(i);
-                continue;
+            // An over-producing source emits `burst()` frames per due
+            // tick (1 for every pre-existing spec); the stall check runs
+            // per frame so a queue that fills mid-burst defers only the
+            // remainder of the burst.
+            for _ in 0..stream.spec().burst() {
+                if stall_policy && server.queue_full(i) {
+                    server.record_stall(i);
+                    continue;
+                }
+                let frame = stream.next_frame();
+                let (_, events) = stream.fault_counts();
+                if events > fault_events[i] {
+                    server.trace_fault(i, tick, events - fault_events[i]);
+                    fault_events[i] = events;
+                }
+                observer.on_frame(&frame);
+                server.ingest(i, frame);
             }
-            let frame = stream.next_frame();
-            let (_, events) = stream.fault_counts();
-            if events > fault_events[i] {
-                server.trace_fault(i, tick, events - fault_events[i]);
-                fault_events[i] = events;
-            }
-            observer.on_frame(&frame);
-            server.ingest(i, frame);
         }
         let stats = server.process_step_stats()?;
         if stats.frames > 0 {

@@ -4,7 +4,7 @@ use crate::budget::EnergyBudget;
 use crate::queue::BackpressurePolicy;
 use ecofusion_core::{Frame, InferenceOptions};
 use ecofusion_faults::{FaultInjector, FaultSchedule};
-use ecofusion_scene::{Context, ScenarioGenerator, Scene, SceneSequence};
+use ecofusion_scene::{Context, ContextWalk, ScenarioGenerator, Scene, SceneSequence};
 use ecofusion_sensors::SensorSuite;
 use ecofusion_tensor::rng::Rng;
 use serde::{Deserialize, Serialize};
@@ -49,6 +49,14 @@ pub struct StreamSpec {
     /// without health monitoring.
     #[serde(default)]
     pub health_gating: bool,
+    /// Frames the producer emits per due tick. The default of 0 is
+    /// treated as 1 — the classic one-frame-per-tick producer; values
+    /// above 1 model a source faster than the scheduler's service rate —
+    /// with a [`BackpressurePolicy::Stall`] queue the producer stalls
+    /// mid-burst the moment the queue fills, which is exactly the
+    /// saturation the `queue_saturation` suite exercises.
+    #[serde(default)]
+    pub frames_per_tick: usize,
 }
 
 impl StreamSpec {
@@ -79,6 +87,7 @@ impl StreamSpec {
             budget: EnergyBudget::unlimited(),
             base_opts: InferenceOptions::new(0.01, 0.5),
             health_gating: false,
+            frames_per_tick: 1,
         }
     }
 
@@ -119,6 +128,19 @@ impl StreamSpec {
         self.health_gating = enabled;
         self
     }
+
+    /// Same spec emitting `frames` frames per due tick (an over-producing
+    /// source; see [`StreamSpec::frames_per_tick`]).
+    pub fn with_frames_per_tick(mut self, frames: usize) -> Self {
+        self.frames_per_tick = frames;
+        self
+    }
+
+    /// Frames the producer emits per due tick, with the serde-default 0
+    /// normalized to 1.
+    pub fn burst(&self) -> usize {
+        self.frames_per_tick.max(1)
+    }
 }
 
 /// A deterministic stream of rendered frames from one simulated vehicle.
@@ -152,6 +174,12 @@ pub struct VehicleStream {
     produced: u64,
     /// Optional fault injector; `None` renders the clean path untouched.
     injector: Option<FaultInjector>,
+    /// Optional scripted context walk. When set, segment contexts and
+    /// dwells come from the script instead of the drift RNG (which is
+    /// then never drawn), and the final segment repeats forever.
+    script: Option<ContextWalk>,
+    /// Index of the next scripted segment to play.
+    script_cursor: usize,
 }
 
 impl VehicleStream {
@@ -170,8 +198,34 @@ impl VehicleStream {
             pending: VecDeque::new(),
             produced: 0,
             injector: None,
+            script: None,
+            script_cursor: 0,
             spec,
         }
+    }
+
+    /// Attaches a scripted context walk: segment contexts and dwells
+    /// follow `walk` exactly (the final segment repeats once the script
+    /// runs out), the spec's `initial_context`, `dwell_frames`, and
+    /// `drift_stay_prob` are ignored, and the drift RNG is never drawn.
+    /// Scenes and rendering stay keyed on the stream seed and frame index
+    /// as usual, so a scripted stream is bit-reproducible from
+    /// `(spec, walk)` alone — the property that makes a distilled
+    /// scenario a deterministic regression test.
+    ///
+    /// # Panics
+    /// Panics if `walk` is structurally invalid (empty, or a zero dwell).
+    pub fn with_walk(mut self, walk: ContextWalk) -> Self {
+        assert!(walk.is_structurally_valid(), "context walk must be non-empty with dwell >= 1");
+        self.context = walk.segments()[0].context;
+        self.script = Some(walk);
+        self.script_cursor = 0;
+        self
+    }
+
+    /// The attached context walk, if any.
+    pub fn walk(&self) -> Option<&ContextWalk> {
+        self.script.as_ref()
     }
 
     /// Attaches a fault schedule: from the next frame on, the stream's
@@ -241,11 +295,22 @@ impl VehicleStream {
     }
 
     fn refill_segment(&mut self) {
-        if self.produced > 0 {
-            self.context = self.drift();
-        }
+        let dwell = match &self.script {
+            Some(walk) => {
+                let seg = walk.segment(self.script_cursor);
+                self.script_cursor = self.script_cursor.saturating_add(1);
+                self.context = seg.context;
+                seg.dwell as usize
+            }
+            None => {
+                if self.produced > 0 {
+                    self.context = self.drift();
+                }
+                self.spec.dwell_frames
+            }
+        };
         let base = self.generator.scene(self.context);
-        let seq = SceneSequence::simulate(base, self.spec.dwell_frames - 1, STREAM_DT);
+        let seq = SceneSequence::simulate(base, dwell - 1, STREAM_DT);
         self.pending.extend(seq.frames().iter().cloned());
     }
 
@@ -351,6 +416,48 @@ mod tests {
             }
         }
         assert_eq!(faulted.fault_counts(), (0, 0));
+    }
+
+    #[test]
+    fn scripted_walk_replaces_drift_and_holds_the_tail() {
+        use ecofusion_scene::ContextWalk;
+        let walk =
+            ContextWalk::from_pairs(&[(Context::Fog, 3), (Context::Night, 2), (Context::Snow, 1)]);
+        // Spec drift fields are deliberately hostile: a scripted stream
+        // must ignore them entirely.
+        let mut spec = StreamSpec::new(31, 32).with_context(Context::City);
+        spec.dwell_frames = 1;
+        spec.drift_stay_prob = 0.0;
+        let mut s = VehicleStream::new(spec).with_walk(walk.clone());
+        assert_eq!(s.context(), Context::Fog, "walk overrides initial_context");
+        for f in 0..10u64 {
+            let frame = s.next_frame();
+            assert_eq!(frame.scene.context, walk.context_at(f), "frame {f}");
+        }
+        assert!(s.walk().is_some());
+        // Bit-reproducible from (spec, walk).
+        let mut a = VehicleStream::new(spec).with_walk(walk.clone());
+        let mut b = VehicleStream::new(spec).with_walk(walk);
+        for _ in 0..8 {
+            let fa = a.next_frame();
+            let fb = b.next_frame();
+            assert_eq!(fa.scene, fb.scene);
+            for k in ecofusion_sensors::SensorKind::ALL {
+                assert_eq!(fa.obs.grid(k), fb.obs.grid(k));
+            }
+        }
+    }
+
+    #[test]
+    fn frames_per_tick_defaults_to_one() {
+        let spec = StreamSpec::new(1, 32);
+        assert_eq!(spec.frames_per_tick, 1);
+        assert_eq!(spec.burst(), 1);
+        // The serde default (a field-less legacy spec) normalizes to 1.
+        let mut legacy = spec;
+        legacy.frames_per_tick = 0;
+        assert_eq!(legacy.burst(), 1);
+        assert_eq!(spec.with_frames_per_tick(3).burst(), 3);
     }
 
     #[test]

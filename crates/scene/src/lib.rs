@@ -36,6 +36,7 @@ pub mod object;
 pub mod scene;
 pub mod sequence;
 pub mod split;
+pub mod walk;
 
 pub use context::{Context, ContextProfile};
 pub use generator::ScenarioGenerator;
@@ -43,3 +44,4 @@ pub use object::{ObjectClass, SceneObject};
 pub use scene::{GtBox, Scene, WORLD_DEPTH_M, WORLD_HALF_WIDTH_M};
 pub use sequence::SceneSequence;
 pub use split::split_scenes;
+pub use walk::{ContextWalk, WalkSegment};

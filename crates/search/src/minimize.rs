@@ -1,0 +1,158 @@
+//! Suite distillation: greedy signature-preserving minimization and the
+//! final [`DistilledSuite`] record.
+//!
+//! Minimization is delta-debugging in a fixed order: repeatedly try to
+//! drop one mutable input — a fault event, a whole budget timeline, a
+//! timeline phase, a walk segment — re-run the shrunken scenario (and
+//! its clean twin, which walk edits change), and keep the drop iff the
+//! coverage signature is unchanged. The loop is a fixed point: one full
+//! pass with no successful drop terminates it. Everything is
+//! deterministic — candidates are tried in descending index order per
+//! stream, so the same corpus entry always minimizes to the same
+//! scenario.
+
+use crate::search::{CorpusEntry, Evaluator};
+use ecofusion_core::model::InferError;
+use ecofusion_harness::{DistilledProvenance, DistilledSuite, Scenario};
+
+/// One shrink candidate: drop a single mutable input from a scenario.
+#[derive(Debug, Clone, Copy)]
+enum Drop {
+    FaultEvent { stream: usize, idx: usize },
+    Timeline { stream: usize },
+    TimelinePhase { stream: usize, idx: usize },
+    WalkSegment { stream: usize, idx: usize },
+}
+
+/// All drop candidates of `scenario`, in the fixed deterministic order
+/// minimization tries them (per stream: fault events descending, whole
+/// timeline, timeline phases descending, walk segments descending).
+fn drop_candidates(scenario: &Scenario) -> Vec<Drop> {
+    let mut out = Vec::new();
+    for (si, s) in scenario.streams.iter().enumerate() {
+        for idx in (0..s.faults.events().len()).rev() {
+            out.push(Drop::FaultEvent { stream: si, idx });
+        }
+        if let Some(t) = &s.timeline {
+            out.push(Drop::Timeline { stream: si });
+            if t.phases().len() > 1 {
+                for idx in (0..t.phases().len()).rev() {
+                    out.push(Drop::TimelinePhase { stream: si, idx });
+                }
+            }
+        }
+        if s.walk.len() > 1 {
+            for idx in (0..s.walk.len()).rev() {
+                out.push(Drop::WalkSegment { stream: si, idx });
+            }
+        }
+    }
+    out
+}
+
+/// Applies one drop to a clone of `scenario`; `None` when the drop is
+/// structurally impossible (e.g. the timeline was already removed by an
+/// earlier drop this pass).
+fn apply_drop(scenario: &Scenario, drop: Drop) -> Option<Scenario> {
+    let mut shrunk = scenario.clone();
+    let ok = match drop {
+        Drop::FaultEvent { stream, idx } => shrunk.streams[stream].faults.remove_event(idx),
+        Drop::Timeline { stream } => shrunk.streams[stream].timeline.take().is_some(),
+        Drop::TimelinePhase { stream, idx } => {
+            shrunk.streams[stream].timeline.as_mut().is_some_and(|t| t.remove_phase(idx))
+        }
+        Drop::WalkSegment { stream, idx } => shrunk.streams[stream].walk.remove_segment(idx),
+    };
+    ok.then_some(shrunk)
+}
+
+/// Shrinks `entry`'s scenario as far as possible without changing its
+/// coverage signature. Returns the minimized corpus entry (same
+/// signature, usually far fewer mutable inputs).
+///
+/// # Errors
+/// Propagates [`InferError`] from the serving model.
+pub fn minimize(entry: &CorpusEntry, evaluator: &mut Evaluator) -> Result<CorpusEntry, InferError> {
+    let mut current = entry.scenario.clone();
+    let mut outcome = entry.outcome.clone();
+    let target = entry.signature;
+    loop {
+        let mut progressed = false;
+        for drop in drop_candidates(&current) {
+            let Some(shrunk) = apply_drop(&current, drop) else {
+                continue;
+            };
+            debug_assert!(shrunk.is_structurally_valid());
+            let (signature, shrunk_outcome) = evaluator.evaluate(&shrunk)?;
+            if signature == target {
+                current = shrunk;
+                outcome = shrunk_outcome;
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            return Ok(CorpusEntry { scenario: current, signature: target, outcome });
+        }
+    }
+}
+
+/// Minimizes `entry` and freezes it as a [`DistilledSuite`] named
+/// `name`, recording the search seed and the size reduction as
+/// provenance.
+///
+/// # Errors
+/// Propagates [`InferError`] from the serving model.
+pub fn distill(
+    entry: &CorpusEntry,
+    name: &str,
+    search_seed: u64,
+    evaluator: &mut Evaluator,
+) -> Result<DistilledSuite, InferError> {
+    let discovered = entry.scenario.size();
+    let minimized = minimize(entry, evaluator)?;
+    let minimized_size = minimized.scenario.size();
+    let mut scenario = minimized.scenario;
+    scenario.name = name.to_string();
+    DistilledSuite::record(
+        name,
+        scenario,
+        minimized.signature,
+        DistilledProvenance { search_seed, discovered, minimized: minimized_size },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{search, SearchConfig};
+    use ecofusion_harness::replay_distilled;
+
+    #[test]
+    fn minimization_preserves_the_signature_and_shrinks() {
+        let cfg = SearchConfig { seed: 3, candidates: 4, ticks: 10 };
+        let corpus = search(&cfg).unwrap();
+        let mut evaluator = Evaluator::new();
+        // The storm seed template has the largest schedule — minimize it.
+        let fattest =
+            corpus.iter().max_by_key(|e| e.scenario.size().total()).expect("non-empty corpus");
+        let minimized = minimize(fattest, &mut evaluator).unwrap();
+        assert_eq!(minimized.signature, fattest.signature);
+        assert!(
+            minimized.scenario.size().total() <= fattest.scenario.size().total(),
+            "minimization never grows a scenario"
+        );
+        assert!(minimized.scenario.is_structurally_valid());
+    }
+
+    #[test]
+    fn distilled_suites_replay_cleanly() {
+        let cfg = SearchConfig { seed: 3, candidates: 2, ticks: 10 };
+        let corpus = search(&cfg).unwrap();
+        let mut evaluator = Evaluator::new();
+        let suite = distill(&corpus[0], "distill_test", cfg.seed, &mut evaluator).unwrap();
+        assert_eq!(suite.name, "distill_test");
+        assert!(suite.provenance.minimized.total() <= suite.provenance.discovered.total());
+        assert!(replay_distilled(&suite).unwrap().is_empty(), "fresh suite replays drift-free");
+    }
+}

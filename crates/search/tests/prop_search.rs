@@ -1,0 +1,95 @@
+//! Property tests of the mutation operators and the search loop's
+//! determinism contract.
+//!
+//! The structural invariants under test are exactly the ones the
+//! runtime relies on: fault events keep half-open intervals with
+//! severity in `[0, 1]`, walks stay non-empty with every dwell ≥ 1,
+//! timelines stay sorted with finite positive targets — and a search is
+//! a pure function of its `(seed, config)`.
+
+use ecofusion_harness::{Scenario, ScenarioStream};
+use ecofusion_scene::{Context, ContextWalk};
+use ecofusion_search::mutate_scenario;
+use ecofusion_search::search::{search, seed_scenarios, SearchConfig};
+use ecofusion_tensor::rng::Rng;
+use proptest::prelude::*;
+
+/// A small but non-degenerate scenario to mutate from.
+fn base_scenario(seed: u64) -> Scenario {
+    let walk = ContextWalk::from_pairs(&[(Context::City, 6), (Context::Night, 6)]);
+    Scenario {
+        name: "prop".to_string(),
+        ticks: 24,
+        max_batch: 4,
+        streams: vec![ScenarioStream::baseline(seed, walk)],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mutated_scenarios_stay_structurally_valid(seed in 0u64..10_000, steps in 1usize..120) {
+        let mut scenario = base_scenario(seed);
+        let mut rng = Rng::new(seed ^ 0xA11CE);
+        for step in 0..steps {
+            mutate_scenario(&mut scenario, &mut rng);
+            prop_assert!(
+                scenario.is_structurally_valid(),
+                "invalid after {step} mutations (seed {seed})"
+            );
+            for s in &scenario.streams {
+                for ev in s.faults.events() {
+                    prop_assert!((0.0..=1.0).contains(&ev.severity));
+                    prop_assert!(ev.duration >= 1, "faults keep non-empty half-open intervals");
+                }
+                prop_assert!(!s.walk.is_empty());
+                prop_assert!(s.walk.segments().iter().all(|seg| seg.dwell >= 1));
+                if let Some(t) = &s.timeline {
+                    prop_assert!(!t.phases().is_empty());
+                    let mut prev = 0u64;
+                    for p in t.phases() {
+                        prop_assert!(p.start_tick >= prev, "timeline stays sorted");
+                        prop_assert!(p.target_j.is_finite() && p.target_j > 0.0);
+                        prev = p.start_tick;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_chains_are_seed_deterministic(seed in 0u64..10_000) {
+        let mut a = base_scenario(1);
+        let mut b = base_scenario(1);
+        let mut ra = Rng::new(seed);
+        let mut rb = Rng::new(seed);
+        for _ in 0..40 {
+            mutate_scenario(&mut a, &mut ra);
+            mutate_scenario(&mut b, &mut rb);
+        }
+        prop_assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn seed_templates_are_valid_at_any_horizon(ticks in 4u64..200) {
+        for s in seed_scenarios(ticks) {
+            prop_assert!(s.is_structurally_valid(), "{} invalid at ticks={ticks}", s.name);
+        }
+    }
+}
+
+/// Identical `(seed, config)` searches produce bit-identical corpora —
+/// a single deliberately tiny end-to-end case (it runs real servers, so
+/// it is not under `proptest!`'s case multiplier).
+#[test]
+fn identical_searches_produce_bit_identical_corpora() {
+    let cfg = SearchConfig { seed: 99, candidates: 5, ticks: 8 };
+    let a = search(&cfg).unwrap();
+    let b = search(&cfg).unwrap();
+    assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
+    assert!(!a.is_empty());
+}

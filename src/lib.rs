@@ -152,8 +152,10 @@ pub use ecofusion_energy as energy;
 pub use ecofusion_eval as eval;
 pub use ecofusion_faults as faults;
 pub use ecofusion_gating as gating;
+pub use ecofusion_harness as harness;
 pub use ecofusion_runtime as runtime;
 pub use ecofusion_scene as scene;
+pub use ecofusion_search as search;
 pub use ecofusion_sensors as sensors;
 pub use ecofusion_tensor as tensor;
 pub use ecofusion_trace as trace;
